@@ -1,0 +1,19 @@
+"""Shared setup for the benchmark harness (one module per paper figure/table)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+sys.setrecursionlimit(200_000)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

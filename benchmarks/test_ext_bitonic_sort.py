@@ -1,0 +1,69 @@
+"""EXT-A — the adaptive-bitonic-sort claim of the conclusions (Section 6).
+
+The paper reports that analyzing the adaptive bitonic sort of [BN86] results
+in "significant parallelism detection".  This bench runs the pipeline on the
+bitonic-sort workload (bitonic sort over the leaves of a perfect binary
+tree): the analysis parallelizes the recursive ``bisort``/``bimerge``/
+``cmpswap`` calls, the transformed program still sorts, and the exposed
+parallelism grows with the input size.
+"""
+
+import pytest
+
+from repro.parallel import build_report, parallelize_program
+from repro.runtime import run_program
+from repro.sil import check_program
+from repro.workloads import load, perfect_tree_values
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+def leaves_in_order(heap, root):
+    values = []
+
+    def walk(ref):
+        node = heap.node(ref)
+        if node.left is None:
+            values.append(node.value)
+        else:
+            walk(node.left)
+            walk(node.right)
+
+    walk(root)
+    return values
+
+
+def run_bitonic(depth: int):
+    program, info = load("bitonic_sort", depth=depth)
+    sequential = run_program(program, info)
+    result = parallelize_program(program, info)
+    parallel_info = check_program(result.program)
+    parallel = run_program(result.program, parallel_info)
+    return result, sequential, parallel
+
+
+def test_ext_bitonic_sort(benchmark):
+    result, sequential, parallel = benchmark(run_bitonic, 5)
+
+    banner("EXT-A — bitonic sort over a perfect binary tree (Section 6 claim)")
+    rows = []
+    for depth in (4, 5, 6, 7):
+        r, seq, par = run_bitonic(depth)
+        leaves = 2 ** (depth - 1)
+        rows.append((leaves, seq.work, par.span, seq.work / par.span, r.stats.call_groups))
+    print(f"{'leaves':>7s} {'work':>9s} {'span_par':>9s} {'parallelism':>12s} {'call groups':>12s}")
+    for leaves, work, span, parallelism, groups in rows:
+        print(f"{leaves:7d} {work:9d} {span:9d} {parallelism:12.2f} {groups:12d}")
+
+    # The recursive call pairs are parallelized in every kernel procedure.
+    assert result.stats.call_groups >= 4
+    # The parallel version still sorts and is race-free.
+    assert parallel.race_free
+    sorted_leaves = leaves_in_order(parallel.heap, parallel.main_locals["root"])
+    assert sorted_leaves == sorted(perfect_tree_values(5))
+    # Parallelism grows with the number of leaves (who-wins shape check).
+    parallelisms = [row[3] for row in rows]
+    assert all(b > a for a, b in zip(parallelisms, parallelisms[1:]))
+    assert parallelisms[-1] > 4.0

@@ -1,0 +1,75 @@
+"""EXT-B — exposed parallelism / simulated speedup of the transformed programs.
+
+For every recursive tree workload: run the sequential program and the
+path-matrix-parallelized program on the same input, and report the
+simulated execution time on P = 1, 2, 4, 8, 16, 32 and unbounded processors
+(greedy/Brent model, see repro.parallel.schedule).  The shape expected from
+the paper: the parallel version's critical path shrinks to O(depth), so the
+unbounded-processor speedup grows roughly linearly in the number of tree
+nodes / processors until it saturates at the ideal parallelism.
+"""
+
+import pytest
+
+from repro.parallel import build_report, parallelize_program
+from repro.runtime import run_program
+from repro.sil import check_program
+from repro.workloads import load
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+WORKLOADS = ("add_and_reverse", "tree_add", "tree_mirror", "tree_copy", "bitonic_sort")
+
+
+def measure(name: str, depth: int):
+    program, info = load(name, depth=depth)
+    sequential = run_program(program, info)
+    transformed = parallelize_program(program, info)
+    parallel = run_program(transformed.program, check_program(transformed.program))
+    return build_report(f"{name} (depth {depth})", sequential, parallel)
+
+
+def test_ext_speedup_tables(benchmark):
+    report = benchmark(measure, "add_and_reverse", 6)
+
+    banner("EXT-B — simulated speedup of parallelized workloads (greedy P-processor model)")
+    reports = [report] + [measure(name, 6) for name in WORKLOADS if name != "add_and_reverse"]
+    for item in reports:
+        print()
+        print(item.format_table())
+
+    for item in reports:
+        # No dynamic races anywhere.
+        assert item.race_free
+        # Work is essentially unchanged by the transformation.
+        assert item.parallel.work == pytest.approx(item.sequential.work, rel=0.02)
+        # Meaningful parallelism is exposed, and speedup saturates at it.
+        assert item.max_speedup > 3.0
+        assert item.row(1).speedup == pytest.approx(1.0, rel=0.05)
+        speedups = [row.speedup for row in item.rows]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+
+def test_ext_speedup_scaling_with_depth(benchmark):
+    """Unbounded-processor speedup of add_and_reverse grows with tree depth."""
+    depths = (4, 6, 8)
+    reports = benchmark(lambda: [measure("add_and_reverse", d) for d in depths])
+
+    banner("EXT-B — speedup scaling with tree depth (add_and_reverse)")
+    print(f"{'depth':>6s} {'nodes':>7s} {'work':>9s} {'span_par':>9s} {'max speedup':>12s}")
+    for depth, report in zip(depths, reports):
+        nodes = 2 ** depth - 1
+        print(
+            f"{depth:6d} {nodes:7d} {report.parallel.work:9d} "
+            f"{report.parallel.span:9d} {report.max_speedup:12.2f}"
+        )
+
+    speedups = [report.max_speedup for report in reports]
+    assert all(b > 1.5 * a for a, b in zip(speedups, speedups[1:])), speedups
+    # Critical path grows roughly linearly with depth while work grows
+    # exponentially: span should stay within a small multiple of depth * constant.
+    spans = [report.parallel.span for report in reports]
+    assert spans[-1] < spans[0] * 6

@@ -1,0 +1,70 @@
+"""EXT-E — structure verification / parallel-debugging use case.
+
+Sections 1 and 4: the same path-matrix machinery verifies that a program
+preserves the declared TREE/DAG shape, and can be used to flag statements
+that (possibly) create sharing or cycles — the debugging scenario.  This
+bench runs the static structure verification over the suite and compares it
+with the runtime ground truth of the concrete heap.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.runtime import classify_structure, run_program
+from repro.workloads import load
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+CASES = {
+    # workload -> (expected static cycle warning, expected static sharing warning,
+    #              runtime kind of the final structure)
+    "tree_add": (False, False, "tree"),
+    "tree_copy": (False, False, "tree"),
+    "add_and_reverse": (False, True, "tree"),   # reverse passes through a DAG state
+    "tree_mirror": (False, True, "tree"),
+    "dag_sharing": (False, True, "dag"),
+    "cycle_bug": (True, False, "cyclic"),
+}
+
+
+def evaluate(name: str):
+    depth = 12 if name == "bst_build" else 3
+    program, info = load(name, depth=depth)
+    analysis = analyze_program(program, info)
+    execution = run_program(program, info)
+    roots = [v for v in execution.main_locals.values() if v is None or hasattr(v, "node_id")]
+    runtime = classify_structure(execution.heap, [r for r in roots if r is not None])
+    cycles = [d for d in analysis.diagnostics if d.is_cycle]
+    sharing = [d for d in analysis.diagnostics if d.is_sharing]
+    return cycles, sharing, runtime
+
+
+def test_ext_structure_verification(benchmark):
+    results = benchmark(lambda: {name: evaluate(name) for name in CASES})
+
+    banner("EXT-E — static structure verification vs. runtime ground truth")
+    print(f"{'workload':16s} {'static cycle?':>14s} {'static sharing?':>16s} {'runtime shape':>14s}")
+    for name, (cycles, sharing, runtime) in results.items():
+        print(
+            f"{name:16s} {str(bool(cycles)):>14s} {str(bool(sharing)):>16s} "
+            f"{runtime.kind.value:>14s}"
+        )
+    print("\nexample diagnostics:")
+    for name in ("cycle_bug", "dag_sharing", "add_and_reverse"):
+        for diagnostic in results[name][0] + results[name][1]:
+            print(f"  [{name}] {diagnostic}")
+            break
+
+    for name, (expect_cycle, expect_sharing, expect_runtime) in CASES.items():
+        cycles, sharing, runtime = results[name]
+        assert bool(cycles) == expect_cycle, name
+        assert bool(sharing) == expect_sharing, name
+        assert runtime.kind.value == expect_runtime, name
+        # Soundness: a runtime violation is always predicted statically.
+        if runtime.is_cyclic:
+            assert cycles, name
+        if runtime.is_dag:
+            assert sharing, name

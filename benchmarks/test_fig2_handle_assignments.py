@@ -1,0 +1,59 @@
+"""FIG2 — Figure 2: path matrices after handle assignments.
+
+Reproduces Figure 2(a)-(c): starting from the initial matrix with handles
+a, b, c (``p[a,b] = L1 L+ L1``, ``p[a,c] = R1 D+``), apply ``d := a.right``
+and then ``e := d.left`` and print the resulting matrices.  The assertions
+check the exact entries the paper shows, including the possible paths
+``{S?, D+?}`` between ``e`` and ``c``.
+"""
+
+from repro.analysis.matrix import PathMatrix
+from repro.analysis.pathset import PathSet
+from repro.analysis.transfer import apply_load_field
+from repro.sil.ast import Field
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+def figure2_initial() -> PathMatrix:
+    matrix = PathMatrix(["a", "b", "c"])
+    matrix.set("a", "b", PathSet.parse("L1L+L1"))
+    matrix.set("a", "c", PathSet.parse("R1D+"))
+    return matrix
+
+
+def reproduce_figure2():
+    initial = figure2_initial()
+    after_d = apply_load_field(initial, "d", "a", Field.RIGHT)
+    after_e = apply_load_field(after_d, "e", "d", Field.LEFT)
+    return initial, after_d, after_e
+
+
+def test_fig2_handle_assignments(benchmark):
+    initial, after_d, after_e = benchmark(reproduce_figure2)
+
+    banner("Figure 2 — path matrices for handle assignments")
+    print("(a) initial matrix (paper: p[a,b] = L^1L+L^1, p[a,c] = R^1D+):")
+    print(initial.format())
+    print()
+    print("(b) after `d := a.right` (paper: p[a,d] = R^1, p[d,c] = D+):")
+    print(after_d.format())
+    print()
+    print("(c) after `e := d.left` (paper: p[a,e] = R^1L^1, p[d,e] = L^1, p[e,c] = {S?, D+?}):")
+    print(after_e.format())
+
+    # Figure 2(a): canonical form of L^1 L+ L^1 is "at least three left edges".
+    assert initial.get("a", "b").format() == "L3+"
+    assert initial.get("a", "c").format() == "R1D+"
+
+    # Figure 2(b).
+    assert after_d.get("a", "d").format() == "R1"
+    assert after_d.get("d", "c").format() == "D+"
+    assert after_d.get("d", "b").is_empty
+
+    # Figure 2(c).
+    assert after_e.get("a", "e").format() == "R1L1"
+    assert after_e.get("d", "e").format() == "L1"
+    assert after_e.get("e", "c").format() == "S?, D+?"
+    assert after_e.get("e", "b").is_empty

@@ -1,0 +1,59 @@
+"""FIG3 — Figure 3: iterative approximation for a simple while loop.
+
+Reproduces the ``l := h; while l.left <> nil do l := l.left`` example: the
+analysis starts from ``p0`` (zero iterations, ``p[h,l] = S``), folds in the
+matrices after 1, 2, ... iterations and stabilizes at ``p+`` where ``l`` is
+``h`` itself or some number of left links below it (the paper's ``L+``).
+"""
+
+from repro.analysis import analyze_program
+from repro.sil import ast
+from repro.workloads import load
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+def reproduce_figure3():
+    program, info = load("list_walk", depth=8)
+    analysis = analyze_program(program, info)
+    loop = next(s for s in ast.walk_stmt(program.main.body) if isinstance(s, ast.WhileStmt))
+    history = analysis.loop_history(loop)
+    exit_matrix = analysis.matrix_after(loop)
+    body_matrix = analysis.matrix_after(loop.body)
+    return history, exit_matrix, body_matrix
+
+
+def test_fig3_while_fixpoint(benchmark):
+    history, exit_matrix, body_matrix = benchmark(reproduce_figure3)
+
+    banner("Figure 3 — iterative approximation for `while l.left <> nil do l := l.left`")
+    print(f"fixed point reached after {len(history) - 1} folding steps")
+    for index, matrix in enumerate(history[:4]):
+        label = "p0 (zero iterations)" if index == 0 else f"p{index}"
+        print(f"\n{label}:  p[l (head), current l] = {{{matrix.get('l', 'head').format() or ''}}}"
+              f"   p[head, l] = {{{matrix.get('head', 'l').format()}}}")
+    print("\nfixed point (p+), restricted to head and l:")
+    print(exit_matrix.format(["head", "l"]))
+    print("\nmatrix after the loop body (inside the loop, paper's L+):")
+    print(body_matrix.format(["head", "l"]))
+
+    # The iteration terminates.
+    assert history[-1] == history[-2]
+    # p0: l and head name the same node.
+    assert history[0].get("head", "l").has_definite_same
+    # p+: l is the head or a chain of left links below it, never above it.
+    entry = exit_matrix.get("head", "l")
+    assert entry.has_same
+    proper = [p for p in entry if not p.is_same]
+    assert proper and all(
+        all(seg.direction.value == "L" for seg in p.segments) for p in proper
+    )
+    assert exit_matrix.get("l", "head").format() in ("", "S?")
+    # Inside the loop (after `l := l.left`) the relationship is the paper's L+:
+    inside = body_matrix.get("head", "l")
+    assert all(
+        all(seg.direction.value == "L" for seg in p.segments) for p in inside if not p.is_same
+    )
+    assert any(not p.is_same for p in inside)

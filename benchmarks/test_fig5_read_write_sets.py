@@ -1,0 +1,82 @@
+"""FIG5 — Figure 5: read and write sets of every basic handle statement.
+
+Regenerates the table of Figure 5 for a representative path matrix and
+checks each row against the paper's definition.
+"""
+
+from repro.analysis.matrix import PathMatrix
+from repro.analysis.pathset import PathSet
+from repro.interference import field_location, read_set, var_location, write_set
+from repro.sil import ast
+from repro.sil.ast import Field
+from repro.sil.printer import format_stmt
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+def build_matrix() -> PathMatrix:
+    matrix = PathMatrix(["a", "b", "x"])
+    matrix.set("a", "x", PathSet.parse("S?"))
+    matrix.set("x", "a", PathSet.parse("S?"))
+    return matrix
+
+
+STATEMENTS = [
+    ast.AssignNil(target="a"),
+    ast.AssignNew(target="a"),
+    ast.CopyHandle(target="a", source="b"),
+    ast.LoadField(target="a", source="b", field_name=Field.LEFT),
+    ast.StoreField(target="a", field_name=Field.LEFT, source="b"),
+    ast.LoadValue(target="n", source="a"),
+    ast.StoreValue(target="a", expr=ast.Name("n")),
+]
+
+
+def reproduce_figure5():
+    matrix = build_matrix()
+    rows = []
+    for stmt in STATEMENTS:
+        rows.append((format_stmt(stmt), read_set(stmt, matrix), write_set(stmt, matrix)))
+    return matrix, rows
+
+
+def fmt(locations):
+    return "{" + ", ".join(sorted(str(l) for l in locations)) + "}"
+
+
+def test_fig5_read_write_sets(benchmark):
+    matrix, rows = benchmark(reproduce_figure5)
+
+    banner("Figure 5 — read/write sets of basic handle statements")
+    print("path matrix used (x may alias a):")
+    print(matrix.format())
+    print()
+    print(f"{'statement':22s} {'R(s,p)':45s} W(s,p)")
+    for text, reads, writes in rows:
+        print(f"{text:22s} {fmt(reads):45s} {fmt(writes)}")
+
+    table = {text: (reads, writes) for text, reads, writes in rows}
+
+    # Row by row, as in the paper.
+    assert table["a := nil"] == (set(), {var_location("a")})
+    assert table["a := new()"] == (set(), {var_location("a")})
+    assert table["a := b"] == ({var_location("b")}, {var_location("a")})
+
+    reads, writes = table["a := b.left"]
+    assert reads == {var_location("b"), field_location("b", Field.LEFT)}
+    assert writes == {var_location("a")}
+
+    reads, writes = table["a.left := b"]
+    assert reads == {var_location("a"), var_location("b")}
+    # W = A(a, left, p): a itself plus its possible alias x.
+    assert writes == {field_location("a", Field.LEFT), field_location("x", Field.LEFT)}
+
+    reads, writes = table["n := a.value"]
+    assert field_location("a", Field.VALUE) in reads and field_location("x", Field.VALUE) in reads
+    assert writes == {var_location("n")}
+
+    reads, writes = table["a.value := n"]
+    assert var_location("n") in reads
+    assert writes == {field_location("a", Field.VALUE), field_location("x", Field.VALUE)}

@@ -1,0 +1,69 @@
+"""FIG7 — Figure 7: the add_and_reverse program and its path matrices pA, pB, pC.
+
+Runs the whole-program analysis on the paper's running example and prints
+the matrices at program points A (in ``main``, before the calls to
+``add_n``), B (in ``add_n``, before the recursive calls) and C (in
+``reverse``).  The assertions check the facts the paper derives from them:
+``lside``/``rside`` are unrelated at A, and ``l``/``r`` are unrelated at B
+and C, so all three call pairs may execute in parallel; the symbolic
+handles ``h*`` and ``h**`` summarize the calling context.
+"""
+
+from repro.analysis import analyze_program
+from repro.workloads import load
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78 + f"\n{title}\n" + "=" * 78)
+
+
+def reproduce_figure7():
+    program, info = load("add_and_reverse", depth=4)
+    analysis = analyze_program(program, info)
+    point_a = analysis.point_before_call("main", "add_n", 0)
+    point_b = analysis.point_before_call("add_n", "add_n", 0)
+    point_c = analysis.point_before_call("reverse", "reverse", 0)
+    return analysis, point_a, point_b, point_c
+
+
+def test_fig7_program_points(benchmark):
+    analysis, point_a, point_b, point_c = benchmark(reproduce_figure7)
+
+    banner("Figure 7 — add_and_reverse: path matrices at program points A, B, C")
+    print("pA (paper: root->lside = L1, root->rside = R1, lside/rside unrelated):")
+    print(point_a.format(["root", "lside", "rside"]))
+    print("\npB (paper: h*->h = D+, h->l = L1, h->r = R1, l and r unrelated):")
+    print(point_b.format(["h*", "h**", "h", "l", "r"]))
+    print("\npC (same shape inside reverse):")
+    print(point_c.format(["h*", "h**", "h", "l", "r"]))
+    print("\nprocedure summaries (Section 5.2 refinement):")
+    for name in ("add_n", "reverse", "build"):
+        summary = analysis.summary(name)
+        print(
+            f"  {name:8s} update={sorted(summary.update_params)} "
+            f"readonly={summary.readonly_params()} modifies_links={summary.modifies_links}"
+        )
+
+    # pA — Figure 7.
+    assert point_a.get("root", "lside").format() == "L1"
+    assert point_a.get("root", "rside").format() == "R1"
+    assert point_a.unrelated("lside", "rside")
+
+    # pB — Figure 7 (current handle and its two children; symbolic context).
+    assert point_b.get("h", "l").format() == "L1"
+    assert point_b.get("h", "r").format() == "R1"
+    assert point_b.unrelated("l", "r")
+    assert not point_b.get("h*", "h").is_empty      # h lies under the original argument
+    assert point_b.get("h**", "h").has_proper_path  # strictly under every stacked argument
+    assert point_b.get("h", "h**").is_empty
+    assert not point_b.get("h*", "l").is_empty and not point_b.get("h*", "r").is_empty
+
+    # pC — same disjointness inside reverse.
+    assert point_c.unrelated("l", "r")
+    assert point_c.get("h", "l").format() == "L1"
+    assert point_c.get("h", "r").format() == "R1"
+
+    # Summaries: add_n only updates values; reverse restructures; build is fresh.
+    assert not analysis.summary("add_n").modifies_links
+    assert analysis.summary("reverse").modifies_links
+    assert analysis.summary("build").result_may_be_fresh

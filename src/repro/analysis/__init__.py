@@ -1,0 +1,72 @@
+"""Path-matrix interference analysis — the paper's core contribution.
+
+Public entry point: :func:`repro.analysis.analyze_program`, which runs the
+whole-program analysis and returns an :class:`~repro.analysis.engine.
+AnalysisResult` giving the path matrix at every program point, procedure
+entry matrices (with ``h*``/``h**`` symbolic handles), procedure summaries
+(read-only vs. update arguments) and structure diagnostics.
+"""
+
+from .engine import AnalysisResult, analyze_program
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .matrix import PathMatrix, caller_symbol, is_symbolic, stacked_symbol
+from .paths import (
+    Direction,
+    Path,
+    PathSegment,
+    append_link,
+    cancel_first,
+    concat,
+    format_path,
+    link_path,
+    make_path,
+    parse_path,
+    subsumes,
+)
+from .pathset import PathSet
+from .structure import Certainty, DiagnosticKind, StructureDiagnostic
+from .summaries import ProcedureSummary, compute_summaries
+from .transfer import (
+    TransferResult,
+    apply_assign_new,
+    apply_assign_nil,
+    apply_basic_statement,
+    apply_copy,
+    apply_load_field,
+    apply_store_field,
+)
+
+__all__ = [
+    "analyze_program",
+    "AnalysisResult",
+    "AnalysisLimits",
+    "DEFAULT_LIMITS",
+    "PathMatrix",
+    "PathSet",
+    "Path",
+    "PathSegment",
+    "Direction",
+    "parse_path",
+    "format_path",
+    "make_path",
+    "concat",
+    "append_link",
+    "cancel_first",
+    "link_path",
+    "subsumes",
+    "caller_symbol",
+    "stacked_symbol",
+    "is_symbolic",
+    "StructureDiagnostic",
+    "DiagnosticKind",
+    "Certainty",
+    "ProcedureSummary",
+    "compute_summaries",
+    "TransferResult",
+    "apply_basic_statement",
+    "apply_assign_nil",
+    "apply_assign_new",
+    "apply_copy",
+    "apply_load_field",
+    "apply_store_field",
+]

@@ -1,0 +1,187 @@
+"""Whole-program path-matrix analysis driver.
+
+Computes, for a normalized SIL program:
+
+* a **procedure entry matrix** for every reachable procedure — the merge of
+  the projections of all its call sites, with ``h*``/``h**`` symbolic
+  handles tracking the calling context of recursive procedures (Figure 7's
+  ``pB``/``pC``);
+* the **path matrix before and after every statement** of every reachable
+  procedure (Figure 7's ``pA`` is the matrix before the first call in
+  ``main``);
+* the **structure diagnostics** raised by destructive updates (possible
+  cycle / sharing creation);
+* the per-loop iteration histories (Figure 3).
+
+The interprocedural fixed point iterates: analyze every reachable procedure
+from its current entry matrix, collect the call-site projections observed,
+merge them into the callees' entry matrices, and repeat until no entry
+matrix changes.  The abstract domain is finite (see
+:mod:`repro.analysis.limits`), so this terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sil import ast
+from ..sil.typecheck import TypeInfo, check_program
+from .interproc import initial_entry_matrix
+from .intraproc import AnalysisRecorder, ProcedureAnalyzer
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .matrix import PathMatrix
+from .structure import StructureDiagnostic
+from .summaries import ProcedureSummary, compute_summaries
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the whole-program analysis produces."""
+
+    program: ast.Program
+    info: TypeInfo
+    limits: AnalysisLimits
+    summaries: Dict[str, ProcedureSummary]
+    entry_matrices: Dict[str, PathMatrix]
+    recorder: AnalysisRecorder
+    #: Number of interprocedural iterations until the entry matrices stabilized.
+    iterations: int = 0
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def matrix_before(self, stmt: ast.Stmt) -> PathMatrix:
+        """The path matrix at the program point just before ``stmt``."""
+        try:
+            return self.recorder.before[id(stmt)]
+        except KeyError:
+            raise KeyError(
+                "no matrix recorded for this statement (is it part of an analyzed, "
+                "reachable procedure of the analyzed program object?)"
+            ) from None
+
+    def matrix_after(self, stmt: ast.Stmt) -> PathMatrix:
+        """The path matrix at the program point just after ``stmt``."""
+        try:
+            return self.recorder.after[id(stmt)]
+        except KeyError:
+            raise KeyError(
+                "no matrix recorded for this statement (is it part of an analyzed, "
+                "reachable procedure of the analyzed program object?)"
+            ) from None
+
+    def entry_matrix(self, procedure_name: str) -> PathMatrix:
+        """The (fixed-point) entry matrix of a procedure."""
+        return self.entry_matrices[procedure_name]
+
+    def summary(self, procedure_name: str) -> ProcedureSummary:
+        return self.summaries[procedure_name]
+
+    @property
+    def diagnostics(self) -> List[StructureDiagnostic]:
+        """All structure diagnostics raised anywhere in the program."""
+        return [diag for _, diag in self.recorder.diagnostics]
+
+    def diagnostics_in(self, procedure_name: str) -> List[StructureDiagnostic]:
+        return [diag for proc, diag in self.recorder.diagnostics if proc == procedure_name]
+
+    def loop_history(self, stmt: ast.WhileStmt) -> List[PathMatrix]:
+        """The Figure 3 iteration sequence for a ``while`` statement."""
+        return self.recorder.loop_histories[id(stmt)]
+
+    def reachable_procedures(self) -> List[str]:
+        return sorted(self.entry_matrices.keys())
+
+    # ------------------------------------------------------------------
+    # Convenience: locate statements by shape
+    # ------------------------------------------------------------------
+
+    def statements_in(self, procedure_name: str) -> List[ast.Stmt]:
+        """Every recorded statement of a procedure, in recording order."""
+        return [
+            stmt
+            for stmt_id, stmt in self.recorder.statements.items()
+            if self.recorder.procedure_of[stmt_id] == procedure_name
+        ]
+
+    def point_before_call(self, procedure_name: str, callee: str, occurrence: int = 0) -> PathMatrix:
+        """The matrix just before the n-th call to ``callee`` inside ``procedure_name``.
+
+        This is how the Figure 7 benches pick out the paper's program points
+        A (before ``add_n(lside, 1)`` in ``main``) and B (before the first
+        recursive call inside ``add_n``).
+        """
+        proc = self.program.callable(procedure_name)
+        count = 0
+        for stmt in ast.walk_stmt(proc.body):
+            if isinstance(stmt, (ast.ProcCall, ast.FuncAssign)) and stmt.name == callee:
+                if count == occurrence:
+                    return self.matrix_before(stmt)
+                count += 1
+        raise KeyError(
+            f"call #{occurrence} to {callee!r} not found in procedure {procedure_name!r}"
+        )
+
+
+def analyze_program(
+    program: ast.Program,
+    info: Optional[TypeInfo] = None,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+    entry: str = "main",
+) -> AnalysisResult:
+    """Run the whole-program path-matrix analysis on a core SIL program."""
+    if not ast.program_is_core(program):
+        raise ValueError(
+            "the analysis requires a normalized (core) program; "
+            "run repro.sil.normalize.normalize_program first"
+        )
+    if info is None:
+        info = check_program(program)
+    summaries = compute_summaries(program, info)
+
+    entry_proc = program.callable(entry)
+    entries: Dict[str, PathMatrix] = {entry_proc.name: initial_entry_matrix(entry_proc, limits)}
+
+    iterations = 0
+    max_rounds = max(8, 4 * len(program.all_callables)) * limits.max_iterations
+    while True:
+        iterations += 1
+        scratch = AnalysisRecorder()
+        analyzer = ProcedureAnalyzer(program, info, summaries, limits, scratch)
+        for name, entry_matrix in list(entries.items()):
+            analyzer.analyze_procedure(program.callable(name), entry_matrix)
+
+        changed = False
+        for callee, projected in scratch.call_sites:
+            current = entries.get(callee)
+            if current is None:
+                callee_proc = program.callable(callee)
+                base = initial_entry_matrix(callee_proc, limits)
+                merged = base.merge(projected)
+            else:
+                merged = current.merge(projected)
+            if current is None or merged != current:
+                entries[callee] = merged
+                changed = True
+        if not changed:
+            break
+        if iterations >= max_rounds:  # pragma: no cover - safety net
+            break
+
+    # Final recording pass with the stabilized entry matrices.
+    recorder = AnalysisRecorder()
+    analyzer = ProcedureAnalyzer(program, info, summaries, limits, recorder)
+    for name, entry_matrix in entries.items():
+        analyzer.analyze_procedure(program.callable(name), entry_matrix)
+
+    return AnalysisResult(
+        program=program,
+        info=info,
+        limits=limits,
+        summaries=summaries,
+        entry_matrices=entries,
+        recorder=recorder,
+        iterations=iterations,
+    )

@@ -1,0 +1,232 @@
+"""Intraprocedural path-matrix analysis: statements, blocks, ``if`` and ``while``.
+
+Implements the statement-level analysis of Section 4: given a path matrix
+``p`` at the point before a statement, compute the matrix ``p'`` after it.
+Basic handle statements use the transfer functions of
+:mod:`repro.analysis.transfer`; conditionals merge the matrices of their two
+arms; ``while`` loops use the iterative approximation of Figure 3 (merge the
+zero-iteration matrix with the matrices after 1, 2, ... iterations until a
+fixed point is reached); procedure and function calls apply the
+caller-side effect derived from the callee's summary and report their
+projected entry matrices to the interprocedural driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sil import ast
+from ..sil.typecheck import TypeInfo
+from .interproc import (
+    apply_call_effect,
+    project_external_call,
+    project_recursive_call,
+)
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .matrix import PathMatrix
+from .structure import StructureDiagnostic
+from .summaries import ProcedureSummary
+from .transfer import apply_basic_statement
+
+
+@dataclass
+class AnalysisRecorder:
+    """Collects everything the whole-program engine wants to keep."""
+
+    #: Path matrix before each statement, keyed by ``id(stmt)``.
+    before: Dict[int, PathMatrix] = field(default_factory=dict)
+    #: Path matrix after each statement, keyed by ``id(stmt)``.
+    after: Dict[int, PathMatrix] = field(default_factory=dict)
+    #: The statement objects themselves (so ids can be resolved later).
+    statements: Dict[int, ast.Stmt] = field(default_factory=dict)
+    #: Which procedure each recorded statement belongs to.
+    procedure_of: Dict[int, str] = field(default_factory=dict)
+    #: Structure diagnostics, with the owning procedure name.
+    diagnostics: List[Tuple[str, StructureDiagnostic]] = field(default_factory=list)
+    #: Projected entry matrices observed at call sites: (callee, matrix).
+    call_sites: List[Tuple[str, PathMatrix]] = field(default_factory=list)
+    #: Iteration history of each while loop, keyed by ``id(stmt)``.
+    loop_histories: Dict[int, List[PathMatrix]] = field(default_factory=dict)
+
+    def record_point(
+        self, proc_name: str, stmt: ast.Stmt, before: PathMatrix, after: PathMatrix
+    ) -> None:
+        self.before[id(stmt)] = before
+        self.after[id(stmt)] = after
+        self.statements[id(stmt)] = stmt
+        self.procedure_of[id(stmt)] = proc_name
+
+    def record_diagnostics(
+        self, proc_name: str, diagnostics: List[StructureDiagnostic]
+    ) -> None:
+        for diagnostic in diagnostics:
+            self.diagnostics.append(
+                (
+                    proc_name,
+                    StructureDiagnostic(
+                        kind=diagnostic.kind,
+                        certainty=diagnostic.certainty,
+                        statement=diagnostic.statement,
+                        detail=diagnostic.detail,
+                        procedure=proc_name,
+                    ),
+                )
+            )
+
+    def record_call_site(self, callee: str, projected: PathMatrix) -> None:
+        self.call_sites.append((callee, projected))
+
+    def record_loop(self, stmt: ast.Stmt, history: List[PathMatrix]) -> None:
+        self.loop_histories[id(stmt)] = history
+
+
+class ProcedureAnalyzer:
+    """Analyzes one procedure body given its entry matrix."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        info: TypeInfo,
+        summaries: Dict[str, ProcedureSummary],
+        limits: AnalysisLimits = DEFAULT_LIMITS,
+        recorder: Optional[AnalysisRecorder] = None,
+    ) -> None:
+        self.program = program
+        self.info = info
+        self.summaries = summaries
+        self.limits = limits
+        self.recorder = recorder if recorder is not None else AnalysisRecorder()
+
+    # ------------------------------------------------------------------
+    # Procedure level
+    # ------------------------------------------------------------------
+
+    def analyze_procedure(self, proc: ast.Procedure, entry: PathMatrix) -> PathMatrix:
+        """Analyze ``proc``'s body starting from ``entry``; returns the exit matrix."""
+        scope = self.info.for_procedure(proc.name)
+        matrix = entry.copy()
+        # Local handle variables start out as nil: tracked but unrelated.
+        for local in proc.locals:
+            if local.type is ast.SilType.HANDLE:
+                matrix.add_handle(local.name)
+        return self.analyze_stmt(proc.body, matrix, proc)
+
+    # ------------------------------------------------------------------
+    # Statement level
+    # ------------------------------------------------------------------
+
+    def analyze_stmt(self, stmt: ast.Stmt, matrix: PathMatrix, proc: ast.Procedure) -> PathMatrix:
+        """Return the matrix after ``stmt``, recording before/after matrices."""
+        before = matrix
+        after = self._analyze(stmt, matrix, proc)
+        self.recorder.record_point(proc.name, stmt, before, after)
+        return after
+
+    def _analyze(self, stmt: ast.Stmt, matrix: PathMatrix, proc: ast.Procedure) -> PathMatrix:
+        if isinstance(stmt, ast.Block):
+            current = matrix
+            for inner in stmt.stmts:
+                current = self.analyze_stmt(inner, current, proc)
+            return current
+
+        if isinstance(stmt, ast.ParallelStmt):
+            # Parallel SIL input: the branches are (supposed to be)
+            # independent; analyzing them in sequence is a sound
+            # over-approximation of any interleaving *when* they do not
+            # interfere, which the interference checker verifies separately.
+            current = matrix
+            for branch in stmt.branches:
+                current = self.analyze_stmt(branch, current, proc)
+            return current
+
+        if isinstance(stmt, ast.IfStmt):
+            then_out = self.analyze_stmt(stmt.then_branch, matrix, proc)
+            if stmt.else_branch is not None:
+                else_out = self.analyze_stmt(stmt.else_branch, matrix, proc)
+            else:
+                else_out = matrix
+            return then_out.merge(else_out)
+
+        if isinstance(stmt, ast.WhileStmt):
+            return self._analyze_while(stmt, matrix, proc)
+
+        if isinstance(stmt, ast.SkipStmt):
+            return matrix
+
+        if isinstance(stmt, (ast.ProcCall, ast.FuncAssign)):
+            return self._analyze_call(stmt, matrix, proc)
+
+        if isinstance(stmt, ast.BasicStmt):
+            result = apply_basic_statement(matrix, stmt, self.limits)
+            if result.diagnostics:
+                self.recorder.record_diagnostics(proc.name, result.diagnostics)
+            return result.matrix
+
+        if isinstance(stmt, ast.Assign):
+            raise ValueError(
+                "the analysis requires a normalized (core) program; "
+                "run repro.sil.normalize.normalize_program first"
+            )
+        raise TypeError(f"cannot analyze statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Loops — the iterative approximation of Figure 3
+    # ------------------------------------------------------------------
+
+    def _analyze_while(
+        self, stmt: ast.WhileStmt, matrix: PathMatrix, proc: ast.Procedure
+    ) -> PathMatrix:
+        history: List[PathMatrix] = [matrix]
+        head = matrix
+        for _ in range(self.limits.max_iterations):
+            body_out = self.analyze_stmt(stmt.body, head, proc)
+            new_head = head.merge(body_out)
+            history.append(new_head)
+            if new_head == head:
+                break
+            head = new_head
+        self.recorder.record_loop(stmt, history)
+        # No condition-based refinement: the matrix at loop exit is the
+        # fixed-point head (covers zero and any positive number of iterations).
+        return head
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _analyze_call(self, stmt: ast.Stmt, matrix: PathMatrix, proc: ast.Procedure) -> PathMatrix:
+        if isinstance(stmt, ast.ProcCall):
+            name, args, result_target = stmt.name, stmt.args, None
+        else:
+            assert isinstance(stmt, ast.FuncAssign)
+            name, args, result_target = stmt.name, stmt.args, stmt.target
+
+        callee = self.program.callable(name)
+        summary = self.summaries[name]
+
+        # Report the projected entry matrix for the interprocedural fixed point.
+        if callee.handle_params:
+            if callee.name == proc.name:
+                projected = project_recursive_call(matrix, args, callee, self.limits)
+            else:
+                projected = project_external_call(matrix, args, callee, self.limits)
+            self.recorder.record_call_site(callee.name, projected)
+        elif callee.name != proc.name:
+            # Parameterless callees still need to be marked reachable.
+            self.recorder.record_call_site(callee.name, PathMatrix(limits=self.limits))
+
+        result_is_handle = False
+        if result_target is not None:
+            result_is_handle = self.info.for_procedure(proc.name).is_handle(result_target)
+
+        effect = apply_call_effect(
+            matrix,
+            summary,
+            args,
+            callee,
+            result_target=result_target,
+            result_is_handle=result_is_handle,
+            limits=self.limits,
+        )
+        return effect.matrix

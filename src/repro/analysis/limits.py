@@ -1,0 +1,47 @@
+"""Finiteness limits for the path-expression abstract domain.
+
+Path expressions are sequences of links with exact or open-ended ("one or
+more") repetition counts.  To guarantee that the iterative approximation of
+``while`` loops and recursive procedures terminates, the domain must be
+finite: :class:`AnalysisLimits` bounds the exact repetition count kept per
+segment, the number of segments per path, and the number of distinct paths
+kept per path-matrix entry.  Exceeding a bound *widens* (never narrows) the
+description — an exact count becomes open-ended, a long path collapses into
+a ``D``-segment, an oversized path set collapses towards ``{S?, D+?}`` — so
+the approximation stays conservative.
+
+The defaults comfortably cover every example in the paper; the ablation
+bench (EXT-D in DESIGN.md) sweeps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalysisLimits:
+    """Bounds that keep the path-expression domain finite."""
+
+    #: Largest exact repetition count kept (e.g. ``L^8``); beyond this the
+    #: segment is widened to an open-ended count (``L^8+`` -> ``L8+``).
+    max_exact_count: int = 8
+
+    #: Largest *minimum* count kept for open-ended segments.
+    max_open_count: int = 8
+
+    #: Maximum number of segments per path expression; longer paths collapse
+    #: their tail into a single ``D`` segment.
+    max_segments: int = 4
+
+    #: Maximum number of distinct paths kept per path-matrix entry before the
+    #: entry is collapsed.
+    max_paths_per_entry: int = 8
+
+    #: Maximum number of fixed-point iterations for loops / recursion before
+    #: forcing a collapse (a safety net; the finite domain already terminates).
+    max_iterations: int = 64
+
+
+#: Default limits used when none are supplied.
+DEFAULT_LIMITS = AnalysisLimits()

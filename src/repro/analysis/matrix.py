@@ -1,0 +1,265 @@
+"""The path matrix: pairwise relationships among the live handles at a point.
+
+``matrix[a, b]`` is a :class:`~repro.analysis.pathset.PathSet` describing
+every possible directed path from the node named by handle ``a`` down to the
+node named by handle ``b`` (including ``S`` when they may name the same
+node).  The diagonal is implicitly ``{S}``.  An empty entry means the two
+handles are known to be unrelated.
+
+Handles are identified by name (strings).  Besides program variables, the
+interprocedural analysis introduces *symbolic* handles — ``h*`` (the
+calling procedure's argument bound to formal ``h``) and ``h**`` (the
+arguments of all stacked recursive invocations); see
+:mod:`repro.analysis.interproc`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .pathset import PathSet
+from .paths import Path
+
+
+def caller_symbol(formal: str) -> str:
+    """The symbolic handle for the original caller's argument bound to ``formal``."""
+    return f"{formal}*"
+
+
+def stacked_symbol(formal: str) -> str:
+    """The symbolic handle collecting the stacked recursive invocations' arguments."""
+    return f"{formal}**"
+
+
+def is_symbolic(handle: str) -> bool:
+    """True for ``h*`` / ``h**`` style symbolic handles."""
+    return handle.endswith("*")
+
+
+class PathMatrix:
+    """A mutable square matrix of :class:`PathSet` entries keyed by handle name."""
+
+    __slots__ = ("_handles", "_entries", "limits")
+
+    def __init__(
+        self,
+        handles: Iterable[str] = (),
+        limits: AnalysisLimits = DEFAULT_LIMITS,
+    ):
+        self._handles: List[str] = []
+        self._entries: Dict[Tuple[str, str], PathSet] = {}
+        self.limits = limits
+        for handle in handles:
+            self.add_handle(handle)
+
+    # ------------------------------------------------------------------
+    # Handles
+    # ------------------------------------------------------------------
+
+    @property
+    def handles(self) -> List[str]:
+        """The handles tracked by this matrix, in insertion order."""
+        return list(self._handles)
+
+    def __contains__(self, handle: str) -> bool:
+        return handle in self._handles
+
+    def add_handle(self, handle: str) -> None:
+        """Add a handle unrelated to everything already tracked (idempotent)."""
+        if handle not in self._handles:
+            self._handles.append(handle)
+
+    def remove_handle(self, handle: str) -> None:
+        """Drop a handle and every entry mentioning it (idempotent)."""
+        if handle in self._handles:
+            self._handles.remove(handle)
+        for key in [key for key in self._entries if handle in key]:
+            del self._entries[key]
+
+    def clear_handle(self, handle: str) -> None:
+        """Make ``handle`` unrelated to every other handle (it stays tracked)."""
+        for key in [key for key in self._entries if handle in key]:
+            del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+
+    def get(self, source: str, target: str) -> PathSet:
+        """The entry ``p[source, target]`` (diagonal is implicitly ``{S}``)."""
+        if source == target:
+            if source in self._handles:
+                return PathSet.same()
+            return PathSet.empty()
+        return self._entries.get((source, target), PathSet.empty())
+
+    def __getitem__(self, key: Tuple[str, str]) -> PathSet:
+        return self.get(*key)
+
+    def set(self, source: str, target: str, paths: PathSet) -> None:
+        """Set ``p[source, target]``; empty sets erase the entry."""
+        if source == target:
+            return
+        self.add_handle(source)
+        self.add_handle(target)
+        paths = paths.collapse(self.limits)
+        if paths.is_empty:
+            self._entries.pop((source, target), None)
+        else:
+            self._entries[(source, target)] = paths
+
+    def __setitem__(self, key: Tuple[str, str], paths: PathSet) -> None:
+        self.set(key[0], key[1], paths)
+
+    def add_paths(self, source: str, target: str, paths: PathSet) -> None:
+        """Union additional paths into ``p[source, target]``."""
+        if paths.is_empty or source == target:
+            return
+        self.set(source, target, self.get(source, target).union(paths))
+
+    def entries(self) -> Iterator[Tuple[str, str, PathSet]]:
+        """Iterate over the non-empty off-diagonal entries."""
+        for (source, target), paths in self._entries.items():
+            yield source, target, paths
+
+    def related(self, first: str, second: str) -> bool:
+        """True if the two handles may be related in either direction (§5.2).
+
+        The procedure-call parallelization test: two calls whose handle
+        arguments are pairwise *unrelated* cannot interfere.
+        """
+        if first == second:
+            return first in self._handles
+        return not self.get(first, second).is_empty or not self.get(second, first).is_empty
+
+    def unrelated(self, first: str, second: str) -> bool:
+        return not self.related(first, second)
+
+    def may_alias(self, first: str, second: str) -> bool:
+        """True if the two handles may name the same node (S or S? present)."""
+        if first == second:
+            return first in self._handles
+        return self.get(first, second).has_same or self.get(second, first).has_same
+
+    def must_alias(self, first: str, second: str) -> bool:
+        """True if the two handles definitely name the same node."""
+        if first == second:
+            return first in self._handles
+        return self.get(first, second).has_definite_same or self.get(second, first).has_definite_same
+
+    def descendants_of(self, handle: str) -> List[str]:
+        """Handles possibly located at or below ``handle`` (including aliases)."""
+        result = []
+        for other in self._handles:
+            if other == handle:
+                continue
+            if not self.get(handle, other).is_empty:
+                result.append(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Whole-matrix operations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "PathMatrix":
+        clone = PathMatrix(self._handles, self.limits)
+        clone._entries = dict(self._entries)
+        return clone
+
+    def restricted(self, handles: Sequence[str]) -> "PathMatrix":
+        """A copy keeping only the given handles (project away the rest)."""
+        keep = [h for h in self._handles if h in set(handles)]
+        clone = PathMatrix(keep, self.limits)
+        for (source, target), paths in self._entries.items():
+            if source in set(keep) and target in set(keep):
+                clone._entries[(source, target)] = paths
+        return clone
+
+    def renamed(self, mapping: Mapping[str, str]) -> "PathMatrix":
+        """A copy with handles renamed via ``mapping`` (absent names unchanged).
+
+        If two old handles map to the same new name their relationships are
+        unioned (used when folding the current handle into ``h**``).
+        """
+        clone = PathMatrix(limits=self.limits)
+        for handle in self._handles:
+            clone.add_handle(mapping.get(handle, handle))
+        for (source, target), paths in self._entries.items():
+            new_source = mapping.get(source, source)
+            new_target = mapping.get(target, target)
+            if new_source == new_target:
+                continue
+            clone.add_paths(new_source, new_target, paths)
+        return clone
+
+    def merge(self, other: "PathMatrix") -> "PathMatrix":
+        """Control-flow join of two matrices (see :meth:`PathSet.merge`).
+
+        Entries tracked on both sides are merged path-set-wise (definite only
+        where definite on both).  Handles tracked by only one side are kept
+        with their relationships unchanged — the other control path does not
+        know the handle at all, which only happens for dead or out-of-scope
+        names.
+        """
+        result = PathMatrix(limits=self.limits)
+        for handle in self._handles:
+            result.add_handle(handle)
+        for handle in other._handles:
+            result.add_handle(handle)
+        keys = set(self._entries) | set(other._entries)
+        for source, target in keys:
+            in_self = source in self._handles and target in self._handles
+            in_other = source in other._handles and target in other._handles
+            mine = self.get(source, target) if in_self else None
+            theirs = other.get(source, target) if in_other else None
+            if mine is not None and theirs is not None:
+                merged = mine.merge(theirs)
+            elif mine is not None:
+                merged = mine.weakened() if in_other else mine
+            elif theirs is not None:
+                merged = theirs.weakened() if in_self else theirs
+            else:  # pragma: no cover - unreachable
+                merged = PathSet.empty()
+            result.set(source, target, merged)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathMatrix):
+            return NotImplemented
+        return set(self._handles) == set(other._handles) and self._entries == other._entries
+
+    def __hash__(self) -> int:  # pragma: no cover - matrices are mutable
+        raise TypeError("PathMatrix is not hashable")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format(self, handles: Optional[Sequence[str]] = None) -> str:
+        """Render the matrix as an aligned text table (paper-figure style)."""
+        order = list(handles) if handles is not None else list(self._handles)
+        header = [""] + order
+        rows: List[List[str]] = [header]
+        for source in order:
+            row = [source]
+            for target in order:
+                if source == target:
+                    row.append("S" if source in self._handles else "")
+                else:
+                    row.append(self.get(source, target).format())
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = []
+        for index, row in enumerate(rows):
+            line = " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line.rstrip())
+            if index == 0:
+                lines.append("-+-".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.format()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PathMatrix(handles={self._handles!r}, entries={len(self._entries)})"

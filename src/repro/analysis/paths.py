@@ -1,0 +1,462 @@
+"""Path expressions — the atoms of the path-matrix abstract domain.
+
+Section 4 of the paper: the relationship between two handles ``a`` and ``b``
+is a set of *paths*.  A path is either ``S`` (the two handles refer to the
+same node) or a *path expression*, a non-empty sequence of links:
+
+* ``L^i`` — exactly *i* left edges,   ``L+`` — one or more left edges,
+* ``R^i`` — exactly *i* right edges,  ``R+`` — one or more right edges,
+* ``D^i`` — exactly *i* down edges (left or right), ``D+`` — one or more.
+
+Each path is *definite* (guaranteed to exist) or *possible* (may exist),
+written with a trailing ``?`` in the paper (``S?``, ``D+?``).
+
+This module represents paths in a canonical, finite form
+(:class:`PathSegment` sequences bounded by :class:`~repro.analysis.limits.
+AnalysisLimits`) and implements the algebra the transfer functions need:
+
+* :func:`concat` — path composition (x→b composed with b→y gives x→y);
+* :func:`append_link` — extend a path by one explicit ``left``/``right`` edge
+  (used for ``a := b.f``: every path x→b extends to a path x→a);
+* :func:`cancel_first` — remove one leading ``left``/``right`` edge from a
+  path (used for ``a := b.f``: a path b→x whose first edge *is* the ``f``
+  edge leaves a remainder a→x; uncertain first edges yield possible paths);
+* :func:`generalize_pair` — the widening used when path sets grow.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sil.ast import Field
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+
+
+class Direction(enum.Enum):
+    """The direction of a path segment: left, right, or down (either)."""
+
+    LEFT = "L"
+    RIGHT = "R"
+    DOWN = "D"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @staticmethod
+    def of_field(field: Field) -> "Direction":
+        if field is Field.LEFT:
+            return Direction.LEFT
+        if field is Field.RIGHT:
+            return Direction.RIGHT
+        raise ValueError(f"{field} is not a link field")
+
+    def could_match(self, field: Field) -> bool:
+        """Can an edge in this direction be the given concrete link field?"""
+        if self is Direction.DOWN:
+            return True
+        return self is Direction.of_field(field)
+
+    def certainly_matches(self, field: Field) -> bool:
+        """Is an edge in this direction *guaranteed* to be the given field?"""
+        return self is not Direction.DOWN and self is Direction.of_field(field)
+
+    def join(self, other: "Direction") -> "Direction":
+        """The least direction covering both (L join R = D)."""
+        if self is other:
+            return self
+        return Direction.DOWN
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """``count`` edges in ``direction``; exactly ``count`` if ``exact`` else at least."""
+
+    direction: Direction
+    count: int
+    exact: bool
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a path segment must contain at least one edge")
+
+    @property
+    def min_length(self) -> int:
+        return self.count
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return format_segment(self)
+
+
+def format_segment(segment: PathSegment) -> str:
+    """``L1``, ``R+``, ``D2+`` (the paper's ``L^1``, ``R+``, superscripts flattened)."""
+    base = segment.direction.value
+    if segment.exact:
+        return f"{base}{segment.count}"
+    if segment.count == 1:
+        return f"{base}+"
+    return f"{base}{segment.count}+"
+
+
+@dataclass(frozen=True)
+class Path:
+    """A single path: ``S`` (empty segment tuple) or a path expression.
+
+    ``definite`` is True for paths guaranteed to exist, False for paths that
+    may exist (displayed with a trailing ``?``).
+    """
+
+    segments: Tuple[PathSegment, ...] = ()
+    definite: bool = True
+
+    @property
+    def is_same(self) -> bool:
+        """True for the ``S`` path ("the two handles name the same node")."""
+        return not self.segments
+
+    @property
+    def min_length(self) -> int:
+        """The minimum number of edges this path can describe."""
+        return sum(segment.count for segment in self.segments)
+
+    @property
+    def is_exact_length(self) -> bool:
+        """True if every segment has an exact count."""
+        return all(segment.exact for segment in self.segments)
+
+    def as_definite(self) -> "Path":
+        return Path(self.segments, True)
+
+    def as_possible(self) -> "Path":
+        return Path(self.segments, False)
+
+    def with_definite(self, definite: bool) -> "Path":
+        return Path(self.segments, definite)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return format_path(self)
+
+
+#: The definite ``S`` path.
+SAME = Path((), True)
+#: The possible ``S?`` path.
+MAYBE_SAME = Path((), False)
+
+
+def format_path(path: Path) -> str:
+    """Render a path in the paper's notation, e.g. ``L1L+``, ``S?``, ``D+?``."""
+    if path.is_same:
+        text = "S"
+    else:
+        text = "".join(format_segment(segment) for segment in path.segments)
+    return text if path.definite else text + "?"
+
+
+_SEGMENT_RE = re.compile(r"([LRDS])(\d*)(\+?)")
+
+
+def parse_path(text: str) -> Path:
+    """Parse the notation produced by :func:`format_path` (used in tests).
+
+    Examples: ``"S"``, ``"S?"``, ``"L1"``, ``"R+"``, ``"L1L+L1"``, ``"R1D+?"``,
+    ``"D2+"``.  Whitespace and ``.`` separators are ignored.
+    """
+    cleaned = text.strip().replace(" ", "").replace(".", "")
+    definite = True
+    if cleaned.endswith("?"):
+        definite = False
+        cleaned = cleaned[:-1]
+    if cleaned == "S":
+        return Path((), definite)
+    segments: List[PathSegment] = []
+    position = 0
+    while position < len(cleaned):
+        match = _SEGMENT_RE.match(cleaned, position)
+        if not match or match.group(1) == "S":
+            raise ValueError(f"cannot parse path expression {text!r} at {cleaned[position:]!r}")
+        letter, digits, plus = match.groups()
+        direction = Direction(letter)
+        count = int(digits) if digits else 1
+        exact = plus == ""
+        if digits == "" and plus == "":
+            # A bare letter such as "L" means one exact edge (same as "L1").
+            count, exact = 1, True
+        segments.append(PathSegment(direction, count, exact))
+        position = match.end()
+    return make_path(segments, definite)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization
+# ---------------------------------------------------------------------------
+
+
+def make_path(
+    segments: Iterable[PathSegment],
+    definite: bool = True,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> Path:
+    """Build a canonical path from raw segments, applying the domain limits."""
+    normalized = _normalize_segments(list(segments), limits)
+    return Path(tuple(normalized), definite)
+
+
+def _normalize_segments(
+    segments: List[PathSegment], limits: AnalysisLimits
+) -> List[PathSegment]:
+    # 1. Merge adjacent segments with the same direction.
+    merged: List[PathSegment] = []
+    for segment in segments:
+        if merged and merged[-1].direction is segment.direction:
+            previous = merged[-1]
+            merged[-1] = PathSegment(
+                direction=segment.direction,
+                count=previous.count + segment.count,
+                exact=previous.exact and segment.exact,
+            )
+        else:
+            merged.append(segment)
+
+    # 2. Clamp counts.
+    clamped: List[PathSegment] = []
+    for segment in merged:
+        count, exact = segment.count, segment.exact
+        if exact and count > limits.max_exact_count:
+            count, exact = limits.max_exact_count, False
+        if not exact and count > limits.max_open_count:
+            count = limits.max_open_count
+        clamped.append(PathSegment(segment.direction, count, exact))
+
+    # 3. Bound the number of segments by collapsing the tail into one
+    #    open-or-exact DOWN segment (a strictly more general description).
+    if len(clamped) > limits.max_segments:
+        keep = limits.max_segments - 1
+        head, tail = clamped[:keep], clamped[keep:]
+        total = sum(segment.count for segment in tail)
+        all_exact = all(segment.exact for segment in tail)
+        direction = tail[0].direction
+        for segment in tail[1:]:
+            direction = direction.join(segment.direction)
+        collapsed = PathSegment(direction, min(total, limits.max_open_count), all_exact and total <= limits.max_exact_count)
+        clamped = head + [collapsed]
+        # Re-merge in case the collapsed segment matches its neighbour.
+        clamped = _normalize_segments(clamped, limits)
+    return clamped
+
+
+# ---------------------------------------------------------------------------
+# Algebra
+# ---------------------------------------------------------------------------
+
+
+def concat(first: Path, second: Path, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
+    """Compose a path x→b with a path b→y into a path x→y."""
+    definite = first.definite and second.definite
+    if first.is_same:
+        return second.with_definite(definite)
+    if second.is_same:
+        return first.with_definite(definite)
+    return make_path(first.segments + second.segments, definite, limits)
+
+
+def append_link(path: Path, field: Field, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
+    """Extend a path x→b by one explicit edge ``b.field`` giving x→(b.field)."""
+    link = PathSegment(Direction.of_field(field), 1, True)
+    return make_path(path.segments + (link,), path.definite, limits)
+
+
+def link_path(field: Field, definite: bool = True) -> Path:
+    """The one-edge path ``L1`` or ``R1``."""
+    return Path((PathSegment(Direction.of_field(field), 1, True),), definite)
+
+
+def cancel_first(
+    field: Field, path: Path, limits: AnalysisLimits = DEFAULT_LIMITS
+) -> List[Path]:
+    """Remove one leading ``field`` edge from ``path``.
+
+    Given ``a := b.f`` and a path ``b →p→ x``, the possible paths ``a → x``
+    are exactly the remainders of ``p`` after its first edge, *when that
+    first edge can be the ``f`` edge out of ``b``*.  Returns the (possibly
+    empty) list of remainder paths; an empty list means ``a`` and ``x``
+    cannot be related through ``p``.
+
+    Definiteness: the remainder is definite only when the original path was
+    definite *and* the first edge is certainly the ``f`` edge *and* there is
+    no length uncertainty about whether the first segment is consumed.
+    """
+    if path.is_same:
+        # b and x are the same node; the child a=b.f has no *downward* path
+        # back to x (paths in the matrix are directed down the structure).
+        return []
+
+    first, rest = path.segments[0], path.segments[1:]
+    if not first.direction.could_match(field):
+        return []
+    direction_certain = first.direction.certainly_matches(field)
+    base_definite = path.definite and direction_certain
+
+    results: List[Path] = []
+    if first.exact:
+        if first.count == 1:
+            results.append(make_path(rest, base_definite, limits))
+        else:
+            shortened = (PathSegment(first.direction, first.count - 1, True),) + rest
+            results.append(make_path(shortened, base_definite, limits))
+    else:
+        if first.count == 1:
+            # "one or more" edges: after removing one, either zero remain
+            # (remainder is `rest`, i.e. S if rest is empty) or one-or-more
+            # remain.  Each alternative is only possible.
+            results.append(make_path(rest, False, limits))
+            results.append(
+                make_path((PathSegment(first.direction, 1, False),) + rest, False, limits)
+            )
+        else:
+            shortened = (PathSegment(first.direction, first.count - 1, False),) + rest
+            results.append(make_path(shortened, base_definite, limits))
+    return results
+
+
+def starts_with_field(path: Path, field: Field) -> bool:
+    """Could the first edge of ``path`` be the concrete ``field`` edge?
+
+    Used by the destructive-update transfer function (``a.f := b``) to
+    decide which existing relationships might be severed by overwriting the
+    ``f`` field of ``a``.
+    """
+    if path.is_same:
+        return False
+    return path.segments[0].direction.could_match(field)
+
+
+def generalize_pair(first: Path, second: Path, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
+    """Widen two paths into one path describing both (used to collapse sets).
+
+    The result is possible (not definite) unless the two paths are equal,
+    and uses open-ended counts / joined directions so that both inputs are
+    instances of it.
+    """
+    if first == second:
+        return first
+    if first.segments == second.segments:
+        return Path(first.segments, first.definite and second.definite)
+    if first.is_same or second.is_same:
+        # S cannot be generalized with a non-empty path into a single path
+        # expression; callers keep them separate (e.g. {S?, D+?}).
+        raise ValueError("cannot generalize S with a non-S path into one path")
+
+    min_length = min(first.min_length, second.min_length)
+    direction = first.segments[0].direction
+    for segment in first.segments[1:] + second.segments:
+        direction = direction.join(segment.direction)
+    count = max(1, min(min_length, limits.max_open_count))
+    return Path((PathSegment(direction, count, False),), False)
+
+
+def paths_equivalent(first: Path, second: Path) -> bool:
+    """Equality ignoring the definite/possible attribute."""
+    return first.segments == second.segments
+
+
+def _segment_covers(general: PathSegment, specific: PathSegment) -> bool:
+    """Does every edge sequence matching ``specific`` also match ``general``?"""
+    if general.direction is not Direction.DOWN and general.direction is not specific.direction:
+        return False
+    if general.exact:
+        return specific.exact and specific.count == general.count
+    # general means "at least general.count edges"; specific must guarantee
+    # at least that many edges.
+    return specific.count >= general.count
+
+
+def _path_nfa(path: Path) -> Tuple[List[dict], int]:
+    """Compile a path expression into a tiny NFA over the alphabet {'L', 'R'}.
+
+    Returns ``(transitions, accepting_state)`` where ``transitions[state]``
+    maps each symbol to a list of successor states.  ``D`` edges accept both
+    symbols; an open-ended segment adds a self-loop on its last state.
+    """
+    transitions: List[dict] = [{"L": [], "R": []}]
+    current = 0
+    for segment in path.segments:
+        symbols = (
+            ["L", "R"]
+            if segment.direction is Direction.DOWN
+            else [segment.direction.value]
+        )
+        for _ in range(segment.count):
+            transitions.append({"L": [], "R": []})
+            new_state = len(transitions) - 1
+            for symbol in symbols:
+                transitions[current][symbol].append(new_state)
+            current = new_state
+        if not segment.exact:
+            for symbol in symbols:
+                transitions[current][symbol].append(current)
+    return transitions, current
+
+
+def paths_may_intersect(first: Path, second: Path) -> bool:
+    """Could the two path expressions (from a common origin) describe the same path?
+
+    In a TREE a node is reached from a given origin by exactly one edge
+    sequence, so two accesses anchored at the same handle can touch the same
+    node only if the *languages* of their path expressions intersect.  This
+    is decided exactly with a product construction over the two (tiny) NFAs.
+    Definiteness is ignored (a possible path still describes a possibility).
+    """
+    if first.is_same or second.is_same:
+        return first.is_same and second.is_same
+
+    first_nfa, first_accept = _path_nfa(first)
+    second_nfa, second_accept = _path_nfa(second)
+
+    start = (0, 0)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state_a, state_b = frontier.pop()
+        if state_a == first_accept and state_b == second_accept:
+            return True
+        for symbol in ("L", "R"):
+            for next_a in first_nfa[state_a][symbol]:
+                for next_b in second_nfa[state_b][symbol]:
+                    pair = (next_a, next_b)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+    # The start state pair is accepting only if both paths are S, handled above.
+    return False
+
+
+def subsumes(general: Path, specific: Path) -> bool:
+    """Sound (sufficient) test that ``general`` describes every path ``specific`` does.
+
+    Used to keep path sets small: a path subsumed by a more general member
+    of the same set adds no new possibilities.  ``S`` is only subsumed by
+    ``S``.  Two sufficient cases are recognised:
+
+    * ``general`` is a single open-ended segment whose direction covers all
+      of ``specific``'s directions and whose minimum length is not larger;
+    * the two paths have the same number of segments and each of
+      ``general``'s segments covers the corresponding one of ``specific``.
+    """
+    if specific.is_same or general.is_same:
+        return specific.is_same and general.is_same
+
+    if len(general.segments) == 1 and not general.segments[0].exact:
+        segment = general.segments[0]
+        directions_ok = all(
+            segment.direction is Direction.DOWN or s.direction is segment.direction
+            for s in specific.segments
+        )
+        return directions_ok and specific.min_length >= segment.count
+
+    if len(general.segments) == len(specific.segments):
+        return all(
+            _segment_covers(g, s) for g, s in zip(general.segments, specific.segments)
+        )
+    return False

@@ -1,0 +1,273 @@
+"""Path sets — the entries of a path matrix.
+
+``p[a, b]`` is a *set of paths* describing every way node ``b`` may be
+reached from node ``a`` (plus ``S`` when they may be the same node).  An
+empty set means the two handles are known to be unrelated — the fact the
+parallelizer exploits.
+
+Two different combination operations are needed:
+
+* :meth:`PathSet.union` — accumulate paths discovered along the *same*
+  control path (e.g. the new edges added by ``a.f := b``); a path definite
+  in either argument stays definite.
+* :meth:`PathSet.merge` — join information from *different* control paths
+  (the two arms of an ``if``, successive loop iterations); a path is
+  definite only if it is definite in **both** arguments, otherwise it is
+  demoted to possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .paths import (
+    MAYBE_SAME,
+    Path,
+    PathSegment,
+    Direction,
+    format_path,
+    generalize_pair,
+    parse_path,
+    subsumes,
+)
+
+
+class PathSet:
+    """An immutable set of paths keyed by their segment sequence.
+
+    Internally a mapping ``segments -> definite``; two paths with the same
+    segments but different definiteness collapse into one entry.  Paths that
+    are subsumed by a more general member of the set (e.g. ``L1`` in the
+    presence of ``L+``) are dropped unless they carry a *definiteness*
+    guarantee the subsumer lacks — this keeps the sets small and makes the
+    iterative loop/recursion approximation converge.
+    """
+
+    __slots__ = ("_paths",)
+
+    def __init__(self, paths: Iterable[Path] = ()):
+        table: Dict[Tuple[PathSegment, ...], bool] = {}
+        for path in paths:
+            existing = table.get(path.segments)
+            if existing is None:
+                table[path.segments] = path.definite
+            else:
+                # Same-derivation accumulation: definite dominates.
+                table[path.segments] = existing or path.definite
+        self._paths = _drop_subsumed(table)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "PathSet":
+        return _EMPTY
+
+    @staticmethod
+    def same(definite: bool = True) -> "PathSet":
+        """The singleton set {S} (or {S?})."""
+        return PathSet([Path((), definite)])
+
+    @staticmethod
+    def of(*paths: Path) -> "PathSet":
+        return PathSet(paths)
+
+    @staticmethod
+    def parse(text: str) -> "PathSet":
+        """Parse a comma-separated list of path expressions, e.g. ``"S?, D+?"``.
+
+        An empty / ``"-"`` / ``"{}"`` string gives the empty set.
+        """
+        cleaned = text.strip()
+        if cleaned in ("", "-", "{}"):
+            return PathSet.empty()
+        return PathSet(parse_path(part) for part in cleaned.split(",") if part.strip())
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._paths)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        for segments, definite in self._paths.items():
+            yield Path(segments, definite)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathSet):
+            return NotImplemented
+        return self._paths == other._paths
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._paths.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PathSet({self.format()!r})"
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two handles are known to be unrelated."""
+        return not self._paths
+
+    @property
+    def has_same(self) -> bool:
+        """True if the set contains ``S`` or ``S?`` (possible aliasing)."""
+        return () in self._paths
+
+    @property
+    def has_definite_same(self) -> bool:
+        """True if the set contains a definite ``S`` (guaranteed aliasing)."""
+        return self._paths.get((), False) is True
+
+    @property
+    def has_possible_same(self) -> bool:
+        """True if the set contains ``S?`` but not definite ``S``."""
+        return self._paths.get((), None) is False
+
+    @property
+    def has_proper_path(self) -> bool:
+        """True if the set contains a non-``S`` (descendant) path."""
+        return any(segments for segments in self._paths)
+
+    def definiteness_of_same(self) -> Optional[bool]:
+        """None if no S path, else its definiteness."""
+        return self._paths.get(())
+
+    def paths(self) -> List[Path]:
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+
+    def union(self, other: "PathSet") -> "PathSet":
+        """Accumulate paths along the same control path (definite dominates)."""
+        if not other:
+            return self
+        if not self:
+            return other
+        return PathSet(list(self) + list(other))
+
+    def merge(self, other: "PathSet") -> "PathSet":
+        """Control-flow join: definite only where definite on both sides.
+
+        Paths present on only one side are kept but demoted to possible —
+        on the other control path they might not exist.
+        """
+        result: List[Path] = []
+        for segments, definite in self._paths.items():
+            other_definite = other._paths.get(segments)
+            if other_definite is None:
+                result.append(Path(segments, False))
+            else:
+                result.append(Path(segments, definite and other_definite))
+        for segments, definite in other._paths.items():
+            if segments not in self._paths:
+                result.append(Path(segments, False))
+        return PathSet(result)
+
+    def weakened(self) -> "PathSet":
+        """Every path demoted to possible (used by destructive updates)."""
+        return PathSet(Path(segments, False) for segments in self._paths)
+
+    def map(self, transform) -> "PathSet":
+        """Apply ``transform: Path -> Iterable[Path]`` and collect the results."""
+        collected: List[Path] = []
+        for path in self:
+            collected.extend(transform(path))
+        return PathSet(collected)
+
+    # ------------------------------------------------------------------
+    # Widening
+    # ------------------------------------------------------------------
+
+    def collapse(self, limits: AnalysisLimits = DEFAULT_LIMITS) -> "PathSet":
+        """Widen an oversized entry down to at most a handful of paths.
+
+        All non-``S`` paths are generalized pairwise into a single
+        open-ended path; an ``S`` member is kept separately.  The result is
+        a sound over-approximation of the original set.
+        """
+        if len(self._paths) <= limits.max_paths_per_entry:
+            return self
+        same_definite = self._paths.get(())
+        proper = [Path(segments, definite) for segments, definite in self._paths.items() if segments]
+        collapsed: Optional[Path] = None
+        for path in proper:
+            if collapsed is None:
+                collapsed = path
+            else:
+                collapsed = generalize_pair(collapsed, path, limits)
+        result: List[Path] = []
+        if same_definite is not None:
+            result.append(Path((), same_definite))
+        if collapsed is not None:
+            result.append(collapsed)
+        return PathSet(result)
+
+    def is_subset_of(self, other: "PathSet") -> bool:
+        """Partial order used by fixed-point tests: self ⊑ other.
+
+        Every path of ``self`` must appear in ``other`` with equal-or-weaker
+        definiteness (a definite path is covered by the same definite path;
+        a possible path is covered by either form).
+        """
+        for segments, definite in self._paths.items():
+            other_definite = other._paths.get(segments)
+            if other_definite is None:
+                return False
+            if definite and not other_definite:
+                # other only has the possible form; the definite claim of
+                # self is *stronger*, so self is not below other.
+                continue
+        return True
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format(self) -> str:
+        """Comma-separated rendering, e.g. ``"S?, D+?"``; empty set is ``""``."""
+        ordered = sorted(self, key=lambda p: (p.min_length, format_path(p)))
+        return ", ".join(format_path(path) for path in ordered)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.format() or "{}"
+
+
+def _drop_subsumed(
+    table: Dict[Tuple[PathSegment, ...], bool]
+) -> Dict[Tuple[PathSegment, ...], bool]:
+    """Remove paths covered by a more general member of the same set.
+
+    A path is dropped only if some *other* path subsumes it and the subsumer
+    is at least as definite (so no definiteness guarantee is lost).
+    """
+    if len(table) <= 1:
+        return table
+    items = [Path(segments, definite) for segments, definite in table.items()]
+    kept: Dict[Tuple[PathSegment, ...], bool] = {}
+    for path in items:
+        dropped = False
+        for other in items:
+            if other.segments == path.segments:
+                continue
+            if subsumes(other, path) and (other.definite or not path.definite):
+                dropped = True
+                break
+        if not dropped:
+            kept[path.segments] = path.definite
+    # Degenerate safety net: never drop everything.
+    if not kept:
+        return table
+    return kept
+
+
+_EMPTY = PathSet()

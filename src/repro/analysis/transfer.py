@@ -1,0 +1,287 @@
+"""Transfer functions: the effect of one basic handle statement on a path matrix.
+
+This is the heart of Section 4 of the paper.  For every basic handle
+statement an analysis function maps the path matrix ``p`` holding *before*
+the statement to the matrix ``p'`` holding *after* it:
+
+==============================  ==============================================
+statement                        effect on the path matrix
+==============================  ==============================================
+``a := nil``, ``a := new()``     ``a`` becomes unrelated to every other handle
+``a := b``                       ``a`` takes ``b``'s relationships; ``p'[a,b] = p'[b,a] = {S}``
+``a := b.f``                     paths *to* ``a``: every ``x→b`` path extended by the
+                                 ``f`` edge; paths *from* ``a``: every ``b→x`` path with
+                                 its leading ``f`` edge cancelled (possible paths arise
+                                 from direction/length uncertainty — Figure 2(c))
+``a.f := b``                     structure check (cycle / sharing); existing paths that
+                                 may traverse the old ``a.f`` edge are demoted to
+                                 possible; new composite paths ``x→a · f · b→y`` added
+``a.f := nil``                   only the demotion step
+``x := a.value``, ``a.value:=e`` no effect on the matrix
+==============================  ==============================================
+
+All functions are pure: they return a fresh matrix (plus structure
+diagnostics for updates) and never modify their argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sil import ast
+from ..sil.printer import _format_inline as format_statement_inline
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .matrix import PathMatrix
+from .paths import Path, append_link, cancel_first, concat, starts_with_field
+from .pathset import PathSet
+from .structure import StructureDiagnostic, cycle_diagnostic, sharing_diagnostic
+
+#: Internal placeholder handle used while re-binding a target handle.
+_PLACEHOLDER = "·fresh·"
+
+
+@dataclass
+class TransferResult:
+    """The matrix after a statement plus any structure diagnostics raised."""
+
+    matrix: PathMatrix
+    diagnostics: List[StructureDiagnostic] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Individual statement kinds
+# ---------------------------------------------------------------------------
+
+
+def apply_assign_nil(matrix: PathMatrix, target: str) -> PathMatrix:
+    """``a := nil`` — ``a`` holds no node, so it is unrelated to everything."""
+    result = matrix.copy()
+    result.remove_handle(target)
+    result.add_handle(target)
+    return result
+
+
+def apply_assign_new(matrix: PathMatrix, target: str) -> PathMatrix:
+    """``a := new()`` — a freshly allocated node shares nothing with the rest."""
+    result = matrix.copy()
+    result.remove_handle(target)
+    result.add_handle(target)
+    return result
+
+
+def apply_copy(matrix: PathMatrix, target: str, source: str) -> PathMatrix:
+    """``a := b`` — ``a`` names the same node as ``b``."""
+    if target == source:
+        return matrix.copy()
+    result = matrix.copy()
+    result.add_handle(source)
+    result.remove_handle(target)
+    result.add_handle(target)
+    for other in result.handles:
+        if other in (target, source):
+            continue
+        to_source = result.get(other, source)
+        if not to_source.is_empty:
+            result.set(other, target, to_source)
+        from_source = result.get(source, other)
+        if not from_source.is_empty:
+            result.set(target, other, from_source)
+    result.set(target, source, PathSet.same())
+    result.set(source, target, PathSet.same())
+    return result
+
+
+def apply_load_field(
+    matrix: PathMatrix,
+    target: str,
+    source: str,
+    field_name: ast.Field,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> PathMatrix:
+    """``a := b.f`` — the Figure 2 transfer function.
+
+    * For every handle ``x`` (including ``b`` itself): each path ``x→b``
+      extends by one ``f`` edge into a path ``x→a``.
+    * For every handle ``x``: each path ``b→x`` whose leading edge may be the
+      ``f`` edge leaves a remainder path ``a→x`` (definite only when the
+      leading edge certainly is the ``f`` edge and no length uncertainty is
+      introduced).
+
+    The old binding of ``a`` is discarded; ``a := a.f`` is handled correctly
+    by computing the new relationships against the *old* matrix first.
+    """
+    work = matrix.copy()
+    work.add_handle(source)
+    work.add_handle(_PLACEHOLDER)
+
+    old_handles = [h for h in work.handles if h != _PLACEHOLDER]
+
+    # Paths into the new node (x -> a).
+    for other in old_handles:
+        base = PathSet.same() if other == source else work.get(other, source)
+        if base.is_empty:
+            continue
+        extended = PathSet(append_link(path, field_name, limits) for path in base)
+        work.set(other, _PLACEHOLDER, extended)
+
+    # Paths out of the new node (a -> x).
+    for other in old_handles:
+        if other == source:
+            continue
+        base = work.get(source, other)
+        if base.is_empty:
+            continue
+        remainders = base.map(lambda path: cancel_first(field_name, path, limits))
+        if not remainders.is_empty:
+            work.set(_PLACEHOLDER, other, remainders)
+            # Aliasing is symmetric: if cancelling the edge shows that the
+            # loaded node may be the very node `other` names (an S path),
+            # record the S relationship in the other direction as well.
+            same_definiteness = remainders.definiteness_of_same()
+            if same_definiteness is not None:
+                work.add_paths(
+                    other, _PLACEHOLDER, PathSet.same(definite=same_definiteness)
+                )
+
+    work.remove_handle(target)
+    result = work.renamed({_PLACEHOLDER: target})
+    return result
+
+
+def apply_store_field(
+    matrix: PathMatrix,
+    target: str,
+    field_name: ast.Field,
+    source: Optional[str],
+    statement_text: str = "",
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> TransferResult:
+    """``a.f := b`` / ``a.f := nil`` — destructive update of a link field."""
+    result = matrix.copy()
+    result.add_handle(target)
+    if source is not None:
+        result.add_handle(source)
+    diagnostics: List[StructureDiagnostic] = []
+
+    # ---- structure verification (performed against the *pre* matrix) -----
+    if source is not None:
+        down = matrix.get(source, target)
+        if source == target:
+            diagnostics.append(
+                cycle_diagnostic(
+                    statement_text,
+                    f"{target}.{field_name.value} := {source} makes the node its own descendant",
+                    definite=True,
+                )
+            )
+        elif not down.is_empty:
+            definite = any(path.definite for path in down)
+            diagnostics.append(
+                cycle_diagnostic(
+                    statement_text,
+                    f"{source} may be an ancestor of {target} "
+                    f"(p[{source},{target}] = {{{down.format()}}}); linking it below "
+                    f"{target} creates a cycle",
+                    definite=definite,
+                )
+            )
+        parents = [
+            other
+            for other in matrix.handles
+            if other != source and matrix.get(other, source).has_proper_path
+        ]
+        if parents:
+            definite = any(
+                any(path.definite for path in matrix.get(other, source) if not path.is_same)
+                for other in parents
+            )
+            diagnostics.append(
+                sharing_diagnostic(
+                    statement_text,
+                    f"{source} is already reachable from {{{', '.join(sorted(parents))}}}; "
+                    f"the structure may become a DAG",
+                    definite=definite,
+                )
+            )
+
+    # ---- demote relationships that may have used the old a.f edge --------
+    f_targets = [
+        other
+        for other in matrix.handles
+        if other != target
+        and any(starts_with_field(path, field_name) for path in matrix.get(target, other))
+    ]
+    above = [
+        other
+        for other in matrix.handles
+        if other == target or not matrix.get(other, target).is_empty
+    ]
+    for upper in above:
+        for lower in f_targets:
+            if upper == lower:
+                continue
+            entry = result.get(upper, lower)
+            if not entry.is_empty:
+                result.set(upper, lower, entry.weakened())
+
+    # ---- add the composite paths through the new edge --------------------
+    if source is not None:
+        link = ast.Field.LEFT if field_name is ast.Field.LEFT else ast.Field.RIGHT
+        for upper in matrix.handles + [target]:
+            into_target = PathSet.same() if upper == target else matrix.get(upper, target)
+            if into_target.is_empty:
+                continue
+            for lower in matrix.handles + [source]:
+                if upper == lower:
+                    continue
+                out_of_source = PathSet.same() if lower == source else matrix.get(source, lower)
+                if out_of_source.is_empty:
+                    continue
+                new_paths = PathSet(
+                    concat(append_link(up, link, limits), down, limits)
+                    for up in into_target
+                    for down in out_of_source
+                )
+                result.add_paths(upper, lower, new_paths)
+
+    return TransferResult(matrix=result, diagnostics=diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# Statement dispatcher
+# ---------------------------------------------------------------------------
+
+
+def apply_basic_statement(
+    matrix: PathMatrix,
+    stmt: ast.BasicStmt,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> TransferResult:
+    """Apply the transfer function for any basic statement.
+
+    Value/scalar statements (``x := a.value``, ``a.value := e``,
+    ``x := e``) do not change the path matrix.
+    """
+    if isinstance(stmt, ast.AssignNil):
+        return TransferResult(apply_assign_nil(matrix, stmt.target))
+    if isinstance(stmt, ast.AssignNew):
+        return TransferResult(apply_assign_new(matrix, stmt.target))
+    if isinstance(stmt, ast.CopyHandle):
+        return TransferResult(apply_copy(matrix, stmt.target, stmt.source))
+    if isinstance(stmt, ast.LoadField):
+        return TransferResult(
+            apply_load_field(matrix, stmt.target, stmt.source, stmt.field_name, limits)
+        )
+    if isinstance(stmt, ast.StoreField):
+        return apply_store_field(
+            matrix,
+            stmt.target,
+            stmt.field_name,
+            stmt.source,
+            statement_text=format_statement_inline(stmt),
+            limits=limits,
+        )
+    if isinstance(stmt, (ast.LoadValue, ast.StoreValue, ast.ScalarAssign)):
+        return TransferResult(matrix.copy())
+    raise TypeError(f"not a basic statement: {type(stmt).__name__}")

@@ -1,0 +1,127 @@
+"""The fully conservative baseline oracle.
+
+This is what a parallelizing compiler with *no* pointer/interference
+analysis for recursive data structures must assume (the situation the
+paper's introduction describes): any two handles may refer to overlapping
+storage, so
+
+* two heap accesses conflict whenever at least one of them may write;
+* a call that receives a handle argument must be assumed to read *and*
+  write arbitrary heap nodes;
+* scalar variables are still disambiguated by name (that part of classical
+  dependence analysis works fine without pointer information).
+
+It is sound but exposes essentially no parallelism on pointer programs —
+the lower bound against which the path-matrix oracle is compared (bench
+EXT-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..parallel.oracle import DependenceOracle
+from ..sil import ast
+from ..sil.typecheck import TypeInfo
+
+
+def _variables(stmt: ast.Stmt) -> Set[str]:
+    """Every variable name a statement mentions."""
+    names: Set[str] = set()
+    if isinstance(stmt, (ast.AssignNil, ast.AssignNew)):
+        names.add(stmt.target)
+    elif isinstance(stmt, ast.CopyHandle):
+        names.update((stmt.target, stmt.source))
+    elif isinstance(stmt, ast.LoadField):
+        names.update((stmt.target, stmt.source))
+    elif isinstance(stmt, ast.StoreField):
+        names.add(stmt.target)
+        if stmt.source is not None:
+            names.add(stmt.source)
+    elif isinstance(stmt, ast.LoadValue):
+        names.update((stmt.target, stmt.source))
+    elif isinstance(stmt, ast.StoreValue):
+        names.add(stmt.target)
+        names.update(ast.names_in_expr(stmt.expr))
+    elif isinstance(stmt, ast.ScalarAssign):
+        names.add(stmt.target)
+        names.update(ast.names_in_expr(stmt.expr))
+    elif isinstance(stmt, (ast.ProcCall, ast.FuncAssign)):
+        for arg in stmt.args:
+            names.update(ast.names_in_expr(arg))
+        if isinstance(stmt, ast.FuncAssign):
+            names.add(stmt.target)
+    return names
+
+
+def _writes_variable(stmt: ast.Stmt) -> Set[str]:
+    """Variables the statement assigns."""
+    if isinstance(
+        stmt,
+        (ast.AssignNil, ast.AssignNew, ast.CopyHandle, ast.LoadField, ast.LoadValue, ast.ScalarAssign),
+    ):
+        return {stmt.target}
+    if isinstance(stmt, ast.FuncAssign):
+        return {stmt.target}
+    return set()
+
+
+class ConservativeOracle(DependenceOracle):
+    """No alias information: every heap write conflicts with every heap access."""
+
+    name = "conservative"
+
+    def __init__(self) -> None:
+        self.program: Optional[ast.Program] = None
+        self.info: Optional[TypeInfo] = None
+
+    def prepare(self, program: ast.Program, info: TypeInfo) -> None:
+        self.program = program
+        self.info = info
+
+    # ------------------------------------------------------------------
+
+    def _call_has_handle_args(self, stmt: ast.Stmt) -> bool:
+        assert self.program is not None
+        callee = self.program.callable(stmt.name)  # type: ignore[union-attr]
+        return bool(callee.handle_params)
+
+    def _reads_heap(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, (ast.LoadField, ast.LoadValue, ast.StoreField, ast.StoreValue)):
+            return True
+        if isinstance(stmt, (ast.StoreValue, ast.ScalarAssign)):
+            return any(isinstance(sub, ast.FieldAccess) for sub in ast.walk_expr(stmt.expr))
+        if isinstance(stmt, (ast.ProcCall, ast.FuncAssign)):
+            return self._call_has_handle_args(stmt)
+        return False
+
+    def _writes_heap(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, (ast.StoreField, ast.StoreValue)):
+            return True
+        if isinstance(stmt, (ast.ProcCall, ast.FuncAssign)):
+            # Without summaries the callee must be assumed to update anything
+            # it can reach through a handle argument.
+            return self._call_has_handle_args(stmt)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def independent(
+        self,
+        first: ast.Stmt,
+        second: ast.Stmt,
+        group_start: ast.Stmt,
+        procedure: str,
+    ) -> bool:
+        assert self.info is not None, "prepare() must be called first"
+        # Scalar-variable conflicts (classical dependence analysis).
+        if _writes_variable(first) & _variables(second):
+            return False
+        if _writes_variable(second) & _variables(first):
+            return False
+        # Heap conflicts: a heap write conflicts with any heap access.
+        if self._writes_heap(first) and self._reads_heap(second):
+            return False
+        if self._writes_heap(second) and self._reads_heap(first):
+            return False
+        return True

@@ -1,0 +1,127 @@
+"""Interference between basic statements (Section 5.1).
+
+The interference set ``I(si, sj, p)`` is the set of locations through which
+the two statements may interfere when executed at a program point with path
+matrix ``p``::
+
+    I(si, sj, p) = [ W(si,p) ∩ ( R(sj,p) ∪ W(sj,p) ) ]
+                 ∪ [ W(sj,p) ∩ ( R(si,p) ∪ W(si,p) ) ]
+
+If the set is empty, the statements may safely execute in parallel.  The
+n-statement generalization accumulates the read/write sets of the prefix
+``[s1, ..., sn]`` and intersects them with each newly added statement —
+exactly the incremental scheme the paper describes for growing a parallel
+group one statement at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from ..analysis.matrix import PathMatrix
+from ..sil import ast
+from .locations import Location
+from .readwrite import read_set, write_set
+
+
+@dataclass
+class InterferenceReport:
+    """The result of checking a group of statements for pairwise interference."""
+
+    #: Locations through which some pair of statements interferes.
+    locations: Set[Location] = field(default_factory=set)
+    #: The pairs (i, j) of statement indices that interfere.
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def interferes(self) -> bool:
+        return bool(self.locations)
+
+    @property
+    def independent(self) -> bool:
+        return not self.locations
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if not self.locations:
+            return "no interference"
+        locations = ", ".join(sorted(str(location) for location in self.locations))
+        return f"interference through {{{locations}}}"
+
+
+def interference_set(
+    first: ast.Stmt, second: ast.Stmt, matrix: PathMatrix
+) -> Set[Location]:
+    """``I(si, sj, p)`` — locations through which two statements may interfere."""
+    first_reads = read_set(first, matrix)
+    first_writes = write_set(first, matrix)
+    second_reads = read_set(second, matrix)
+    second_writes = write_set(second, matrix)
+    return (first_writes & (second_reads | second_writes)) | (
+        second_writes & (first_reads | first_writes)
+    )
+
+
+def statements_interfere(first: ast.Stmt, second: ast.Stmt, matrix: PathMatrix) -> bool:
+    """True if the two statements may interfere at a point with matrix ``p``."""
+    return bool(interference_set(first, second, matrix))
+
+
+def group_interference(stmts: Sequence[ast.Stmt], matrix: PathMatrix) -> InterferenceReport:
+    """Check all pairs among ``stmts`` (the n-statement generalization)."""
+    report = InterferenceReport()
+    for i in range(len(stmts)):
+        for j in range(i + 1, len(stmts)):
+            locations = interference_set(stmts[i], stmts[j], matrix)
+            if locations:
+                report.locations |= locations
+                report.pairs.append((i, j))
+    return report
+
+
+def can_execute_in_parallel(stmts: Sequence[ast.Stmt], matrix: PathMatrix) -> bool:
+    """True if the statements are pairwise non-interfering (Figure 4 transformation)."""
+    return group_interference(stmts, matrix).independent
+
+
+def extend_parallel_group(
+    group: Sequence[ast.Stmt], candidate: ast.Stmt, matrix: PathMatrix
+) -> Set[Location]:
+    """``I_n([s1..sn], s_{n+1}, p)`` — can ``candidate`` join the parallel group?
+
+    Returns the (possibly empty) set of locations through which the
+    candidate interferes with the statements already in the group.  The
+    paper's incremental scheme adds statements to the group until this set
+    becomes non-empty.
+    """
+    conflicts: Set[Location] = set()
+    for existing in group:
+        conflicts |= interference_set(existing, candidate, matrix)
+    return conflicts
+
+
+def greedy_parallel_groups(
+    stmts: Sequence[ast.Stmt], matrix: PathMatrix
+) -> List[List[ast.Stmt]]:
+    """Greedily partition a straight-line statement list into parallel groups.
+
+    Scans left to right, adding each statement to the current group while it
+    does not interfere with any statement already in the group; otherwise a
+    new group starts.  (The matrix used for every membership test is the
+    matrix at the point *before the group*, which is the condition under
+    which the paper's transformation of Figure 4 is valid.)
+    """
+    groups: List[List[ast.Stmt]] = []
+    current: List[ast.Stmt] = []
+    for stmt in stmts:
+        if not current:
+            current = [stmt]
+            continue
+        if extend_parallel_group(current, stmt, matrix):
+            groups.append(current)
+            current = [stmt]
+        else:
+            current.append(stmt)
+    if current:
+        groups.append(current)
+    return groups

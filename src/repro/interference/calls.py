@@ -1,0 +1,180 @@
+"""Interference between procedure calls (Section 5.2).
+
+Two procedure calls ``f(x1..xm)`` and ``g(y1..yn)`` at a program point with
+path matrix ``p`` cannot interfere when their handle arguments are pairwise
+*unrelated* — in a TREE, the only nodes a procedure can access are those
+reachable from its handle arguments, and unrelated handles root disjoint
+sub-trees.
+
+The refinement of the second half of Section 5.2 uses the read-only /
+update classification of the callees' formals (computed by
+:mod:`repro.analysis.summaries`): only *update* arguments can be the source
+of interference, so the check is restricted to
+
+* every update argument of ``f`` is unrelated to every argument of ``g``, and
+* every update argument of ``g`` is unrelated to every argument of ``f``.
+
+Scalar (int) arguments and function-result targets are also checked at the
+variable level (two calls both writing the same result variable interfere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.matrix import PathMatrix
+from ..analysis.summaries import ProcedureSummary
+from ..sil import ast
+from .locations import Location, var_location
+
+
+@dataclass
+class CallInterferenceReport:
+    """Why two calls may (or may not) interfere."""
+
+    interferes: bool
+    #: Pairs of handle argument names found to be related.
+    related_handle_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    #: Variable-level conflicts (result targets / scalar arguments).
+    variable_conflicts: Set[Location] = field(default_factory=set)
+    #: Human-readable explanation.
+    reason: str = ""
+
+    @property
+    def independent(self) -> bool:
+        return not self.interferes
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.reason or ("interferes" if self.interferes else "independent")
+
+
+def _call_parts(stmt: ast.Stmt) -> Tuple[str, List[ast.Expr], Optional[str]]:
+    if isinstance(stmt, ast.ProcCall):
+        return stmt.name, list(stmt.args), None
+    if isinstance(stmt, ast.FuncAssign):
+        return stmt.name, list(stmt.args), stmt.target
+    raise TypeError(f"not a call statement: {type(stmt).__name__}")
+
+
+def _handle_arguments(
+    args: Sequence[ast.Expr], callee: ast.Procedure
+) -> List[Tuple[str, Optional[str]]]:
+    """(formal, actual-variable-or-None) pairs for the handle parameters."""
+    pairs: List[Tuple[str, Optional[str]]] = []
+    for param, arg in zip(callee.params, args):
+        if param.type is not ast.SilType.HANDLE:
+            continue
+        pairs.append((param.name, arg.ident if isinstance(arg, ast.Name) else None))
+    return pairs
+
+
+def _scalar_reads(args: Sequence[ast.Expr], callee: ast.Procedure) -> Set[Location]:
+    reads: Set[Location] = set()
+    for param, arg in zip(callee.params, args):
+        if param.type is ast.SilType.HANDLE:
+            continue
+        for name in ast.names_in_expr(arg):
+            reads.add(var_location(name))
+    return reads
+
+
+def calls_interfere(
+    first: ast.Stmt,
+    second: ast.Stmt,
+    matrix: PathMatrix,
+    program: ast.Program,
+    summaries: Optional[Dict[str, ProcedureSummary]] = None,
+    use_update_refinement: bool = True,
+) -> CallInterferenceReport:
+    """Decide whether two call statements may interfere (Section 5.2).
+
+    With ``use_update_refinement=False`` the coarser first approximation of
+    the paper is used: *all* handle arguments of one call must be unrelated
+    to *all* handle arguments of the other.
+    """
+    first_name, first_args, first_target = _call_parts(first)
+    second_name, second_args, second_target = _call_parts(second)
+    first_callee = program.callable(first_name)
+    second_callee = program.callable(second_name)
+
+    first_handles = _handle_arguments(first_args, first_callee)
+    second_handles = _handle_arguments(second_args, second_callee)
+
+    # ---- variable-level conflicts (results and scalar arguments) ---------
+    variable_conflicts: Set[Location] = set()
+    first_var_writes = {var_location(first_target)} if first_target else set()
+    second_var_writes = {var_location(second_target)} if second_target else set()
+    first_var_reads = _scalar_reads(first_args, first_callee) | {
+        var_location(name) for _, name in first_handles if name is not None
+    }
+    second_var_reads = _scalar_reads(second_args, second_callee) | {
+        var_location(name) for _, name in second_handles if name is not None
+    }
+    variable_conflicts |= first_var_writes & (second_var_reads | second_var_writes)
+    variable_conflicts |= second_var_writes & (first_var_reads | first_var_writes)
+
+    # ---- handle-argument relatedness --------------------------------------
+    if use_update_refinement and summaries is not None:
+        first_summary = summaries[first_name]
+        second_summary = summaries[second_name]
+        first_update = [
+            (formal, actual)
+            for formal, actual in first_handles
+            if first_summary.is_update(formal)
+        ]
+        second_update = [
+            (formal, actual)
+            for formal, actual in second_handles
+            if second_summary.is_update(formal)
+        ]
+        checks = [(first_update, second_handles), (second_update, first_handles)]
+    else:
+        checks = [(first_handles, second_handles)]
+
+    related_pairs: List[Tuple[str, str]] = []
+    for update_side, other_side in checks:
+        for _, update_actual in update_side:
+            for _, other_actual in other_side:
+                if update_actual is None or other_actual is None:
+                    continue  # nil arguments access nothing
+                if update_actual == other_actual or matrix.related(update_actual, other_actual):
+                    pair = (update_actual, other_actual)
+                    if pair not in related_pairs and (pair[1], pair[0]) not in related_pairs:
+                        related_pairs.append(pair)
+
+    interferes = bool(related_pairs or variable_conflicts)
+    if not interferes:
+        reason = (
+            f"{first_name} and {second_name} operate on unrelated handles; "
+            "the calls may execute in parallel"
+        )
+    else:
+        parts = []
+        if related_pairs:
+            rendered = ", ".join(f"({a},{b})" for a, b in related_pairs)
+            parts.append(f"related handle arguments: {rendered}")
+        if variable_conflicts:
+            rendered = ", ".join(sorted(str(c) for c in variable_conflicts))
+            parts.append(f"variable conflicts: {rendered}")
+        reason = "; ".join(parts)
+    return CallInterferenceReport(
+        interferes=interferes,
+        related_handle_pairs=related_pairs,
+        variable_conflicts=variable_conflicts,
+        reason=reason,
+    )
+
+
+def calls_independent(
+    first: ast.Stmt,
+    second: ast.Stmt,
+    matrix: PathMatrix,
+    program: ast.Program,
+    summaries: Optional[Dict[str, ProcedureSummary]] = None,
+    use_update_refinement: bool = True,
+) -> bool:
+    """Convenience wrapper: True when the two calls may run in parallel."""
+    return calls_interfere(
+        first, second, matrix, program, summaries, use_update_refinement
+    ).independent

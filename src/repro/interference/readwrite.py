@@ -1,0 +1,184 @@
+"""Read and write sets of basic statements (Figure 5 / Figure 10).
+
+``R(s, p)`` is the set of locations possibly read by statement ``s`` when it
+executes at a program point with path matrix ``p``; ``W(s, p)`` the set of
+locations possibly written.  The table of Figure 5 covers the handle
+statements; the value/scalar statements (used in Figure 6's examples) follow
+the same pattern:
+
+=======================  =============================================  =====================
+statement                R(s, p)                                        W(s, p)
+=======================  =============================================  =====================
+``a := nil``             {}                                             {(a,var)}
+``a := new()``           {}                                             {(a,var)}
+``a := b``               {(b,var)}                                      {(a,var)}
+``a := b.f``             {(b,var)} ∪ A(b,f,p)                           {(a,var)}
+``a.f := b``             {(a,var), (b,var)}                             A(a,f,p)
+``a.f := nil``           {(a,var)}                                      A(a,f,p)
+``x := a.value``         {(a,var)} ∪ A(a,value,p)                       {(x,var)}
+``a.value := e``         {(a,var)} ∪ vars(e)                            A(a,value,p)
+``x := e``               vars(e)                                        {(x,var)}
+=======================  =============================================  =====================
+
+The *relative* versions (Figure 10) replace the alias function by the
+relative alias function anchored at the live-in handles of the statement
+sequences being compared (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from ..analysis.matrix import PathMatrix
+from ..sil import ast
+from .alias import alias_set, relative_alias_set
+from .locations import (
+    Location,
+    RelativeLocation,
+    relative_var_location,
+    var_location,
+)
+
+
+def _expression_reads(expr: ast.Expr, matrix: PathMatrix) -> Set[Location]:
+    """Locations read by an integer expression: variables plus any ``h.value`` reads."""
+    reads = {var_location(name) for name in ast.names_in_expr(expr)}
+    for sub in ast.walk_expr(expr):
+        if isinstance(sub, ast.FieldAccess) and isinstance(sub.base, ast.Name):
+            reads |= alias_set(sub.base.ident, sub.field_name, matrix)
+    return reads
+
+
+def _expression_reads_relative(
+    expr: ast.Expr, matrix: PathMatrix, live_handles: Sequence[str]
+) -> Set[RelativeLocation]:
+    reads = {relative_var_location(name) for name in ast.names_in_expr(expr)}
+    for sub in ast.walk_expr(expr):
+        if isinstance(sub, ast.FieldAccess) and isinstance(sub.base, ast.Name):
+            reads |= relative_alias_set(sub.base.ident, sub.field_name, live_handles, matrix)
+    return reads
+
+
+# ---------------------------------------------------------------------------
+# Absolute read / write sets — R(s, p) and W(s, p)
+# ---------------------------------------------------------------------------
+
+
+def read_set(stmt: ast.Stmt, matrix: PathMatrix) -> Set[Location]:
+    """``R(s, p)``: locations possibly read by ``s``."""
+    if isinstance(stmt, (ast.AssignNil, ast.AssignNew)):
+        return set()
+    if isinstance(stmt, ast.CopyHandle):
+        return {var_location(stmt.source)}
+    if isinstance(stmt, ast.LoadField):
+        return {var_location(stmt.source)} | alias_set(stmt.source, stmt.field_name, matrix)
+    if isinstance(stmt, ast.StoreField):
+        reads = {var_location(stmt.target)}
+        if stmt.source is not None:
+            reads.add(var_location(stmt.source))
+        return reads
+    if isinstance(stmt, ast.LoadValue):
+        return {var_location(stmt.source)} | alias_set(stmt.source, ast.Field.VALUE, matrix)
+    if isinstance(stmt, ast.StoreValue):
+        return {var_location(stmt.target)} | _expression_reads(stmt.expr, matrix)
+    if isinstance(stmt, ast.ScalarAssign):
+        return _expression_reads(stmt.expr, matrix)
+    if isinstance(stmt, ast.SkipStmt):
+        return set()
+    raise TypeError(f"read_set is only defined for basic statements, not {type(stmt).__name__}")
+
+
+def write_set(stmt: ast.Stmt, matrix: PathMatrix) -> Set[Location]:
+    """``W(s, p)``: locations possibly written by ``s``."""
+    if isinstance(stmt, (ast.AssignNil, ast.AssignNew, ast.CopyHandle, ast.LoadField)):
+        return {var_location(stmt.target)}
+    if isinstance(stmt, ast.StoreField):
+        return set(alias_set(stmt.target, stmt.field_name, matrix))
+    if isinstance(stmt, ast.LoadValue):
+        return {var_location(stmt.target)}
+    if isinstance(stmt, ast.StoreValue):
+        return set(alias_set(stmt.target, ast.Field.VALUE, matrix))
+    if isinstance(stmt, ast.ScalarAssign):
+        return {var_location(stmt.target)}
+    if isinstance(stmt, ast.SkipStmt):
+        return set()
+    raise TypeError(f"write_set is only defined for basic statements, not {type(stmt).__name__}")
+
+
+def condition_read_set(cond: ast.Expr, matrix: PathMatrix) -> Set[Location]:
+    """Locations read when evaluating a condition (variables and fields)."""
+    reads: Set[Location] = set()
+
+    def visit(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Name):
+            reads.add(var_location(expr.ident))
+        elif isinstance(expr, ast.FieldAccess):
+            visit(expr.base)
+            if isinstance(expr.base, ast.Name):
+                reads.update(alias_set(expr.base.ident, expr.field_name, matrix))
+        elif isinstance(expr, ast.BinOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, ast.UnOp):
+            visit(expr.operand)
+
+    visit(cond)
+    return reads
+
+
+# ---------------------------------------------------------------------------
+# Relative read / write sets — R^r(s, p, L) and W^r(s, p, L) (Figure 10)
+# ---------------------------------------------------------------------------
+
+
+def relative_read_set(
+    stmt: ast.Stmt, matrix: PathMatrix, live_handles: Sequence[str]
+) -> Set[RelativeLocation]:
+    """``R^r(s, p, L)``: relative locations possibly read by ``s``."""
+    if isinstance(stmt, (ast.AssignNil, ast.AssignNew)):
+        return set()
+    if isinstance(stmt, ast.CopyHandle):
+        return {relative_var_location(stmt.source)}
+    if isinstance(stmt, ast.LoadField):
+        return {relative_var_location(stmt.source)} | relative_alias_set(
+            stmt.source, stmt.field_name, live_handles, matrix
+        )
+    if isinstance(stmt, ast.StoreField):
+        reads = {relative_var_location(stmt.target)}
+        if stmt.source is not None:
+            reads.add(relative_var_location(stmt.source))
+        return reads
+    if isinstance(stmt, ast.LoadValue):
+        return {relative_var_location(stmt.source)} | relative_alias_set(
+            stmt.source, ast.Field.VALUE, live_handles, matrix
+        )
+    if isinstance(stmt, ast.StoreValue):
+        return {relative_var_location(stmt.target)} | _expression_reads_relative(stmt.expr, matrix, live_handles)
+    if isinstance(stmt, ast.ScalarAssign):
+        return _expression_reads_relative(stmt.expr, matrix, live_handles)
+    if isinstance(stmt, ast.SkipStmt):
+        return set()
+    raise TypeError(
+        f"relative_read_set is only defined for basic statements, not {type(stmt).__name__}"
+    )
+
+
+def relative_write_set(
+    stmt: ast.Stmt, matrix: PathMatrix, live_handles: Sequence[str]
+) -> Set[RelativeLocation]:
+    """``W^r(s, p, L)``: relative locations possibly written by ``s``."""
+    if isinstance(stmt, (ast.AssignNil, ast.AssignNew, ast.CopyHandle, ast.LoadField)):
+        return {relative_var_location(stmt.target)}
+    if isinstance(stmt, ast.StoreField):
+        return set(relative_alias_set(stmt.target, stmt.field_name, live_handles, matrix))
+    if isinstance(stmt, ast.LoadValue):
+        return {relative_var_location(stmt.target)}
+    if isinstance(stmt, ast.StoreValue):
+        return set(relative_alias_set(stmt.target, ast.Field.VALUE, live_handles, matrix))
+    if isinstance(stmt, ast.ScalarAssign):
+        return {relative_var_location(stmt.target)}
+    if isinstance(stmt, ast.SkipStmt):
+        return set()
+    raise TypeError(
+        f"relative_write_set is only defined for basic statements, not {type(stmt).__name__}"
+    )

@@ -1,0 +1,46 @@
+"""Runtime substrate: heap, interpreter, structure checks and race detection."""
+
+from .heap import Heap, Node, TreeSpec
+from .interpreter import CostModel, Frame, Interpreter, run_program, run_source
+from .structure import (
+    StructureKind,
+    StructureReport,
+    classify_structure,
+    is_dag,
+    is_tree,
+    subtrees_disjoint,
+)
+from .trace import (
+    AccessSet,
+    ExecutionResult,
+    FieldLocation,
+    RaceReport,
+    VarLocation,
+)
+from .values import HandleValue, NodeRef, Value, format_value
+
+__all__ = [
+    "Heap",
+    "Node",
+    "TreeSpec",
+    "Interpreter",
+    "CostModel",
+    "Frame",
+    "run_program",
+    "run_source",
+    "StructureKind",
+    "StructureReport",
+    "classify_structure",
+    "is_tree",
+    "is_dag",
+    "subtrees_disjoint",
+    "ExecutionResult",
+    "AccessSet",
+    "RaceReport",
+    "VarLocation",
+    "FieldLocation",
+    "NodeRef",
+    "Value",
+    "HandleValue",
+    "format_value",
+]

@@ -1,0 +1,494 @@
+"""A call-by-value interpreter for (core) SIL programs.
+
+The interpreter serves three purposes in the reproduction:
+
+1. **Semantics oracle** — sequential and parallelized versions of a program
+   must compute the same structures/values; tests compare heaps after
+   running both.
+2. **Dynamic race detector** — while executing a ``||`` statement it records
+   the concrete locations read and written by each branch and reports any
+   write/write or read/write overlap, validating that the static
+   interference analysis was conservative.
+3. **Cost model** — every executed operation contributes one unit of *work*;
+   parallel branches contribute the maximum of their *spans*; the resulting
+   work/span numbers drive the speedup benches (the substitute for the
+   paper's 1989 parallel machine).
+
+Only *core* programs (basic handle statements; see
+:mod:`repro.sil.normalize`) are accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sil import ast
+from ..sil.errors import SilRuntimeError
+from ..sil.printer import format_stmt
+from ..sil.typecheck import TypeInfo, check_program
+from .heap import Heap
+from .trace import (
+    AccessSet,
+    ExecutionResult,
+    FieldLocation,
+    RaceReport,
+    VarLocation,
+)
+from .values import HandleValue, NodeRef, Value
+
+
+@dataclass
+class Frame:
+    """One procedure activation: a frame id plus variable slots."""
+
+    frame_id: int
+    procedure: str
+    variables: Dict[str, Value] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs charged per operation kind."""
+
+    basic_statement: int = 1
+    condition: int = 1
+    call_overhead: int = 1
+    parallel_overhead: int = 0
+
+
+class Interpreter:
+    """Executes a core SIL program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        info: Optional[TypeInfo] = None,
+        heap: Optional[Heap] = None,
+        max_steps: int = 5_000_000,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if not ast.program_is_core(program):
+            raise SilRuntimeError(
+                "the interpreter requires a normalized (core) program; "
+                "run repro.sil.normalize.normalize_program first"
+            )
+        self.program = program
+        self.info = info if info is not None else check_program(program)
+        self.heap = heap if heap is not None else Heap()
+        self.max_steps = max_steps
+        self.cost = cost_model if cost_model is not None else CostModel()
+
+        self._frame_counter = 0
+        self._steps = 0
+        self._op_counts: Dict[str, int] = {}
+        self._races: List[RaceReport] = []
+        self._collectors: List[AccessSet] = []
+        self._parallel_statements = 0
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self, entry: str = "main", presets: Optional[Dict[str, Value]] = None
+    ) -> ExecutionResult:
+        """Execute ``entry`` (default ``main``) and return the execution result.
+
+        ``presets`` optionally pre-initializes local variables of the entry
+        procedure (e.g. binding ``root`` to a tree built directly on the
+        heap from Python) before its body runs.
+        """
+        proc = self.program.callable(entry)
+        if proc.params:
+            raise SilRuntimeError(f"entry procedure {entry!r} must be parameterless")
+        frame = self._new_frame(proc)
+        if presets:
+            for name, value in presets.items():
+                if name not in frame.variables:
+                    raise SilRuntimeError(
+                        f"preset variable {name!r} is not declared in {entry!r}"
+                    )
+                frame.variables[name] = value
+        work, span = self._exec_stmt(proc.body, frame)
+        return ExecutionResult(
+            work=work,
+            span=span,
+            heap=self.heap,
+            main_locals=dict(frame.variables),
+            op_counts=self._counter(),
+            races=list(self._races),
+            parallel_statements=self._parallel_statements,
+            calls=self._calls,
+        )
+
+    def _counter(self):
+        from collections import Counter
+
+        return Counter(self._op_counts)
+
+    # ------------------------------------------------------------------
+    # Frames and bookkeeping
+    # ------------------------------------------------------------------
+
+    def _new_frame(self, proc: ast.Procedure) -> Frame:
+        self._frame_counter += 1
+        frame = Frame(frame_id=self._frame_counter, procedure=proc.name)
+        for decl in proc.params + proc.locals:
+            frame.variables[decl.name] = 0 if decl.type is ast.SilType.INT else None
+        return frame
+
+    def _charge(self, kind: str, cost: int) -> None:
+        self._steps += cost
+        self._op_counts[kind] = self._op_counts.get(kind, 0) + 1
+        if self._steps > self.max_steps:
+            raise SilRuntimeError(f"step limit exceeded ({self.max_steps})")
+
+    # -- access recording (race detection) ---------------------------------
+
+    def _record_var_read(self, frame: Frame, name: str) -> None:
+        if self._collectors:
+            location = VarLocation(frame.frame_id, name)
+            for collector in self._collectors:
+                collector.record_read(location)
+
+    def _record_var_write(self, frame: Frame, name: str) -> None:
+        if self._collectors:
+            location = VarLocation(frame.frame_id, name)
+            for collector in self._collectors:
+                collector.record_write(location)
+
+    def _record_field_read(self, ref: NodeRef, field_name: str) -> None:
+        if self._collectors:
+            location = FieldLocation(ref.node_id, field_name)
+            for collector in self._collectors:
+                collector.record_read(location)
+
+    def _record_field_write(self, ref: NodeRef, field_name: str) -> None:
+        if self._collectors:
+            location = FieldLocation(ref.node_id, field_name)
+            for collector in self._collectors:
+                collector.record_write(location)
+
+    # -- variable access ----------------------------------------------------
+
+    def _read_var(self, frame: Frame, name: str) -> Value:
+        if name not in frame.variables:
+            raise SilRuntimeError(f"variable {name!r} not found in frame of {frame.procedure!r}")
+        self._record_var_read(frame, name)
+        return frame.variables[name]
+
+    def _write_var(self, frame: Frame, name: str, value: Value) -> None:
+        if name not in frame.variables:
+            raise SilRuntimeError(f"variable {name!r} not found in frame of {frame.procedure!r}")
+        self._record_var_write(frame, name)
+        frame.variables[name] = value
+
+    def _read_handle(self, frame: Frame, name: str) -> HandleValue:
+        value = self._read_var(frame, name)
+        if value is not None and not isinstance(value, NodeRef):
+            raise SilRuntimeError(f"variable {name!r} does not hold a handle")
+        return value
+
+    def _require_node(self, frame: Frame, name: str) -> NodeRef:
+        value = self._read_handle(frame, name)
+        if value is None:
+            raise SilRuntimeError(f"nil handle {name!r} dereferenced in {frame.procedure!r}")
+        return value
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec_stmt(self, stmt: ast.Stmt, frame: Frame) -> Tuple[int, int]:
+        """Execute one statement; returns its (work, span)."""
+        if isinstance(stmt, ast.Block):
+            work = span = 0
+            for inner in stmt.stmts:
+                w, s = self._exec_stmt(inner, frame)
+                work += w
+                span += s
+            return work, span
+
+        if isinstance(stmt, ast.ParallelStmt):
+            return self._exec_parallel(stmt, frame)
+
+        if isinstance(stmt, ast.IfStmt):
+            self._charge("if", self.cost.condition)
+            cond = self._eval_bool(stmt.cond, frame)
+            if cond:
+                w, s = self._exec_stmt(stmt.then_branch, frame)
+            elif stmt.else_branch is not None:
+                w, s = self._exec_stmt(stmt.else_branch, frame)
+            else:
+                w = s = 0
+            return self.cost.condition + w, self.cost.condition + s
+
+        if isinstance(stmt, ast.WhileStmt):
+            work = span = 0
+            while True:
+                self._charge("while", self.cost.condition)
+                work += self.cost.condition
+                span += self.cost.condition
+                if not self._eval_bool(stmt.cond, frame):
+                    break
+                w, s = self._exec_stmt(stmt.body, frame)
+                work += w
+                span += s
+            return work, span
+
+        if isinstance(stmt, ast.SkipStmt):
+            return 0, 0
+
+        if isinstance(stmt, ast.ProcCall):
+            return self._exec_call(stmt.name, stmt.args, frame, result_target=None)
+
+        if isinstance(stmt, ast.FuncAssign):
+            return self._exec_call(stmt.name, stmt.args, frame, result_target=stmt.target)
+
+        if isinstance(stmt, ast.BasicStmt):
+            return self._exec_basic(stmt, frame)
+
+        raise SilRuntimeError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _exec_basic(self, stmt: ast.BasicStmt, frame: Frame) -> Tuple[int, int]:
+        kind = type(stmt).__name__
+        self._charge(kind, self.cost.basic_statement)
+        cost = self.cost.basic_statement
+
+        if isinstance(stmt, ast.AssignNil):
+            self._write_var(frame, stmt.target, None)
+        elif isinstance(stmt, ast.AssignNew):
+            ref = self.heap.allocate()
+            self._write_var(frame, stmt.target, ref)
+        elif isinstance(stmt, ast.CopyHandle):
+            self._write_var(frame, stmt.target, self._read_handle(frame, stmt.source))
+        elif isinstance(stmt, ast.LoadField):
+            ref = self._require_node(frame, stmt.source)
+            self._record_field_read(ref, stmt.field_name.value)
+            self._write_var(frame, stmt.target, self.heap.read_link(ref, stmt.field_name))
+        elif isinstance(stmt, ast.StoreField):
+            ref = self._require_node(frame, stmt.target)
+            value = None if stmt.source is None else self._read_handle(frame, stmt.source)
+            self._record_field_write(ref, stmt.field_name.value)
+            self.heap.write_link(ref, stmt.field_name, value)
+        elif isinstance(stmt, ast.LoadValue):
+            ref = self._require_node(frame, stmt.source)
+            self._record_field_read(ref, ast.Field.VALUE.value)
+            self._write_var(frame, stmt.target, self.heap.read_value(ref))
+        elif isinstance(stmt, ast.StoreValue):
+            ref = self._require_node(frame, stmt.target)
+            value = self._eval_int(stmt.expr, frame)
+            self._record_field_write(ref, ast.Field.VALUE.value)
+            self.heap.write_value(ref, value)
+        elif isinstance(stmt, ast.ScalarAssign):
+            self._write_var(frame, stmt.target, self._eval_int(stmt.expr, frame))
+        else:  # pragma: no cover - defensive
+            raise SilRuntimeError(f"unknown basic statement {kind}")
+        return cost, cost
+
+    # -- parallel statements -------------------------------------------------
+
+    def _exec_parallel(self, stmt: ast.ParallelStmt, frame: Frame) -> Tuple[int, int]:
+        self._parallel_statements += 1
+        self._charge("parallel", self.cost.parallel_overhead)
+        branch_accesses: List[AccessSet] = []
+        total_work = 0
+        max_span = 0
+        for branch in stmt.branches:
+            collector = AccessSet()
+            self._collectors.append(collector)
+            try:
+                work, span = self._exec_stmt(branch, frame)
+            finally:
+                self._collectors.pop()
+            branch_accesses.append(collector)
+            total_work += work
+            max_span = max(max_span, span)
+
+        # Pairwise race check between branches.
+        for i in range(len(branch_accesses)):
+            for j in range(i + 1, len(branch_accesses)):
+                conflicts = branch_accesses[i].conflicts_with(branch_accesses[j])
+                if conflicts:
+                    self._races.append(
+                        RaceReport(
+                            locations=frozenset(conflicts),
+                            branch_indices=(i, j),
+                            statement_text=format_stmt(stmt),
+                        )
+                    )
+        overhead = self.cost.parallel_overhead
+        return overhead + total_work, overhead + max_span
+
+    # -- calls ---------------------------------------------------------------
+
+    def _exec_call(
+        self,
+        name: str,
+        args: Sequence[ast.Expr],
+        frame: Frame,
+        result_target: Optional[str],
+    ) -> Tuple[int, int]:
+        self._calls += 1
+        self._charge("call", self.cost.call_overhead)
+        callee = self.program.callable(name)
+        if len(args) != len(callee.params):
+            raise SilRuntimeError(
+                f"call to {name!r}: expected {len(callee.params)} arguments, got {len(args)}"
+            )
+        arg_values = [self._eval_expr(arg, frame) for arg in args]
+        callee_frame = self._new_frame(callee)
+        for decl, value in zip(callee.params, arg_values):
+            callee_frame.variables[decl.name] = value
+        work, span = self._exec_stmt(callee.body, callee_frame)
+
+        if result_target is not None:
+            if not isinstance(callee, ast.Function):
+                raise SilRuntimeError(f"{name!r} is a procedure and returns no value")
+            result = self._read_var(callee_frame, callee.return_var)
+            self._write_var(frame, result_target, result)
+        overhead = self.cost.call_overhead
+        return overhead + work, overhead + span
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval_bool(self, expr: ast.Expr, frame: Frame) -> bool:
+        value = self._eval_expr(expr, frame)
+        if not isinstance(value, bool):
+            raise SilRuntimeError("condition did not evaluate to a boolean")
+        return value
+
+    def _eval_int(self, expr: ast.Expr, frame: Frame) -> int:
+        value = self._eval_expr(expr, frame)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SilRuntimeError("expression did not evaluate to an int")
+        return value
+
+    def _eval_expr(self, expr: ast.Expr, frame: Frame):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.NilLit):
+            return None
+        if isinstance(expr, ast.NewExpr):
+            return self.heap.allocate()
+        if isinstance(expr, ast.Name):
+            return self._read_var(frame, expr.ident)
+        if isinstance(expr, ast.FieldAccess):
+            base = self._eval_expr(expr.base, frame)
+            if base is None:
+                raise SilRuntimeError("nil handle dereferenced in expression")
+            if not isinstance(base, NodeRef):
+                raise SilRuntimeError("field access on a non-handle value")
+            self._record_field_read(base, expr.field_name.value)
+            if expr.field_name is ast.Field.VALUE:
+                return self.heap.read_value(base)
+            return self.heap.read_link(base, expr.field_name)
+        if isinstance(expr, ast.UnOp):
+            operand = self._eval_expr(expr.operand, frame)
+            if expr.op == "-":
+                if isinstance(operand, bool) or not isinstance(operand, int):
+                    raise SilRuntimeError("unary '-' applied to a non-int")
+                return -operand
+            if expr.op == "not":
+                if not isinstance(operand, bool):
+                    raise SilRuntimeError("'not' applied to a non-boolean")
+                return not operand
+            raise SilRuntimeError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, frame)
+        if isinstance(expr, ast.CallExpr):
+            raise SilRuntimeError(
+                "function calls inside expressions must be normalized away "
+                "(run the normalizer first)"
+            )
+        raise SilRuntimeError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _eval_binop(self, expr: ast.BinOp, frame: Frame):
+        op = expr.op
+        left = self._eval_expr(expr.left, frame)
+        right = self._eval_expr(expr.right, frame)
+
+        if op in ("and", "or"):
+            if not isinstance(left, bool) or not isinstance(right, bool):
+                raise SilRuntimeError(f"operator {op!r} requires boolean operands")
+            return (left and right) if op == "and" else (left or right)
+
+        if op in ("=", "<>"):
+            if isinstance(left, NodeRef) or left is None or isinstance(right, NodeRef) or right is None:
+                equal = self._handles_equal(left, right)
+            else:
+                equal = left == right
+            return equal if op == "=" else not equal
+
+        # Arithmetic / ordering: ints only.
+        for side, value in (("left", left), ("right", right)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SilRuntimeError(f"operator {op!r} requires int operands ({side} side)")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "div":
+            if right == 0:
+                raise SilRuntimeError("division by zero")
+            return int(left / right)  # truncating division, Pascal style
+        if op == "mod":
+            if right == 0:
+                raise SilRuntimeError("modulo by zero")
+            return left - right * int(left / right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise SilRuntimeError(f"unknown binary operator {op!r}")
+
+    @staticmethod
+    def _handles_equal(left, right) -> bool:
+        if left is None and right is None:
+            return True
+        if isinstance(left, NodeRef) and isinstance(right, NodeRef):
+            return left.node_id == right.node_id
+        if (left is None and isinstance(right, NodeRef)) or (
+            right is None and isinstance(left, NodeRef)
+        ):
+            return False
+        raise SilRuntimeError("handle compared with a non-handle value")
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def run_program(
+    program: ast.Program,
+    info: Optional[TypeInfo] = None,
+    heap: Optional[Heap] = None,
+    entry: str = "main",
+    presets: Optional[Dict[str, Value]] = None,
+    max_steps: int = 5_000_000,
+    cost_model: Optional[CostModel] = None,
+) -> ExecutionResult:
+    """Run a core SIL program and return its :class:`ExecutionResult`."""
+    interpreter = Interpreter(
+        program, info=info, heap=heap, max_steps=max_steps, cost_model=cost_model
+    )
+    return interpreter.run(entry=entry, presets=presets)
+
+
+def run_source(source: str, **kwargs) -> ExecutionResult:
+    """Parse, normalize and run SIL source text."""
+    from ..sil.normalize import parse_and_normalize
+
+    core, info = parse_and_normalize(source)
+    return run_program(core, info, **kwargs)

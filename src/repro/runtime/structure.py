@@ -1,0 +1,150 @@
+"""Runtime classification of linked structures as TREE / DAG / CYCLIC.
+
+Section 3.1 of the paper defines:
+
+* a **TREE** is a directed graph in which each node has at most one parent;
+* a **DAG** is a directed graph in which some node has more than one parent
+  and the graph contains no directed cycle;
+* anything containing a directed cycle is neither.
+
+This module implements that classification over the concrete heap.  It is
+used (a) as the ground-truth oracle that validates the *static* structure
+verification of the analysis, and (b) by the structure-debugging example.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .heap import Heap
+from .values import HandleValue, NodeRef
+
+
+class StructureKind(enum.Enum):
+    """The shape classification of Section 3.1."""
+
+    TREE = "tree"
+    DAG = "dag"
+    CYCLIC = "cyclic"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class StructureReport:
+    """Result of classifying the sub-heap reachable from a set of roots."""
+
+    kind: StructureKind
+    node_count: int
+    #: Nodes with more than one parent (what turns a TREE into a DAG).
+    shared_nodes: List[int] = field(default_factory=list)
+    #: One representative cycle (list of node ids), if any.
+    cycle: Optional[List[int]] = None
+
+    @property
+    def is_tree(self) -> bool:
+        return self.kind is StructureKind.TREE
+
+    @property
+    def is_dag(self) -> bool:
+        return self.kind is StructureKind.DAG
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.kind is StructureKind.CYCLIC
+
+
+def classify_structure(heap: Heap, roots: Iterable[HandleValue]) -> StructureReport:
+    """Classify the structure reachable from ``roots`` in ``heap``."""
+    reachable = heap.reachable_from(roots)
+    reachable_ids = {ref.node_id for ref in reachable}
+
+    # Count parents *within the reachable sub-heap*.
+    parent_count: Dict[int, int] = {node_id: 0 for node_id in reachable_ids}
+    for ref in reachable:
+        node = heap.node(ref)
+        for child in (node.left, node.right):
+            if child is not None and child.node_id in parent_count:
+                parent_count[child.node_id] += 1
+
+    shared = sorted(node_id for node_id, count in parent_count.items() if count > 1)
+
+    cycle = _find_cycle(heap, reachable_ids)
+    if cycle is not None:
+        return StructureReport(
+            kind=StructureKind.CYCLIC,
+            node_count=len(reachable_ids),
+            shared_nodes=shared,
+            cycle=cycle,
+        )
+    if shared:
+        return StructureReport(
+            kind=StructureKind.DAG, node_count=len(reachable_ids), shared_nodes=shared
+        )
+    return StructureReport(kind=StructureKind.TREE, node_count=len(reachable_ids))
+
+
+def _find_cycle(heap: Heap, node_ids: Set[int]) -> Optional[List[int]]:
+    """Find one directed cycle among ``node_ids``, iteratively (no recursion)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {node_id: WHITE for node_id in node_ids}
+
+    for start in node_ids:
+        if color[start] != WHITE:
+            continue
+        # Iterative DFS with an explicit stack of (node, child-iterator).
+        path: List[int] = []
+        stack: List[Tuple[int, List[int]]] = [(start, _children(heap, start, node_ids))]
+        color[start] = GREY
+        path.append(start)
+        while stack:
+            node_id, children = stack[-1]
+            if children:
+                child = children.pop()
+                if color[child] == GREY:
+                    # Found a back edge: extract the cycle from the path.
+                    index = path.index(child)
+                    return path[index:] + [child]
+                if color[child] == WHITE:
+                    color[child] = GREY
+                    path.append(child)
+                    stack.append((child, _children(heap, child, node_ids)))
+            else:
+                stack.pop()
+                path.pop()
+                color[node_id] = BLACK
+    return None
+
+
+def _children(heap: Heap, node_id: int, universe: Set[int]) -> List[int]:
+    node = heap.node(NodeRef(node_id))
+    result = []
+    for child in (node.left, node.right):
+        if child is not None and child.node_id in universe:
+            result.append(child.node_id)
+    return result
+
+
+def is_tree(heap: Heap, *roots: HandleValue) -> bool:
+    """Convenience wrapper: is the structure reachable from ``roots`` a TREE?"""
+    return classify_structure(heap, roots).is_tree
+
+
+def is_dag(heap: Heap, *roots: HandleValue) -> bool:
+    """Convenience wrapper: is the structure a DAG (shared nodes, no cycle)?"""
+    return classify_structure(heap, roots).is_dag
+
+
+def subtrees_disjoint(heap: Heap, first: HandleValue, second: HandleValue) -> bool:
+    """True if the node sets reachable from ``first`` and ``second`` are disjoint.
+
+    This is the key property the paper exploits: for TREEs, the left and
+    right sub-trees share no storage, so computations on them cannot
+    interfere.
+    """
+    first_ids = {ref.node_id for ref in heap.reachable_from([first])}
+    second_ids = {ref.node_id for ref in heap.reachable_from([second])}
+    return not (first_ids & second_ids)

@@ -1,0 +1,49 @@
+"""Runtime value representation for SIL.
+
+SIL has two types.  At run time:
+
+* an ``int`` is a Python :class:`int`;
+* a ``handle`` is either ``None`` (SIL ``nil``) or a :class:`NodeRef`
+  naming a node in the :class:`~repro.runtime.heap.Heap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A reference to a heap node (a non-nil handle value)."""
+
+    node_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"node#{self.node_id}"
+
+
+#: A SIL runtime value: an integer, nil (None) or a node reference.
+Value = Union[int, None, NodeRef]
+
+#: A handle value specifically.
+HandleValue = Optional[NodeRef]
+
+
+def is_handle_value(value: Value) -> bool:
+    """True if ``value`` is a legal handle value (nil or a node reference)."""
+    return value is None or isinstance(value, NodeRef)
+
+
+def is_int_value(value: Value) -> bool:
+    """True if ``value`` is a legal integer value."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def format_value(value: Value) -> str:
+    """Human-readable rendering of a runtime value."""
+    if value is None:
+        return "nil"
+    if isinstance(value, NodeRef):
+        return f"node#{value.node_id}"
+    return str(value)

@@ -1,0 +1,359 @@
+"""A small programmatic builder API for constructing SIL programs.
+
+Examples and the workload generators construct programs directly as ASTs
+rather than via source text; this module provides a compact, readable way
+to do so::
+
+    b = ProgramBuilder("swap_children")
+    main = b.procedure("main", locals=[("root", HANDLE), ("l", HANDLE), ("r", HANDLE)])
+    main.assign("root", new())
+    main.assign(("root", "left"), new())
+    main.assign(("root", "right"), new())
+    main.assign("l", field("root", "left"))
+    main.assign("r", field("root", "right"))
+    main.assign(("root", "left"), name("r"))
+    main.assign(("root", "right"), name("l"))
+    program = b.build()
+
+The builder emits *surface* ASTs; run them through
+:func:`repro.sil.normalize.normalize_program` (or use :meth:`ProgramBuilder
+.build_core`) before analysis/interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from . import ast
+from .normalize import normalize_program
+from .typecheck import TypeInfo, check_program
+
+#: Convenient aliases for declaring variables.
+INT = ast.SilType.INT
+HANDLE = ast.SilType.HANDLE
+
+_FIELDS = {"left": ast.Field.LEFT, "right": ast.Field.RIGHT, "value": ast.Field.VALUE}
+
+ExprLike = Union[ast.Expr, int, str]
+LValueLike = Union[str, Tuple[str, ...], ast.Expr]
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+
+def to_expr(value: ExprLike) -> ast.Expr:
+    """Coerce an int / variable-name / Expr into an :class:`~repro.sil.ast.Expr`."""
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        raise TypeError("SIL has no boolean literals")
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, str):
+        return ast.Name(value)
+    raise TypeError(f"cannot convert {value!r} to a SIL expression")
+
+
+def name(ident: str) -> ast.Name:
+    """A variable reference."""
+    return ast.Name(ident)
+
+
+def lit(value: int) -> ast.IntLit:
+    """An integer literal."""
+    return ast.IntLit(value)
+
+
+def nil() -> ast.NilLit:
+    """The ``nil`` literal."""
+    return ast.NilLit()
+
+
+def new() -> ast.NewExpr:
+    """A ``new()`` allocation expression."""
+    return ast.NewExpr()
+
+
+def field(base: ExprLike, *fields: str) -> ast.Expr:
+    """``field("a", "left", "right")`` builds ``a.left.right``."""
+    expr = to_expr(base)
+    for field_name in fields:
+        expr = ast.FieldAccess(expr, _FIELDS[field_name])
+    return expr
+
+
+def call(func_name: str, *args: ExprLike) -> ast.CallExpr:
+    """A function-call expression."""
+    return ast.CallExpr(func_name, [to_expr(a) for a in args])
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return ast.BinOp(op, to_expr(left), to_expr(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("+", left, right)
+
+
+def sub(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("-", left, right)
+
+
+def mul(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("*", left, right)
+
+
+def eq(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("=", left, right)
+
+
+def ne(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("<>", left, right)
+
+
+def lt(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("<", left, right)
+
+
+def le(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop("<=", left, right)
+
+
+def gt(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop(">", left, right)
+
+
+def ge(left: ExprLike, right: ExprLike) -> ast.BinOp:
+    return binop(">=", left, right)
+
+
+def not_nil(handle_name: str) -> ast.BinOp:
+    """The ubiquitous ``h <> nil`` condition."""
+    return ast.BinOp("<>", ast.Name(handle_name), ast.NilLit())
+
+
+def is_nil(handle_name: str) -> ast.BinOp:
+    """``h = nil``."""
+    return ast.BinOp("=", ast.Name(handle_name), ast.NilLit())
+
+
+def _to_lvalue(target: LValueLike) -> ast.Expr:
+    if isinstance(target, ast.Expr):
+        return target
+    if isinstance(target, str):
+        return ast.Name(target)
+    if isinstance(target, tuple):
+        base, *fields = target
+        return field(base, *fields)
+    raise TypeError(f"cannot convert {target!r} to an assignment target")
+
+
+# ---------------------------------------------------------------------------
+# Statement-level builders
+# ---------------------------------------------------------------------------
+
+
+class BlockBuilder:
+    """Accumulates statements for a block, procedure body, or branch."""
+
+    def __init__(self) -> None:
+        self._stmts: List[ast.Stmt] = []
+
+    # -- statements --------------------------------------------------------
+
+    def assign(self, target: LValueLike, value: ExprLike) -> "BlockBuilder":
+        """``target := value``; target may be ``"x"`` or ``("a", "left", ...)``."""
+        self._stmts.append(ast.Assign(lhs=_to_lvalue(target), rhs=to_expr(value)))
+        return self
+
+    def call(self, proc_name: str, *args: ExprLike) -> "BlockBuilder":
+        """A procedure call statement."""
+        self._stmts.append(ast.ProcCall(name=proc_name, args=[to_expr(a) for a in args]))
+        return self
+
+    def call_assign(self, target: str, func_name: str, *args: ExprLike) -> "BlockBuilder":
+        """``target := func(args)``."""
+        self._stmts.append(
+            ast.FuncAssign(target=target, name=func_name, args=[to_expr(a) for a in args])
+        )
+        return self
+
+    def skip(self) -> "BlockBuilder":
+        self._stmts.append(ast.SkipStmt())
+        return self
+
+    def parallel(self, *builders_or_stmts: Union["BlockBuilder", ast.Stmt]) -> "BlockBuilder":
+        """Add an explicit parallel statement ``s1 || s2 || ...``."""
+        branches: List[ast.Stmt] = []
+        for item in builders_or_stmts:
+            if isinstance(item, BlockBuilder):
+                branches.append(item.as_stmt())
+            else:
+                branches.append(item)
+        self._stmts.append(ast.ParallelStmt(branches=branches))
+        return self
+
+    def if_(self, cond: ExprLike) -> "IfBuilder":
+        """Start an ``if`` statement; use the returned builder's then/else blocks."""
+        return IfBuilder(self, to_expr(cond))
+
+    def while_(self, cond: ExprLike) -> "BlockBuilder":
+        """Start a ``while`` loop; returns the builder for the loop body."""
+        body = BlockBuilder()
+        self._stmts.append(ast.WhileStmt(cond=to_expr(cond), body=_DeferredBlock(body)))
+        return body
+
+    def append(self, stmt: ast.Stmt) -> "BlockBuilder":
+        """Append an arbitrary pre-built statement."""
+        self._stmts.append(stmt)
+        return self
+
+    # -- finishing ----------------------------------------------------------
+
+    def as_block(self) -> ast.Block:
+        return ast.Block(stmts=[_resolve(s) for s in self._stmts])
+
+    def as_stmt(self) -> ast.Stmt:
+        stmts = [_resolve(s) for s in self._stmts]
+        if len(stmts) == 1:
+            return stmts[0]
+        return ast.Block(stmts=stmts)
+
+
+class _DeferredBlock(ast.Stmt):
+    """Placeholder wrapping a :class:`BlockBuilder` until the tree is finalized."""
+
+    def __init__(self, builder: BlockBuilder):
+        super().__init__()
+        self.builder = builder
+
+
+def _resolve(stmt: ast.Stmt) -> ast.Stmt:
+    """Replace deferred-block placeholders with their built blocks."""
+    if isinstance(stmt, _DeferredBlock):
+        return stmt.builder.as_stmt()
+    if isinstance(stmt, ast.Block):
+        return ast.Block(stmts=[_resolve(s) for s in stmt.stmts], loc=stmt.loc)
+    if isinstance(stmt, ast.IfStmt):
+        return ast.IfStmt(
+            cond=stmt.cond,
+            then_branch=_resolve(stmt.then_branch),
+            else_branch=_resolve(stmt.else_branch) if stmt.else_branch is not None else None,
+            loc=stmt.loc,
+        )
+    if isinstance(stmt, ast.WhileStmt):
+        return ast.WhileStmt(cond=stmt.cond, body=_resolve(stmt.body), loc=stmt.loc)
+    if isinstance(stmt, ast.ParallelStmt):
+        return ast.ParallelStmt(branches=[_resolve(b) for b in stmt.branches], loc=stmt.loc)
+    return stmt
+
+
+class IfBuilder:
+    """Builds an ``if``/``else`` statement attached to a parent block."""
+
+    def __init__(self, parent: BlockBuilder, cond: ast.Expr):
+        self._cond = cond
+        self.then = BlockBuilder()
+        self._else: Optional[BlockBuilder] = None
+        stmt = ast.IfStmt(cond=cond, then_branch=_DeferredBlock(self.then), else_branch=None)
+        self._stmt = stmt
+        parent._stmts.append(stmt)
+
+    @property
+    def otherwise(self) -> BlockBuilder:
+        """The ``else`` branch (created lazily)."""
+        if self._else is None:
+            self._else = BlockBuilder()
+            self._stmt.else_branch = _DeferredBlock(self._else)
+        return self._else
+
+
+class ProcedureBuilder(BlockBuilder):
+    """Builds one procedure or function."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, ast.SilType]] = (),
+        locals: Sequence[Tuple[str, ast.SilType]] = (),
+        return_type: Optional[ast.SilType] = None,
+        return_var: Optional[str] = None,
+    ):
+        super().__init__()
+        self.name = name
+        self.params = [ast.VarDecl(name=n, type=t) for n, t in params]
+        self.locals = [ast.VarDecl(name=n, type=t) for n, t in locals]
+        self.return_type = return_type
+        self.return_var = return_var
+
+    def local(self, name: str, sil_type: ast.SilType) -> "ProcedureBuilder":
+        """Declare an additional local variable."""
+        self.locals.append(ast.VarDecl(name=name, type=sil_type))
+        return self
+
+    def build(self) -> ast.Procedure:
+        body = self.as_block()
+        if self.return_type is not None:
+            if self.return_var is None:
+                raise ValueError(f"function {self.name!r} needs a return variable")
+            return ast.Function(
+                name=self.name,
+                params=self.params,
+                locals=self.locals,
+                body=body,
+                return_type=self.return_type,
+                return_var=self.return_var,
+            )
+        return ast.Procedure(name=self.name, params=self.params, locals=self.locals, body=body)
+
+
+class ProgramBuilder:
+    """Builds a whole SIL program procedure by procedure."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._procedures: List[ProcedureBuilder] = []
+
+    def procedure(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, ast.SilType]] = (),
+        locals: Sequence[Tuple[str, ast.SilType]] = (),
+    ) -> ProcedureBuilder:
+        builder = ProcedureBuilder(name, params=params, locals=locals)
+        self._procedures.append(builder)
+        return builder
+
+    def function(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, ast.SilType]] = (),
+        locals: Sequence[Tuple[str, ast.SilType]] = (),
+        return_type: ast.SilType = INT,
+        return_var: str = "result",
+    ) -> ProcedureBuilder:
+        builder = ProcedureBuilder(
+            name, params=params, locals=locals, return_type=return_type, return_var=return_var
+        )
+        self._procedures.append(builder)
+        return builder
+
+    def build(self) -> ast.Program:
+        """Build the surface program (not yet normalized)."""
+        procedures = []
+        functions = []
+        for builder in self._procedures:
+            built = builder.build()
+            if isinstance(built, ast.Function):
+                functions.append(built)
+            else:
+                procedures.append(built)
+        return ast.Program(name=self.name, procedures=procedures, functions=functions)
+
+    def build_core(self) -> Tuple[ast.Program, TypeInfo]:
+        """Build, type check and normalize the program."""
+        program = self.build()
+        info = check_program(program)
+        return normalize_program(program, info)

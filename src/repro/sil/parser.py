@@ -1,0 +1,432 @@
+"""Recursive-descent parser for SIL.
+
+The grammar follows the abstract syntax of Figure 1 of the paper with a
+Pascal-flavoured concrete syntax::
+
+    program add_and_reverse
+
+    procedure main()
+      root, lside, rside: handle; i: int
+    begin
+      lside := root.left;
+      rside := root.right;
+      add_n(lside, 1);
+      add_n(rside, -1);
+      reverse(root)
+    end
+
+    procedure add_n(h: handle; n: int)
+      l, r: handle
+    begin
+      if h <> nil then
+      begin
+        h.value := h.value + n;
+        l := h.left;
+        r := h.right;
+        add_n(l, n);
+        add_n(r, n)
+      end
+    end
+
+Functions add a return type and a trailing ``return (ident)`` clause::
+
+    function sum(h: handle): int
+      s, ls, rs: int; l, r: handle
+    begin ... end
+    return (s)
+
+Parallel statements use ``||``::
+
+    l := h.left || r := h.right;
+
+The parser produces *surface* ASTs (arbitrary :class:`~repro.sil.ast.Assign`
+nodes); use :mod:`repro.sil.normalize` to lower them to basic handle
+statements before running the analysis or the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .errors import ParseError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+
+_FIELD_NAMES = {"left": ast.Field.LEFT, "right": ast.Field.RIGHT, "value": ast.Field.VALUE}
+
+_REL_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*",)
+_MUL_KEYWORDS = ("div", "mod")
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.sil.ast.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self.current
+        return ParseError(f"{message} (found {token})", token.location)
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        loc = self.current.location
+        self._expect_keyword("program")
+        name = self._expect_ident().text
+        self._accept_symbol(";")
+
+        procedures: List[ast.Procedure] = []
+        functions: List[ast.Function] = []
+        while not self.current.kind is TokenKind.EOF:
+            if self.current.is_keyword("procedure"):
+                procedures.append(self.parse_procedure())
+            elif self.current.is_keyword("function"):
+                functions.append(self.parse_function())
+            else:
+                raise self._error("expected 'procedure' or 'function'")
+            self._accept_symbol(";")
+
+        program = ast.Program(name=name, procedures=procedures, functions=functions, loc=loc)
+        try:
+            program.procedure("main")
+        except KeyError:
+            raise ParseError("program has no procedure 'main'", loc) from None
+        return program
+
+    def parse_procedure(self) -> ast.Procedure:
+        loc = self.current.location
+        self._expect_keyword("procedure")
+        name = self._expect_ident().text
+        params = self._parse_param_list()
+        self._accept_symbol(";")
+        locals_ = self._parse_local_decls()
+        body = self.parse_block()
+        return ast.Procedure(name=name, params=params, locals=locals_, body=body, loc=loc)
+
+    def parse_function(self) -> ast.Function:
+        loc = self.current.location
+        self._expect_keyword("function")
+        name = self._expect_ident().text
+        params = self._parse_param_list()
+        self._expect_symbol(":")
+        return_type = self._parse_type()
+        self._accept_symbol(";")
+        locals_ = self._parse_local_decls()
+        body = self.parse_block()
+        self._expect_keyword("return")
+        self._expect_symbol("(")
+        return_var = self._expect_ident().text
+        self._expect_symbol(")")
+        return ast.Function(
+            name=name,
+            params=params,
+            locals=locals_,
+            body=body,
+            return_type=return_type,
+            return_var=return_var,
+            loc=loc,
+        )
+
+    def _parse_type(self) -> ast.SilType:
+        if self._accept_keyword("int"):
+            return ast.SilType.INT
+        if self._accept_keyword("handle"):
+            return ast.SilType.HANDLE
+        raise self._error("expected a type ('int' or 'handle')")
+
+    def _parse_decl_group(self) -> List[ast.VarDecl]:
+        names: List[Token] = [self._expect_ident()]
+        while self._accept_symbol(","):
+            names.append(self._expect_ident())
+        self._expect_symbol(":")
+        decl_type = self._parse_type()
+        return [ast.VarDecl(name=t.text, type=decl_type, loc=t.location) for t in names]
+
+    def _parse_param_list(self) -> List[ast.VarDecl]:
+        self._expect_symbol("(")
+        params: List[ast.VarDecl] = []
+        if not self.current.is_symbol(")"):
+            params.extend(self._parse_decl_group())
+            while self._accept_symbol(";"):
+                params.extend(self._parse_decl_group())
+        self._expect_symbol(")")
+        return params
+
+    def _parse_local_decls(self) -> List[ast.VarDecl]:
+        locals_: List[ast.VarDecl] = []
+        while self.current.kind is TokenKind.IDENT:
+            locals_.extend(self._parse_decl_group())
+            self._accept_symbol(";")
+        return locals_
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        loc = self.current.location
+        self._expect_keyword("begin")
+        stmts: List[ast.Stmt] = []
+        while not self.current.is_keyword("end"):
+            if self.current.kind is TokenKind.EOF:
+                raise self._error("unexpected end of input inside block")
+            stmts.append(self.parse_statement())
+            if not self._accept_symbol(";"):
+                break
+        self._expect_keyword("end")
+        return ast.Block(stmts=stmts, loc=loc)
+
+    def parse_statement(self) -> ast.Stmt:
+        """Parse a statement, combining ``||``-separated branches."""
+        first = self.parse_simple_statement()
+        if not self.current.is_symbol("||"):
+            return first
+        branches = [first]
+        while self._accept_symbol("||"):
+            branches.append(self.parse_simple_statement())
+        return ast.ParallelStmt(branches=branches, loc=first.loc)
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_keyword("begin"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("skip"):
+            self._advance()
+            return ast.SkipStmt(loc=token.location)
+        if token.kind is TokenKind.IDENT:
+            return self._parse_call_or_assignment()
+        raise self._error("expected a statement")
+
+    def _parse_if(self) -> ast.IfStmt:
+        loc = self.current.location
+        self._expect_keyword("if")
+        cond = self.parse_expression()
+        self._expect_keyword("then")
+        then_branch = self.parse_statement()
+        else_branch: Optional[ast.Stmt] = None
+        if self._accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return ast.IfStmt(cond=cond, then_branch=then_branch, else_branch=else_branch, loc=loc)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        loc = self.current.location
+        self._expect_keyword("while")
+        cond = self.parse_expression()
+        self._expect_keyword("do")
+        body = self.parse_statement()
+        return ast.WhileStmt(cond=cond, body=body, loc=loc)
+
+    def _parse_call_or_assignment(self) -> ast.Stmt:
+        name_token = self._expect_ident()
+        loc = name_token.location
+
+        # Procedure call:  ident ( args )
+        if self.current.is_symbol("("):
+            args = self._parse_arguments()
+            return ast.ProcCall(name=name_token.text, args=args, loc=loc)
+
+        # Assignment:  ident {.field} := expr
+        lhs: ast.Expr = ast.Name(name_token.text, loc=loc)
+        while self._accept_symbol("."):
+            lhs = ast.FieldAccess(lhs, self._parse_field_name(), loc=loc)
+        self._expect_symbol(":=")
+        rhs = self.parse_expression()
+        return ast.Assign(lhs=lhs, rhs=rhs, loc=loc)
+
+    def _parse_field_name(self) -> ast.Field:
+        token = self.current
+        if token.kind is TokenKind.IDENT and token.text in _FIELD_NAMES:
+            self._advance()
+            return _FIELD_NAMES[token.text]
+        raise self._error("expected a field name ('left', 'right' or 'value')")
+
+    def _parse_arguments(self) -> List[ast.Expr]:
+        self._expect_symbol("(")
+        args: List[ast.Expr] = []
+        if not self.current.is_symbol(")"):
+            args.append(self.parse_expression())
+            while self._accept_symbol(","):
+                args.append(self.parse_expression())
+        self._expect_symbol(")")
+        return args
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self.current.is_keyword("or"):
+            loc = self._advance().location
+            right = self._parse_and()
+            expr = ast.BinOp("or", expr, right, loc=loc)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self.current.is_keyword("and"):
+            loc = self._advance().location
+            right = self._parse_not()
+            expr = ast.BinOp("and", expr, right, loc=loc)
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self.current.is_keyword("not"):
+            loc = self._advance().location
+            return ast.UnOp("not", self._parse_not(), loc=loc)
+        return self._parse_relational()
+
+    def _parse_relational(self) -> ast.Expr:
+        expr = self._parse_additive()
+        for op in _REL_OPS:
+            if self.current.is_symbol(op):
+                loc = self._advance().location
+                right = self._parse_additive()
+                return ast.BinOp(op, expr, right, loc=loc)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while any(self.current.is_symbol(op) for op in _ADD_OPS):
+            op = self._advance()
+            right = self._parse_multiplicative()
+            expr = ast.BinOp(op.text, expr, right, loc=op.location)
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while any(self.current.is_symbol(op) for op in _MUL_OPS) or any(
+            self.current.is_keyword(kw) for kw in _MUL_KEYWORDS
+        ):
+            op = self._advance()
+            right = self._parse_unary()
+            expr = ast.BinOp(op.text, expr, right, loc=op.location)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.is_symbol("-"):
+            loc = self._advance().location
+            operand = self._parse_unary()
+            if isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value, loc=loc)
+            return ast.UnOp("-", operand, loc=loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._accept_symbol("."):
+            field_name = self._parse_field_name()
+            expr = ast.FieldAccess(expr, field_name, loc=expr.loc)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(token.text), loc=token.location)
+        if token.is_keyword("nil"):
+            self._advance()
+            return ast.NilLit(loc=token.location)
+        if token.is_keyword("new"):
+            self._advance()
+            self._expect_symbol("(")
+            self._expect_symbol(")")
+            return ast.NewExpr(loc=token.location)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self.current.is_symbol("("):
+                args = self._parse_arguments()
+                return ast.CallExpr(token.text, args, loc=token.location)
+            return ast.Name(token.text, loc=token.location)
+        if token.is_symbol("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_symbol(")")
+            return expr
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse SIL source text into a (surface) :class:`~repro.sil.ast.Program`."""
+    parser = Parser(tokenize(source))
+    program = parser.parse_program()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input")
+    return program
+
+
+def parse_statement(source: str) -> ast.Stmt:
+    """Parse a single SIL statement (handy for tests and examples)."""
+    parser = Parser(tokenize(source))
+    stmt = parser.parse_statement()
+    parser._accept_symbol(";")
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input after statement")
+    return stmt
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single SIL expression."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expression()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input after expression")
+    return expr

@@ -1,0 +1,23 @@
+"""Workloads: the paper's programs plus generators for scaling studies."""
+
+from .generators import (
+    make_handle_web_program,
+    make_independent_loads_program,
+    make_recursive_walker_program,
+    perfect_tree_values,
+    random_tree_spec,
+)
+from .suite import TREE_PRESERVING, WORKLOADS, load, source, with_depth
+
+__all__ = [
+    "WORKLOADS",
+    "TREE_PRESERVING",
+    "load",
+    "source",
+    "with_depth",
+    "random_tree_spec",
+    "perfect_tree_values",
+    "make_independent_loads_program",
+    "make_handle_web_program",
+    "make_recursive_walker_program",
+]

@@ -1,0 +1,140 @@
+"""Workload generators: random trees and synthetic SIL programs.
+
+Used by the property-based tests (soundness of the analysis against
+concrete execution), the analysis-cost bench (EXT-D) and the examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..runtime.heap import Heap, TreeSpec
+from ..sil import ast
+from ..sil.builder import HANDLE, INT, ProgramBuilder, field, lit, name, new, not_nil
+from ..sil.normalize import normalize_program
+from ..sil.typecheck import TypeInfo, check_program
+
+
+# ---------------------------------------------------------------------------
+# Random trees
+# ---------------------------------------------------------------------------
+
+
+def random_tree_spec(
+    rng: random.Random, max_depth: int, branch_probability: float = 0.8
+) -> TreeSpec:
+    """A random :data:`~repro.runtime.heap.TreeSpec` with depth at most ``max_depth``."""
+    if max_depth <= 0:
+        return None
+    value = rng.randint(-100, 100)
+    if max_depth == 1 or rng.random() > branch_probability:
+        return value
+    left = random_tree_spec(rng, max_depth - 1, branch_probability)
+    right = random_tree_spec(rng, max_depth - 1, branch_probability)
+    if left is None and right is None:
+        return value
+    return (value, left, right)
+
+
+def perfect_tree_values(depth: int, seed: int = 1) -> List[int]:
+    """The leaf values the ``bitonic_sort`` workload's ``build`` produces."""
+    values: List[int] = []
+
+    def go(d: int, s: int) -> None:
+        if d <= 1:
+            values.append(s * 7919 % 104729)
+            return
+        go(d - 1, s * 2)
+        go(d - 1, s * 2 + 1)
+
+    go(depth, seed)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Synthetic SIL programs (for scaling studies)
+# ---------------------------------------------------------------------------
+
+
+def make_independent_loads_program(pairs: int) -> Tuple[ast.Program, TypeInfo]:
+    """``main`` builds a tree and then performs ``pairs`` independent load pairs.
+
+    Each pair reads the two children of a distinct node, so a precise
+    analysis can fuse every pair into a parallel statement.  Used by the
+    analysis-cost bench to scale program size while keeping the answer
+    known.
+    """
+    builder = ProgramBuilder(f"independent_loads_{pairs}")
+    locals_: List[Tuple[str, ast.SilType]] = [("root", HANDLE), ("cursor", HANDLE)]
+    for index in range(pairs):
+        locals_.append((f"a{index}", HANDLE))
+        locals_.append((f"b{index}", HANDLE))
+    main = builder.procedure("main", locals=locals_)
+    main.assign("root", new())
+    main.assign("cursor", name("root"))
+    for index in range(pairs):
+        # Grow the spine so every pair reads a different node.
+        main.assign(("cursor", "left"), new())
+        main.assign(("cursor", "right"), new())
+        main.assign(f"a{index}", field("cursor", "left"))
+        main.assign(f"b{index}", field("cursor", "right"))
+        main.assign("cursor", field("cursor", "left"))
+    return builder.build_core()
+
+
+def make_handle_web_program(handles: int) -> Tuple[ast.Program, TypeInfo]:
+    """``main`` keeps ``handles`` live handles into one chain — a dense path matrix.
+
+    Used to measure how analysis cost grows with the number of live handles
+    (the dimension of the path matrix).
+    """
+    builder = ProgramBuilder(f"handle_web_{handles}")
+    locals_: List[Tuple[str, ast.SilType]] = [("root", HANDLE)]
+    for index in range(handles):
+        locals_.append((f"h{index}", HANDLE))
+    main = builder.procedure("main", locals=locals_)
+    main.assign("root", new())
+    previous = "root"
+    for index in range(handles):
+        main.assign((previous, "left"), new())
+        main.assign(f"h{index}", field(previous, "left"))
+        previous = f"h{index}"
+    # Touch every handle once more so none is dead.
+    for index in range(handles):
+        main.assign((f"h{index}", "value"), lit(index))
+    return builder.build_core()
+
+
+def make_recursive_walker_program(depth: int, update: bool) -> Tuple[ast.Program, TypeInfo]:
+    """A generated recursive tree walker (read-only or updating), depth-parameterized."""
+    builder = ProgramBuilder("generated_walker")
+    main = builder.procedure("main", locals=[("root", HANDLE)])
+    main.call_assign("root", "build", lit(depth))
+    main.call("walk", name("root"))
+
+    walk = builder.procedure("walk", params=[("h", HANDLE)], locals=[("l", HANDLE), ("r", HANDLE)])
+    branch = walk.if_(not_nil("h"))
+    if update:
+        branch.then.assign(("h", "value"), ast.BinOp("+", field("h", "value"), lit(1)))
+    branch.then.assign("l", field("h", "left"))
+    branch.then.assign("r", field("h", "right"))
+    branch.then.call("walk", name("l"))
+    branch.then.call("walk", name("r"))
+
+    build = builder.function(
+        "build",
+        params=[("d", INT)],
+        locals=[("t", HANDLE), ("c", HANDLE)],
+        return_type=HANDLE,
+        return_var="t",
+    )
+    build.assign("t", ast.NilLit())
+    grow = build.if_(ast.BinOp(">", name("d"), lit(0)))
+    grow.then.assign("t", new())
+    grow.then.assign(("t", "value"), name("d"))
+    grow.then.call_assign("c", "build", ast.BinOp("-", name("d"), lit(1)))
+    grow.then.assign(("t", "left"), name("c"))
+    grow.then.call_assign("c", "build", ast.BinOp("-", name("d"), lit(1)))
+    grow.then.assign(("t", "right"), name("c"))
+    return builder.build_core()

@@ -1,0 +1,523 @@
+"""The workload suite: SIL programs used by the examples, tests and benches.
+
+* :data:`ADD_AND_REVERSE` — the paper's running example (Figure 7), extended
+  with a ``build`` function so it is executable end to end.
+* :data:`TREE_ADD` — recursive tree sum (the classic ``treeadd`` kernel).
+* :data:`TREE_MIRROR` — the ``reverse`` procedure on its own (structure
+  modification).
+* :data:`TREE_COPY` — builds a fresh copy of a tree (allocation-heavy).
+* :data:`BST_BUILD` — binary-search-tree insertion followed by a sum
+  (a loop + data-dependent shape).
+* :data:`LIST_WALK` — Figure 3's ``while l.left <> nil`` list walk.
+* :data:`BITONIC_SORT` — bitonic sort over the leaves of a perfect binary
+  tree (the divide-and-conquer call structure of the adaptive bitonic sort
+  the paper's conclusion mentions).
+* :data:`DAG_SHARING` / :data:`CYCLE_BUG` — programs that deliberately break
+  the TREE discipline, used by the structure-verification bench/example.
+
+Each program builds its own input structure inside ``main`` (parameterized
+by a ``depth`` constant that callers rewrite via :func:`with_depth`), so the
+whole pipeline — parse, analyze, parallelize, execute — runs without any
+external input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from ..sil import ast
+from ..sil.normalize import parse_and_normalize
+from ..sil.typecheck import TypeInfo
+
+#: Marker rewritten by :func:`with_depth` (a plain integer literal in the source).
+_DEPTH_PATTERN = re.compile(r"\{DEPTH\}")
+
+ADD_AND_REVERSE = """
+program add_and_reverse
+
+procedure main()
+  root, lside, rside: handle
+begin
+  root := build({DEPTH});
+  lside := root.left;
+  rside := root.right;
+  { PROGRAM POINT A }
+  add_n(lside, 1);
+  add_n(rside, -1);
+  reverse(root)
+end
+
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n;
+    l := h.left;
+    r := h.right;
+    { PROGRAM POINT B }
+    add_n(l, n);
+    add_n(r, n)
+  end
+end
+
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    { PROGRAM POINT C }
+    reverse(l);
+    reverse(r);
+    h.left := r;
+    h.right := l
+  end
+end
+
+function build(d: int): handle
+  t, cl, cr: handle
+begin
+  t := nil;
+  if d > 0 then
+  begin
+    t := new();
+    t.value := d;
+    cl := build(d - 1);
+    cr := build(d - 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+TREE_ADD = """
+program tree_add
+
+procedure main()
+  root: handle; total: int
+begin
+  root := build({DEPTH});
+  total := sum(root)
+end
+
+function sum(h: handle): int
+  s, ls, rs: int; l, r: handle
+begin
+  s := 0;
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    ls := sum(l);
+    rs := sum(r);
+    s := h.value + ls + rs
+  end
+end
+return (s)
+
+function build(d: int): handle
+  t, cl, cr: handle
+begin
+  t := nil;
+  if d > 0 then
+  begin
+    t := new();
+    t.value := 1;
+    cl := build(d - 1);
+    cr := build(d - 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+TREE_MIRROR = """
+program tree_mirror
+
+procedure main()
+  root: handle
+begin
+  root := build({DEPTH});
+  mirror(root)
+end
+
+procedure mirror(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    mirror(l);
+    mirror(r);
+    h.left := r;
+    h.right := l
+  end
+end
+
+function build(d: int): handle
+  t, cl, cr: handle
+begin
+  t := nil;
+  if d > 0 then
+  begin
+    t := new();
+    t.value := d;
+    cl := build(d - 1);
+    cr := build(d - 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+TREE_COPY = """
+program tree_copy
+
+procedure main()
+  root, duplicate: handle
+begin
+  root := build({DEPTH});
+  duplicate := copy(root)
+end
+
+function copy(h: handle): handle
+  t, l, r, cl, cr: handle; v: int
+begin
+  t := nil;
+  if h <> nil then
+  begin
+    t := new();
+    v := h.value;
+    t.value := v;
+    l := h.left;
+    r := h.right;
+    cl := copy(l);
+    cr := copy(r);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+
+function build(d: int): handle
+  t, cl, cr: handle
+begin
+  t := nil;
+  if d > 0 then
+  begin
+    t := new();
+    t.value := d;
+    cl := build(d - 1);
+    cr := build(d - 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+BST_BUILD = """
+program bst_build
+
+procedure main()
+  root: handle; i, n, key, total: int
+begin
+  n := {DEPTH};
+  root := new();
+  root.value := n * 7919 mod (2 * n + 1);
+  i := 1;
+  while i < n do
+  begin
+    key := i * 7919 mod (2 * n + 1);
+    insert(root, key);
+    i := i + 1
+  end;
+  total := sum(root)
+end
+
+procedure insert(h: handle; key: int)
+  child: handle; v: int
+begin
+  v := h.value;
+  if key < v then
+  begin
+    child := h.left;
+    if child = nil then
+    begin
+      child := new();
+      child.value := key;
+      h.left := child
+    end
+    else
+      insert(child, key)
+  end
+  else
+  begin
+    child := h.right;
+    if child = nil then
+    begin
+      child := new();
+      child.value := key;
+      h.right := child
+    end
+    else
+      insert(child, key)
+  end
+end
+
+function sum(h: handle): int
+  s, ls, rs: int; l, r: handle
+begin
+  s := 0;
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    ls := sum(l);
+    rs := sum(r);
+    s := h.value + ls + rs
+  end
+end
+return (s)
+"""
+
+LIST_WALK = """
+program list_walk
+
+procedure main()
+  head, l: handle; n, count: int
+begin
+  n := {DEPTH};
+  head := makelist(n);
+  l := head;
+  count := 0;
+  while l.left <> nil do
+  begin
+    l := l.left;
+    count := count + 1
+  end
+end
+
+function makelist(n: int): handle
+  t, rest: handle
+begin
+  t := nil;
+  if n > 0 then
+  begin
+    t := new();
+    t.value := n;
+    rest := makelist(n - 1);
+    t.left := rest
+  end
+end
+return (t)
+"""
+
+BITONIC_SORT = """
+program bitonic_sort
+
+procedure main()
+  root: handle
+begin
+  root := build({DEPTH}, 1);
+  bisort(root, 1)
+end
+
+{ Bitonic sort over the leaves of a perfect binary tree: sort one half   }
+{ ascending and the other descending (a bitonic sequence), then merge.   }
+procedure bisort(t: handle; up: int)
+  l, r: handle
+begin
+  l := t.left;
+  if l <> nil then
+  begin
+    r := t.right;
+    bisort(l, 1);
+    bisort(r, 0);
+    bimerge(t, up)
+  end
+end
+
+{ Bitonic merge: compare-exchange corresponding leaves of the two halves, }
+{ then merge each half recursively.                                        }
+procedure bimerge(t: handle; up: int)
+  l, r: handle
+begin
+  l := t.left;
+  if l <> nil then
+  begin
+    r := t.right;
+    cmpswap(l, r, up);
+    bimerge(l, up);
+    bimerge(r, up)
+  end
+end
+
+{ Pairwise compare-exchange between corresponding leaves of two disjoint  }
+{ subtrees of equal shape.                                                 }
+procedure cmpswap(a, b: handle; up: int)
+  al, ar, bl, br: handle; av, bv: int
+begin
+  al := a.left;
+  if al = nil then
+  begin
+    av := a.value;
+    bv := b.value;
+    if up = 1 then
+    begin
+      if av > bv then
+      begin
+        a.value := bv;
+        b.value := av
+      end
+    end
+    else
+    begin
+      if av < bv then
+      begin
+        a.value := bv;
+        b.value := av
+      end
+    end
+  end
+  else
+  begin
+    ar := a.right;
+    bl := b.left;
+    br := b.right;
+    cmpswap(al, bl, up);
+    cmpswap(ar, br, up)
+  end
+end
+
+{ A perfect binary tree of the given depth whose leaves carry pseudo-     }
+{ random values; internal nodes carry 0.                                   }
+function build(d: int; seed: int): handle
+  t, cl, cr: handle
+begin
+  t := new();
+  if d <= 1 then
+    t.value := seed * 7919 mod 104729
+  else
+  begin
+    t.value := 0;
+    cl := build(d - 1, seed * 2);
+    cr := build(d - 1, seed * 2 + 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+DAG_SHARING = """
+program dag_sharing
+
+procedure main()
+  x, y, shared: handle
+begin
+  x := new();
+  y := new();
+  shared := new();
+  shared.value := 42;
+  x.left := shared;
+  y.right := shared
+end
+"""
+
+CYCLE_BUG = """
+program cycle_bug
+
+procedure main()
+  root, child, grandchild: handle
+begin
+  root := new();
+  child := new();
+  grandchild := new();
+  root.left := child;
+  child.left := grandchild;
+  grandchild.left := root
+end
+"""
+
+SWAP_CHILDREN = """
+program swap_children
+
+procedure main()
+  root, l, r: handle
+begin
+  root := build(3);
+  l := root.left;
+  r := root.right;
+  root.left := r;
+  root.right := l
+end
+
+function build(d: int): handle
+  t, cl, cr: handle
+begin
+  t := nil;
+  if d > 0 then
+  begin
+    t := new();
+    t.value := d;
+    cl := build(d - 1);
+    cr := build(d - 1);
+    t.left := cl;
+    t.right := cr
+  end
+end
+return (t)
+"""
+
+#: All named workloads.
+WORKLOADS: Dict[str, str] = {
+    "add_and_reverse": ADD_AND_REVERSE,
+    "tree_add": TREE_ADD,
+    "tree_mirror": TREE_MIRROR,
+    "tree_copy": TREE_COPY,
+    "bst_build": BST_BUILD,
+    "list_walk": LIST_WALK,
+    "bitonic_sort": BITONIC_SORT,
+    "dag_sharing": DAG_SHARING,
+    "cycle_bug": CYCLE_BUG,
+    "swap_children": SWAP_CHILDREN,
+}
+
+#: Workloads whose ``main`` routine leaves the structure a TREE.
+TREE_PRESERVING = (
+    "add_and_reverse",
+    "tree_add",
+    "tree_mirror",
+    "tree_copy",
+    "bst_build",
+    "list_walk",
+    "bitonic_sort",
+    "swap_children",
+)
+
+
+def with_depth(source: str, depth: int) -> str:
+    """Substitute the ``{DEPTH}`` placeholder (tree depth / list length / key count)."""
+    return _DEPTH_PATTERN.sub(str(depth), source)
+
+
+def load(name: str, depth: int = 4) -> Tuple[ast.Program, TypeInfo]:
+    """Parse, type check and normalize a named workload at the given depth."""
+    try:
+        source = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+    return parse_and_normalize(with_depth(source, depth))
+
+
+def source(name: str, depth: int = 4) -> str:
+    """The SIL source text of a named workload at the given depth."""
+    return with_depth(WORKLOADS[name], depth)

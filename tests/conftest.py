@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (parsed workloads, whole-program analysis results,
+parallelized programs) are cached per session so the suite stays fast even
+though many test modules exercise the same programs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package (src/ layout).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis import analyze_program  # noqa: E402
+from repro.parallel import parallelize_program  # noqa: E402
+from repro.sil import check_program  # noqa: E402
+from repro.workloads import load  # noqa: E402
+
+# Recursive SIL programs on deep structures nest Python frames.
+sys.setrecursionlimit(100_000)
+
+
+_LOAD_CACHE = {}
+_ANALYSIS_CACHE = {}
+_PARALLEL_CACHE = {}
+
+
+def load_workload(name: str, depth: int = 4):
+    """Cached (program, info) for a workload at a given depth."""
+    key = (name, depth)
+    if key not in _LOAD_CACHE:
+        _LOAD_CACHE[key] = load(name, depth=depth)
+    return _LOAD_CACHE[key]
+
+
+def analysis_for(name: str, depth: int = 4):
+    """Cached whole-program analysis result for a workload."""
+    key = (name, depth)
+    if key not in _ANALYSIS_CACHE:
+        program, info = load_workload(name, depth)
+        _ANALYSIS_CACHE[key] = analyze_program(program, info)
+    return _ANALYSIS_CACHE[key]
+
+
+def parallelized(name: str, depth: int = 4):
+    """Cached (parallel_result, parallel_info) for a workload."""
+    key = (name, depth)
+    if key not in _PARALLEL_CACHE:
+        program, info = load_workload(name, depth)
+        result = parallelize_program(program, info)
+        _PARALLEL_CACHE[key] = (result, check_program(result.program))
+    return _PARALLEL_CACHE[key]
+
+
+@pytest.fixture
+def add_and_reverse():
+    return load_workload("add_and_reverse", 4)
+
+
+@pytest.fixture
+def add_and_reverse_analysis():
+    return analysis_for("add_and_reverse", 4)
+
+
+@pytest.fixture
+def add_and_reverse_parallel():
+    return parallelized("add_and_reverse", 4)

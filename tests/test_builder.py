@@ -1,0 +1,169 @@
+"""Unit tests for the programmatic program builder."""
+
+import pytest
+
+from repro.runtime import run_program
+from repro.sil import ast
+from repro.sil.builder import (
+    HANDLE,
+    INT,
+    ProgramBuilder,
+    add,
+    eq,
+    field,
+    ge,
+    gt,
+    is_nil,
+    le,
+    lit,
+    lt,
+    mul,
+    name,
+    ne,
+    new,
+    nil,
+    not_nil,
+    sub,
+    to_expr,
+)
+from repro.sil.typecheck import check_program
+
+
+class TestExpressionHelpers:
+    def test_to_expr_coercions(self):
+        assert isinstance(to_expr(3), ast.IntLit)
+        assert isinstance(to_expr("x"), ast.Name)
+        assert isinstance(to_expr(ast.NilLit()), ast.NilLit)
+
+    def test_to_expr_rejects_bool_and_junk(self):
+        with pytest.raises(TypeError):
+            to_expr(True)
+        with pytest.raises(TypeError):
+            to_expr(3.5)
+
+    def test_field_builder(self):
+        expr = field("a", "left", "right", "value")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.field_name is ast.Field.VALUE
+
+    def test_comparison_builders(self):
+        assert eq(1, 2).op == "="
+        assert ne("x", 2).op == "<>"
+        assert lt(1, 2).op == "<"
+        assert le(1, 2).op == "<="
+        assert gt(1, 2).op == ">"
+        assert ge(1, 2).op == ">="
+        assert add(1, 2).op == "+"
+        assert sub(1, 2).op == "-"
+        assert mul(1, 2).op == "*"
+
+    def test_nil_helpers(self):
+        assert isinstance(nil(), ast.NilLit)
+        assert not_nil("h").op == "<>"
+        assert is_nil("h").op == "="
+        assert isinstance(new(), ast.NewExpr)
+        assert isinstance(lit(7), ast.IntLit)
+        assert isinstance(name("h"), ast.Name)
+
+
+class TestProgramConstruction:
+    def build_counter_program(self):
+        b = ProgramBuilder("counter")
+        main = b.procedure("main", locals=[("i", INT), ("total", INT)])
+        main.assign("i", 0)
+        main.assign("total", 0)
+        loop = main.while_(lt("i", 5))
+        loop.assign("total", add("total", "i"))
+        loop.assign("i", add("i", 1))
+        return b.build_core()
+
+    def test_while_loop_program_runs(self):
+        program, info = self.build_counter_program()
+        result = run_program(program, info)
+        assert result.main_locals["total"] == 0 + 1 + 2 + 3 + 4
+
+    def test_if_else_program(self):
+        b = ProgramBuilder("branching")
+        main = b.procedure("main", locals=[("h", HANDLE), ("x", INT)])
+        main.assign("h", new())
+        branch = main.if_(not_nil("h"))
+        branch.then.assign("x", 1)
+        branch.otherwise.assign("x", 2)
+        program, info = b.build_core()
+        result = run_program(program, info)
+        assert result.main_locals["x"] == 1
+
+    def test_tree_building_program(self):
+        b = ProgramBuilder("tiny_tree")
+        main = b.procedure(
+            "main", locals=[("root", HANDLE), ("l", HANDLE), ("r", HANDLE), ("s", INT)]
+        )
+        main.assign("root", new())
+        main.assign(("root", "value"), 10)
+        main.assign(("root", "left"), new())
+        main.assign(("root", "right"), new())
+        main.assign("l", field("root", "left"))
+        main.assign("r", field("root", "right"))
+        main.assign(("l", "value"), 20)
+        main.assign(("r", "value"), 30)
+        main.assign("s", add(field("root", "value"), add(field("l", "value"), field("r", "value"))))
+        program, info = b.build_core()
+        result = run_program(program, info)
+        assert result.main_locals["s"] == 60
+
+    def test_procedure_and_function_calls(self):
+        b = ProgramBuilder("callers")
+        main = b.procedure("main", locals=[("h", HANDLE), ("x", INT)])
+        main.assign("h", new())
+        main.call("bump", name("h"))
+        main.call_assign("x", "read", name("h"))
+
+        bump = b.procedure("bump", params=[("t", HANDLE)])
+        bump.assign(("t", "value"), add(field("t", "value"), 5))
+
+        read = b.function(
+            "read", params=[("t", HANDLE)], locals=[("r", INT)], return_type=INT, return_var="r"
+        )
+        read.assign("r", field("t", "value"))
+
+        program, info = b.build_core()
+        result = run_program(program, info)
+        assert result.main_locals["x"] == 5
+
+    def test_explicit_parallel_statement(self):
+        b = ProgramBuilder("par")
+        main = b.procedure("main", locals=[("a", HANDLE), ("b", HANDLE)])
+        main.assign("a", new())
+        main.assign("b", new())
+        main.parallel(
+            ast.StoreValue(target="a", expr=ast.IntLit(1)),
+            ast.StoreValue(target="b", expr=ast.IntLit(2)),
+        )
+        program, info = b.build_core()
+        result = run_program(program, info)
+        assert result.parallel_statements == 1
+        assert result.race_free
+
+    def test_local_added_after_creation(self):
+        b = ProgramBuilder("late_local")
+        main = b.procedure("main")
+        main.local("x", INT)
+        main.assign("x", 3)
+        program, info = b.build_core()
+        assert run_program(program, info).main_locals["x"] == 3
+
+    def test_function_requires_return_var(self):
+        b = ProgramBuilder("broken")
+        b.procedure("main")
+        f = b.function("f", return_type=INT, return_var="r")
+        f.return_var = None
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_surface_program_is_not_core(self):
+        b = ProgramBuilder("surface")
+        main = b.procedure("main", locals=[("a", HANDLE)])
+        main.assign("a", new())
+        program = b.build()
+        check_program(program)
+        assert not ast.program_is_core(program)

@@ -1,0 +1,164 @@
+"""Tests for the whole-program analysis engine (program points, entry matrices)."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.analysis.limits import AnalysisLimits
+from repro.sil import ast
+from repro.sil.normalize import parse_and_normalize
+from repro.workloads import load
+
+
+class TestProgramPoints:
+    def test_point_a_matches_figure_7(self, add_and_reverse_analysis):
+        """pA: root -> lside = L1, root -> rside = R1, lside/rside unrelated."""
+        analysis = add_and_reverse_analysis
+        point_a = analysis.point_before_call("main", "add_n", 0)
+        assert point_a.get("root", "lside").format() == "L1"
+        assert point_a.get("root", "rside").format() == "R1"
+        assert point_a.unrelated("lside", "rside")
+
+    def test_point_b_recursive_calls_are_independent(self, add_and_reverse_analysis):
+        """pB: the recursive add_n arguments l and r are unrelated."""
+        point_b = add_and_reverse_analysis.point_before_call("add_n", "add_n", 0)
+        assert point_b.get("h", "l").format() == "L1"
+        assert point_b.get("h", "r").format() == "R1"
+        assert point_b.unrelated("l", "r")
+
+    def test_point_b_tracks_symbolic_handles(self, add_and_reverse_analysis):
+        point_b = add_and_reverse_analysis.point_before_call("add_n", "add_n", 0)
+        assert "h*" in point_b and "h**" in point_b
+        # The original caller's argument is at or above the current handle.
+        assert not point_b.get("h*", "h").is_empty
+        # Stacked invocations' arguments are strict ancestors of the current handle.
+        assert point_b.get("h**", "h").has_proper_path
+        assert point_b.get("h", "h**").is_empty
+
+    def test_point_c_in_reverse(self, add_and_reverse_analysis):
+        point_c = add_and_reverse_analysis.point_before_call("reverse", "reverse", 0)
+        assert point_c.unrelated("l", "r")
+
+    def test_matrices_recorded_before_and_after_each_statement(self, add_and_reverse_analysis):
+        analysis = add_and_reverse_analysis
+        main = analysis.program.procedure("main")
+        for stmt in main.body.stmts:
+            before = analysis.matrix_before(stmt)
+            after = analysis.matrix_after(stmt)
+            assert before is not None and after is not None
+
+    def test_lookup_of_foreign_statement_fails(self, add_and_reverse_analysis):
+        with pytest.raises(KeyError):
+            add_and_reverse_analysis.matrix_before(ast.SkipStmt())
+
+    def test_point_before_call_bad_occurrence(self, add_and_reverse_analysis):
+        with pytest.raises(KeyError):
+            add_and_reverse_analysis.point_before_call("main", "add_n", 5)
+
+
+class TestEntryMatrices:
+    def test_reachable_procedures(self, add_and_reverse_analysis):
+        assert set(add_and_reverse_analysis.reachable_procedures()) == {
+            "main",
+            "add_n",
+            "reverse",
+            "build",
+        }
+
+    def test_entry_matrix_of_recursive_procedure(self, add_and_reverse_analysis):
+        entry = add_and_reverse_analysis.entry_matrix("add_n")
+        assert set(entry.handles) >= {"h", "h*", "h**"}
+        # The current argument can never be an ancestor of a stacked argument.
+        assert entry.get("h", "h**").is_empty
+        assert entry.get("h**", "h").has_proper_path
+
+    def test_summary_accessor(self, add_and_reverse_analysis):
+        assert add_and_reverse_analysis.summary("add_n").update_params == {"h"}
+
+    def test_iterations_reported(self, add_and_reverse_analysis):
+        assert add_and_reverse_analysis.iterations >= 2
+
+    def test_statements_in_procedure(self, add_and_reverse_analysis):
+        stmts = add_and_reverse_analysis.statements_in("reverse")
+        assert any(isinstance(s, ast.StoreField) for s in stmts)
+
+
+class TestWhileLoops:
+    def test_figure3_list_walk_fixed_point(self):
+        """The Figure 3 while loop stabilizes with h related to l via L+."""
+        program, info = load("list_walk", depth=6)
+        analysis = analyze_program(program, info)
+        main = program.main
+        loop = next(s for s in ast.walk_stmt(main.body) if isinstance(s, ast.WhileStmt))
+        history = analysis.loop_history(loop)
+        assert len(history) >= 3
+        final = analysis.matrix_after(loop)
+        entry = final.get("head", "l")
+        # After any number of iterations l is the head itself or some number
+        # of left links below it.
+        assert entry.has_same
+        assert any(not p.is_same and p.segments[0].direction.value == "L" for p in entry)
+        # l never points above the head of the list.
+        assert final.get("l", "head").format() in ("", "S?")
+
+    def test_loop_history_is_monotone_in_handles(self):
+        program, info = load("list_walk", depth=4)
+        analysis = analyze_program(program, info)
+        loop = next(
+            s for s in ast.walk_stmt(program.main.body) if isinstance(s, ast.WhileStmt)
+        )
+        history = analysis.loop_history(loop)
+        assert history[-1] == history[-2]  # reached a fixed point
+
+    def test_bst_loop_terminates(self):
+        program, info = load("bst_build", depth=8)
+        analysis = analyze_program(program, info)
+        assert "insert" in analysis.entry_matrices
+
+
+class TestStructureDiagnostics:
+    def test_reverse_reports_temporary_sharing(self, add_and_reverse_analysis):
+        diagnostics = add_and_reverse_analysis.diagnostics_in("reverse")
+        assert any(d.is_sharing for d in diagnostics)
+        assert all(not d.is_cycle for d in diagnostics)
+
+    def test_cycle_bug_program_reports_cycle(self):
+        program, info = load("cycle_bug")
+        analysis = analyze_program(program, info)
+        assert any(d.is_cycle for d in analysis.diagnostics)
+
+    def test_dag_sharing_program_reports_sharing_not_cycle(self):
+        program, info = load("dag_sharing")
+        analysis = analyze_program(program, info)
+        assert any(d.is_sharing for d in analysis.diagnostics)
+        assert not any(d.is_cycle for d in analysis.diagnostics)
+
+    def test_tree_add_is_clean(self):
+        program, info = load("tree_add", depth=3)
+        analysis = analyze_program(program, info)
+        assert not any(d.is_cycle for d in analysis.diagnostics)
+
+
+class TestRobustness:
+    def test_requires_core_program(self):
+        from repro.sil.parser import parse_program
+
+        surface = parse_program(
+            "program p procedure main() a: handle begin a := new(); a.left.right := nil end"
+        )
+        with pytest.raises(ValueError):
+            analyze_program(surface)
+
+    def test_small_limits_still_terminate(self):
+        program, info = load("add_and_reverse", depth=3)
+        limits = AnalysisLimits(max_exact_count=2, max_segments=2, max_paths_per_entry=3)
+        analysis = analyze_program(program, info, limits=limits)
+        point_b = analysis.point_before_call("add_n", "add_n", 0)
+        assert point_b.unrelated("l", "r")
+
+    def test_all_workloads_analyze(self):
+        from repro.workloads import WORKLOADS
+
+        for name in WORKLOADS:
+            program, info = load(name, depth=3)
+            analysis = analyze_program(program, info)
+            assert analysis.entry_matrices

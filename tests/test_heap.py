@@ -1,0 +1,173 @@
+"""Unit tests for the runtime heap."""
+
+import pytest
+
+from repro.runtime.heap import Heap
+from repro.runtime.values import NodeRef, format_value, is_handle_value, is_int_value
+from repro.sil.ast import Field
+from repro.sil.errors import SilRuntimeError
+
+
+class TestAllocationAndAccess:
+    def test_allocate_returns_distinct_refs(self):
+        heap = Heap()
+        refs = [heap.allocate() for _ in range(10)]
+        assert len({r.node_id for r in refs}) == 10
+        assert heap.alloc_count == 10
+        assert len(heap) == 10
+
+    def test_new_node_fields_default(self):
+        heap = Heap()
+        ref = heap.allocate()
+        node = heap.node(ref)
+        assert node.value == 0 and node.left is None and node.right is None
+
+    def test_read_write_links(self):
+        heap = Heap()
+        parent, child = heap.allocate(), heap.allocate()
+        heap.write_link(parent, Field.LEFT, child)
+        assert heap.read_link(parent, Field.LEFT) == child
+        assert heap.read_link(parent, Field.RIGHT) is None
+        assert heap.write_count == 1 and heap.read_count == 2
+
+    def test_read_write_value(self):
+        heap = Heap()
+        ref = heap.allocate(5)
+        assert heap.read_value(ref) == 5
+        heap.write_value(ref, 9)
+        assert heap.read_value(ref) == 9
+
+    def test_nil_dereference_raises(self):
+        heap = Heap()
+        with pytest.raises(SilRuntimeError):
+            heap.read_value(None)
+
+    def test_dangling_reference_raises(self):
+        heap = Heap()
+        with pytest.raises(SilRuntimeError):
+            heap.node(NodeRef(999))
+
+    def test_value_field_rejected_as_link(self):
+        heap = Heap()
+        ref = heap.allocate()
+        with pytest.raises(ValueError):
+            heap.read_link(ref, Field.VALUE)
+
+    def test_contains(self):
+        heap = Heap()
+        ref = heap.allocate()
+        assert heap.contains(ref)
+        assert not heap.contains(None)
+        assert not heap.contains(NodeRef(123))
+
+
+class TestBuildAndExtract:
+    def test_build_from_spec_round_trips(self):
+        heap = Heap()
+        spec = (1, (2, 4, 5), (3, None, 6))
+        root = heap.build(spec)
+        assert heap.extract(root) == spec
+
+    def test_build_leaf_shorthand(self):
+        heap = Heap()
+        root = heap.build(7)
+        assert heap.extract(root) == 7
+
+    def test_build_nil(self):
+        heap = Heap()
+        assert heap.build(None) is None
+        assert heap.extract(None) is None
+
+    def test_full_tree_shape(self):
+        heap = Heap()
+        root = heap.build_full_tree(4)
+        assert heap.height(root) == 4
+        assert len(heap.reachable_from([root])) == 2 ** 4 - 1
+
+    def test_full_tree_value_function(self):
+        heap = Heap()
+        root = heap.build_full_tree(3, value_fn=lambda i: i * 10)
+        assert heap.node(root).value == 0
+        assert sorted(heap.values_preorder(root)) == [i * 10 for i in range(7)]
+
+    def test_build_list(self):
+        heap = Heap()
+        head = heap.build_list([1, 2, 3, 4])
+        values = []
+        current = head
+        while current is not None:
+            node = heap.node(current)
+            values.append(node.value)
+            current = node.right
+        assert values == [1, 2, 3, 4]
+
+    def test_extract_detects_cycles(self):
+        heap = Heap()
+        a, b = heap.allocate(), heap.allocate()
+        heap.write_link(a, Field.LEFT, b)
+        heap.write_link(b, Field.LEFT, a)
+        with pytest.raises(SilRuntimeError):
+            heap.extract(a)
+
+    def test_traversals(self):
+        heap = Heap()
+        root = heap.build((2, 1, 3))
+        assert heap.values_inorder(root) == [1, 2, 3]
+        assert heap.values_preorder(root) == [2, 1, 3]
+
+    def test_height_of_skewed_tree(self):
+        heap = Heap()
+        root = heap.build((1, (2, (3, None, None), None), None))
+        assert heap.height(root) == 3
+
+
+class TestReachabilityAndParents:
+    def test_reachable_from_multiple_roots(self):
+        heap = Heap()
+        first = heap.build((1, 2, 3))
+        second = heap.build((4, 5, None))
+        reachable = heap.reachable_from([first, second])
+        assert len(reachable) == 5
+
+    def test_reachable_ignores_nil_roots(self):
+        heap = Heap()
+        assert heap.reachable_from([None]) == []
+
+    def test_parents_map(self):
+        heap = Heap()
+        root = heap.build((1, 2, 3))
+        parents = heap.parents()
+        root_node = heap.node(root)
+        assert parents[root.node_id] == []
+        assert parents[root_node.left.node_id] == [root.node_id]
+        assert parents[root_node.right.node_id] == [root.node_id]
+
+    def test_shared_child_has_two_parents(self):
+        heap = Heap()
+        a, b, shared = heap.allocate(), heap.allocate(), heap.allocate()
+        heap.write_link(a, Field.LEFT, shared)
+        heap.write_link(b, Field.RIGHT, shared)
+        assert sorted(heap.parents()[shared.node_id]) == sorted([a.node_id, b.node_id])
+
+    def test_refs_lists_all_nodes(self):
+        heap = Heap()
+        for _ in range(5):
+            heap.allocate()
+        assert len(heap.refs()) == 5
+
+
+class TestValueHelpers:
+    def test_is_handle_value(self):
+        assert is_handle_value(None)
+        assert is_handle_value(NodeRef(1))
+        assert not is_handle_value(3)
+
+    def test_is_int_value(self):
+        assert is_int_value(3)
+        assert not is_int_value(True)
+        assert not is_int_value(NodeRef(1))
+
+    def test_format_value(self):
+        assert format_value(None) == "nil"
+        assert format_value(7) == "7"
+        assert format_value(NodeRef(3)) == "node#3"

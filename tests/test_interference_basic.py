@@ -1,0 +1,205 @@
+"""Tests for Section 5.1: alias sets, read/write sets, basic-statement interference."""
+
+import pytest
+
+from repro.analysis.matrix import PathMatrix
+from repro.analysis.pathset import PathSet
+from repro.interference import (
+    alias_set,
+    can_execute_in_parallel,
+    condition_read_set,
+    extend_parallel_group,
+    field_location,
+    greedy_parallel_groups,
+    group_interference,
+    interference_set,
+    must_alias_set,
+    read_set,
+    statements_interfere,
+    var_location,
+    write_set,
+)
+from repro.sil import ast
+from repro.sil.ast import Field
+from repro.sil.parser import parse_expression
+
+
+def figure6_matrix():
+    """The tree of Figure 6: a and b name the same node, c below them, d at/below c."""
+    matrix = PathMatrix(["a", "b", "c", "d"])
+    matrix.set("a", "b", PathSet.same())
+    matrix.set("b", "a", PathSet.same())
+    matrix.set("a", "c", PathSet.parse("D+"))
+    matrix.set("b", "c", PathSet.parse("D+"))
+    matrix.set("c", "d", PathSet.parse("S?, R+?"))
+    matrix.set("d", "c", PathSet.parse("S?"))
+    return matrix
+
+
+class TestAliasFunction:
+    def test_alias_includes_self(self):
+        matrix = PathMatrix(["a"])
+        assert alias_set("a", Field.LEFT, matrix) == {field_location("a", Field.LEFT)}
+
+    def test_definite_alias(self):
+        matrix = figure6_matrix()
+        assert field_location("b", Field.LEFT) in alias_set("a", Field.LEFT, matrix)
+
+    def test_possible_alias(self):
+        matrix = figure6_matrix()
+        assert field_location("d", Field.VALUE) in alias_set("c", Field.VALUE, matrix)
+        assert field_location("c", Field.VALUE) in alias_set("d", Field.VALUE, matrix)
+
+    def test_unrelated_handles_do_not_alias(self):
+        matrix = figure6_matrix()
+        assert field_location("c", Field.LEFT) not in alias_set("a", Field.LEFT, matrix)
+
+    def test_must_alias_excludes_possible(self):
+        matrix = figure6_matrix()
+        assert must_alias_set("a", Field.LEFT, matrix) == {
+            field_location("a", Field.LEFT),
+            field_location("b", Field.LEFT),
+        }
+        assert field_location("d", Field.VALUE) not in must_alias_set("c", Field.VALUE, matrix)
+
+
+class TestReadWriteSets:
+    """The table of Figure 5."""
+
+    def test_assign_nil_and_new(self):
+        matrix = figure6_matrix()
+        for stmt in (ast.AssignNil(target="a"), ast.AssignNew(target="a")):
+            assert read_set(stmt, matrix) == set()
+            assert write_set(stmt, matrix) == {var_location("a")}
+
+    def test_copy_handle(self):
+        matrix = figure6_matrix()
+        stmt = ast.CopyHandle(target="a", source="b")
+        assert read_set(stmt, matrix) == {var_location("b")}
+        assert write_set(stmt, matrix) == {var_location("a")}
+
+    def test_load_field_reads_aliases(self):
+        matrix = figure6_matrix()
+        stmt = ast.LoadField(target="x", source="a", field_name=Field.LEFT)
+        assert read_set(stmt, matrix) == {
+            var_location("a"),
+            field_location("a", Field.LEFT),
+            field_location("b", Field.LEFT),
+        }
+        assert write_set(stmt, matrix) == {var_location("x")}
+
+    def test_store_field_writes_aliases(self):
+        matrix = figure6_matrix()
+        stmt = ast.StoreField(target="b", field_name=Field.LEFT, source=None)
+        assert write_set(stmt, matrix) == {
+            field_location("b", Field.LEFT),
+            field_location("a", Field.LEFT),
+        }
+        assert read_set(stmt, matrix) == {var_location("b")}
+
+    def test_load_value(self):
+        matrix = figure6_matrix()
+        stmt = ast.LoadValue(target="n", source="d")
+        assert read_set(stmt, matrix) == {
+            var_location("d"),
+            field_location("d", Field.VALUE),
+            field_location("c", Field.VALUE),
+        }
+
+    def test_store_value_with_embedded_read(self):
+        matrix = figure6_matrix()
+        stmt = ast.StoreValue(
+            target="a",
+            expr=ast.BinOp("+", ast.FieldAccess(ast.Name("a"), Field.VALUE), ast.Name("n")),
+        )
+        reads = read_set(stmt, matrix)
+        assert field_location("a", Field.VALUE) in reads
+        assert var_location("n") in reads
+        writes = write_set(stmt, matrix)
+        assert writes == {field_location("a", Field.VALUE), field_location("b", Field.VALUE)}
+
+    def test_scalar_assign(self):
+        matrix = figure6_matrix()
+        stmt = ast.ScalarAssign(target="x", expr=parse_expression("y + 1"))
+        assert read_set(stmt, matrix) == {var_location("y")}
+        assert write_set(stmt, matrix) == {var_location("x")}
+
+    def test_condition_read_set(self):
+        matrix = figure6_matrix()
+        reads = condition_read_set(parse_expression("a.left <> nil and x > 0"), matrix)
+        assert var_location("a") in reads and var_location("x") in reads
+        assert field_location("b", Field.LEFT) in reads
+
+    def test_non_basic_statement_rejected(self):
+        with pytest.raises(TypeError):
+            read_set(ast.ProcCall(name="p", args=[]), figure6_matrix())
+
+
+class TestInterference:
+    """The three examples of Figure 6 plus the group operations."""
+
+    def test_example1_variable_interference(self):
+        matrix = figure6_matrix()
+        s1 = ast.LoadField(target="x", source="a", field_name=Field.LEFT)
+        s2 = ast.CopyHandle(target="y", source="x")
+        assert interference_set(s1, s2, matrix) == {var_location("x")}
+        assert statements_interfere(s1, s2, matrix)
+
+    def test_example2_field_interference_through_alias(self):
+        matrix = figure6_matrix()
+        s1 = ast.LoadField(target="x", source="a", field_name=Field.LEFT)
+        s2 = ast.StoreField(target="b", field_name=Field.LEFT, source=None)
+        assert interference_set(s1, s2, matrix) == {
+            field_location("a", Field.LEFT),
+            field_location("b", Field.LEFT),
+        }
+
+    def test_example3_conservative_value_interference(self):
+        matrix = figure6_matrix()
+        s1 = ast.LoadValue(target="n", source="d")
+        s2 = ast.StoreValue(target="c", expr=ast.IntLit(0))
+        assert interference_set(s1, s2, matrix) == {
+            field_location("c", Field.VALUE),
+            field_location("d", Field.VALUE),
+        }
+
+    def test_independent_statements(self):
+        matrix = figure6_matrix()
+        s1 = ast.LoadField(target="x", source="a", field_name=Field.LEFT)
+        s2 = ast.LoadField(target="y", source="c", field_name=Field.RIGHT)
+        assert interference_set(s1, s2, matrix) == set()
+        assert can_execute_in_parallel([s1, s2], matrix)
+
+    def test_group_interference_reports_pairs(self):
+        matrix = figure6_matrix()
+        s1 = ast.StoreValue(target="a", expr=ast.IntLit(1))
+        s2 = ast.StoreValue(target="b", expr=ast.IntLit(2))
+        s3 = ast.ScalarAssign(target="x", expr=ast.IntLit(3))
+        report = group_interference([s1, s2, s3], matrix)
+        assert report.interferes
+        assert report.pairs == [(0, 1)]
+
+    def test_extend_parallel_group(self):
+        matrix = figure6_matrix()
+        group = [ast.LoadField(target="x", source="a", field_name=Field.LEFT)]
+        ok = ast.LoadField(target="y", source="a", field_name=Field.RIGHT)
+        bad = ast.StoreField(target="b", field_name=Field.LEFT, source=None)
+        assert extend_parallel_group(group, ok, matrix) == set()
+        assert extend_parallel_group(group, bad, matrix) != set()
+
+    def test_greedy_grouping(self):
+        matrix = figure6_matrix()
+        stmts = [
+            ast.LoadField(target="x", source="a", field_name=Field.LEFT),
+            ast.LoadField(target="y", source="a", field_name=Field.RIGHT),
+            ast.CopyHandle(target="z", source="x"),  # depends on x
+            ast.ScalarAssign(target="w", expr=ast.IntLit(1)),
+        ]
+        groups = greedy_parallel_groups(stmts, matrix)
+        assert [len(g) for g in groups] == [2, 2]
+
+    def test_write_write_conflict_detected(self):
+        matrix = figure6_matrix()
+        s1 = ast.AssignNew(target="x")
+        s2 = ast.AssignNil(target="x")
+        assert statements_interfere(s1, s2, matrix)

@@ -1,0 +1,175 @@
+"""Unit tests for the path matrix."""
+
+import pytest
+
+from repro.analysis.matrix import PathMatrix, caller_symbol, is_symbolic, stacked_symbol
+from repro.analysis.pathset import PathSet
+
+
+def matrix_abc():
+    matrix = PathMatrix(["a", "b", "c"])
+    matrix.set("a", "b", PathSet.parse("L1"))
+    matrix.set("a", "c", PathSet.parse("R1D+"))
+    return matrix
+
+
+class TestHandlesAndEntries:
+    def test_handles_tracked_in_order(self):
+        matrix = PathMatrix(["x", "y"])
+        assert matrix.handles == ["x", "y"]
+        assert "x" in matrix and "z" not in matrix
+
+    def test_add_handle_is_idempotent(self):
+        matrix = PathMatrix(["x"])
+        matrix.add_handle("x")
+        assert matrix.handles == ["x"]
+
+    def test_diagonal_is_same(self):
+        matrix = PathMatrix(["x"])
+        assert matrix.get("x", "x").has_definite_same
+        assert matrix.get("missing", "missing").is_empty
+
+    def test_missing_entries_are_empty(self):
+        matrix = matrix_abc()
+        assert matrix.get("b", "c").is_empty
+        assert matrix.get("c", "a").is_empty
+
+    def test_set_and_get(self):
+        matrix = matrix_abc()
+        assert matrix.get("a", "b").format() == "L1"
+        assert matrix["a", "c"].format() == "R1D+"
+
+    def test_setting_empty_erases(self):
+        matrix = matrix_abc()
+        matrix.set("a", "b", PathSet.empty())
+        assert matrix.get("a", "b").is_empty
+        assert ("a", "b") not in dict((s, t) for s, t, _ in matrix.entries()).items()
+
+    def test_set_on_diagonal_is_ignored(self):
+        matrix = matrix_abc()
+        matrix.set("a", "a", PathSet.parse("L1"))
+        assert matrix.get("a", "a").has_definite_same
+
+    def test_add_paths_unions(self):
+        matrix = matrix_abc()
+        matrix.add_paths("a", "b", PathSet.parse("R1"))
+        assert matrix.get("a", "b").format() == "L1, R1"
+
+    def test_setting_implicitly_adds_handles(self):
+        matrix = PathMatrix()
+        matrix.set("p", "q", PathSet.parse("L1"))
+        assert set(matrix.handles) == {"p", "q"}
+
+    def test_remove_handle_clears_entries(self):
+        matrix = matrix_abc()
+        matrix.remove_handle("a")
+        assert "a" not in matrix
+        assert matrix.get("a", "b").is_empty
+
+    def test_clear_handle_keeps_it_tracked(self):
+        matrix = matrix_abc()
+        matrix.clear_handle("a")
+        assert "a" in matrix
+        assert matrix.get("a", "b").is_empty
+
+
+class TestQueries:
+    def test_related_and_unrelated(self):
+        matrix = matrix_abc()
+        assert matrix.related("a", "b")
+        assert matrix.related("b", "a")  # either direction counts
+        assert matrix.unrelated("b", "c")
+
+    def test_may_and_must_alias(self):
+        matrix = PathMatrix(["x", "y", "z"])
+        matrix.set("x", "y", PathSet.same())
+        matrix.set("x", "z", PathSet.parse("S?"))
+        assert matrix.must_alias("x", "y")
+        assert matrix.may_alias("x", "z") and not matrix.must_alias("x", "z")
+        assert not matrix.may_alias("y", "z")
+        assert matrix.may_alias("x", "x")
+
+    def test_descendants_of(self):
+        matrix = matrix_abc()
+        assert set(matrix.descendants_of("a")) == {"b", "c"}
+        assert matrix.descendants_of("b") == []
+
+
+class TestWholeMatrixOperations:
+    def test_copy_is_independent(self):
+        matrix = matrix_abc()
+        clone = matrix.copy()
+        clone.set("a", "b", PathSet.parse("R1"))
+        assert matrix.get("a", "b").format() == "L1"
+
+    def test_restricted(self):
+        matrix = matrix_abc()
+        restricted = matrix.restricted(["a", "b"])
+        assert set(restricted.handles) == {"a", "b"}
+        assert restricted.get("a", "b").format() == "L1"
+        assert restricted.get("a", "c").is_empty
+
+    def test_renamed(self):
+        matrix = matrix_abc()
+        renamed = matrix.renamed({"a": "root", "b": "child"})
+        assert renamed.get("root", "child").format() == "L1"
+        assert renamed.get("root", "c").format() == "R1D+"
+
+    def test_renamed_merging_two_handles(self):
+        matrix = PathMatrix(["a", "b", "x"])
+        matrix.set("a", "x", PathSet.parse("L1"))
+        matrix.set("b", "x", PathSet.parse("R1"))
+        merged = matrix.renamed({"a": "both", "b": "both"})
+        assert merged.get("both", "x").format() == "L1, R1"
+
+    def test_merge_demotes_one_sided_information(self):
+        first = matrix_abc()
+        second = matrix_abc()
+        second.set("a", "b", PathSet.parse("L2"))
+        merged = first.merge(second)
+        rendered = merged.get("a", "b").format()
+        assert "L1?" in rendered and "L2?" in rendered
+        # The entry present identically in both stays definite.
+        assert merged.get("a", "c").format() == "R1D+"
+
+    def test_merge_with_extra_handles(self):
+        first = PathMatrix(["a"])
+        second = PathMatrix(["a", "b"])
+        second.set("a", "b", PathSet.parse("L1"))
+        merged = first.merge(second)
+        assert set(merged.handles) == {"a", "b"}
+        # "b" is unknown to the first matrix, so the entry is kept as-is.
+        assert merged.get("a", "b").format() == "L1"
+
+    def test_equality(self):
+        assert matrix_abc() == matrix_abc()
+        other = matrix_abc()
+        other.set("b", "c", PathSet.parse("L1"))
+        assert matrix_abc() != other
+
+    def test_matrices_are_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(matrix_abc())
+
+
+class TestRendering:
+    def test_format_contains_all_handles(self):
+        text = matrix_abc().format()
+        for name in ("a", "b", "c", "L1", "R1D+"):
+            assert name in text
+
+    def test_format_with_explicit_order(self):
+        text = matrix_abc().format(["c", "a"])
+        lines = text.splitlines()
+        assert lines[0].split("|")[1].strip() == "c"
+        assert "b" not in lines[0]
+
+
+class TestSymbolicHandles:
+    def test_symbol_constructors(self):
+        assert caller_symbol("h") == "h*"
+        assert stacked_symbol("h") == "h**"
+
+    def test_is_symbolic(self):
+        assert is_symbolic("h*") and is_symbolic("h**")
+        assert not is_symbolic("h")

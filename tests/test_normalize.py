@@ -1,0 +1,211 @@
+"""Unit tests for normalization (lowering to basic handle statements)."""
+
+import pytest
+
+from repro.sil import ast
+from repro.sil.errors import NormalizationError
+from repro.sil.normalize import normalize_program, parse_and_normalize
+from repro.sil.parser import parse_program
+
+
+def normalize(source):
+    return parse_and_normalize(source)
+
+
+def main_stmts(source):
+    program, _ = normalize(source)
+    return program.main.body.stmts
+
+
+def wrap(body, locals_="a, b, t1, t2: handle; x, y: int"):
+    return f"program p procedure main() {locals_} begin {body} end"
+
+
+class TestBasicLowering:
+    def test_nil_assignment(self):
+        stmts = main_stmts(wrap("a := nil"))
+        assert isinstance(stmts[0], ast.AssignNil)
+
+    def test_new_assignment(self):
+        stmts = main_stmts(wrap("a := new()"))
+        assert isinstance(stmts[0], ast.AssignNew)
+
+    def test_handle_copy(self):
+        stmts = main_stmts(wrap("a := new(); b := a"))
+        assert isinstance(stmts[1], ast.CopyHandle)
+        assert stmts[1].source == "a"
+
+    def test_load_field(self):
+        stmts = main_stmts(wrap("a := new(); b := a.left"))
+        assert isinstance(stmts[1], ast.LoadField)
+        assert stmts[1].field_name is ast.Field.LEFT
+
+    def test_store_field(self):
+        stmts = main_stmts(wrap("a := new(); b := new(); a.right := b"))
+        store = stmts[2]
+        assert isinstance(store, ast.StoreField)
+        assert store.field_name is ast.Field.RIGHT and store.source == "b"
+
+    def test_store_field_nil(self):
+        stmts = main_stmts(wrap("a := new(); a.left := nil"))
+        store = stmts[1]
+        assert isinstance(store, ast.StoreField)
+        assert store.source is None
+
+    def test_load_value(self):
+        stmts = main_stmts(wrap("a := new(); x := a.value"))
+        assert isinstance(stmts[1], ast.LoadValue)
+
+    def test_store_value(self):
+        stmts = main_stmts(wrap("a := new(); a.value := x + 1"))
+        assert isinstance(stmts[1], ast.StoreValue)
+
+    def test_scalar_assignment(self):
+        stmts = main_stmts(wrap("x := 1 + 2 * y"))
+        assert isinstance(stmts[0], ast.ScalarAssign)
+
+    def test_result_is_core(self):
+        program, _ = normalize(wrap("a := new(); a.left := new(); x := a.value + 1"))
+        assert ast.program_is_core(program)
+
+
+class TestChainedAccessLowering:
+    def test_paper_example_complex_statement(self):
+        """a.left.right := b.right becomes t1 := a.left; t2 := b.right; t1.right := t2."""
+        stmts = main_stmts(wrap("a := new(); a.left := new(); b := new(); a.left.right := b.right"))
+        tail = stmts[-3:]
+        kinds = [type(s).__name__ for s in tail]
+        assert kinds == ["LoadField", "LoadField", "StoreField"]
+        load_a, load_b, store = tail
+        assert load_a.source == "a" and load_a.field_name is ast.Field.LEFT
+        assert load_b.source == "b" and load_b.field_name is ast.Field.RIGHT
+        assert store.field_name is ast.Field.RIGHT
+        assert store.target == load_a.target
+        assert store.source == load_b.target
+
+    def test_long_chain_on_rhs(self):
+        stmts = main_stmts(
+            wrap("a := new(); a.left := new(); a.left.left := new(); b := a.left.left.right")
+        )
+        kinds = [type(s).__name__ for s in stmts]
+        # The final surface assignment becomes two loads feeding a third.
+        assert kinds[-3:] == ["LoadField", "LoadField", "LoadField"]
+
+    def test_temporaries_are_declared(self):
+        program, info = normalize(wrap("a := new(); a.left := new(); b := a.left.right"))
+        scope = info.for_procedure("main")
+        temps = [name for name in scope.handle_variables() if name.startswith("_t")]
+        assert temps, "expected at least one handle temporary"
+
+    def test_temporaries_do_not_collide(self):
+        source = "program p procedure main() a, _t1: handle begin a := new(); a.left := new(); _t1 := a.left.left end"
+        program, info = normalize(source)
+        names = info.for_procedure("main").handle_variables()
+        assert len(names) == len(set(names))
+
+    def test_value_read_of_simple_handle_kept_inline(self):
+        """h.value := h.value + n stays a single StoreValue (Figure 7/8 shape)."""
+        stmts = main_stmts(wrap("a := new(); a.value := a.value + 1"))
+        assert len(stmts) == 2
+        store = stmts[1]
+        assert isinstance(store, ast.StoreValue)
+        reads = [sub for sub in ast.walk_expr(store.expr) if isinstance(sub, ast.FieldAccess)]
+        assert len(reads) == 1
+
+    def test_value_read_through_chain_is_hoisted(self):
+        stmts = main_stmts(wrap("a := new(); a.left := new(); x := a.left.value + 1"))
+        kinds = [type(s).__name__ for s in stmts]
+        assert "LoadField" in kinds
+        assert isinstance(stmts[-1], ast.ScalarAssign)
+
+
+class TestCallLowering:
+    def test_handle_argument_must_become_name(self):
+        source = (
+            "program p procedure main() a: handle begin a := new(); a.left := new(); "
+            "touch(a.left) end procedure touch(h: handle) begin end"
+        )
+        program, _ = normalize(source)
+        stmts = program.main.body.stmts
+        call = stmts[-1]
+        assert isinstance(call, ast.ProcCall)
+        assert isinstance(call.args[0], ast.Name)
+        assert isinstance(stmts[-2], ast.LoadField)
+
+    def test_nil_argument_allowed(self):
+        source = (
+            "program p procedure main() begin touch(nil) end "
+            "procedure touch(h: handle) begin end"
+        )
+        program, _ = normalize(source)
+        call = program.main.body.stmts[-1]
+        assert isinstance(call.args[0], ast.NilLit)
+
+    def test_function_call_becomes_func_assign(self):
+        source = (
+            "program p procedure main() x: int begin x := f(1) + 2 end "
+            "function f(n: int): int r: int begin r := n end return (r)"
+        )
+        program, _ = normalize(source)
+        kinds = [type(s).__name__ for s in program.main.body.stmts]
+        assert kinds == ["FuncAssign", "ScalarAssign"]
+
+    def test_nested_function_calls(self):
+        source = (
+            "program p procedure main() x: int begin x := f(f(1)) end "
+            "function f(n: int): int r: int begin r := n + 1 end return (r)"
+        )
+        program, _ = normalize(source)
+        kinds = [type(s).__name__ for s in program.main.body.stmts]
+        assert kinds == ["FuncAssign", "FuncAssign"]
+
+    def test_handle_function_result_assignment(self):
+        source = (
+            "program p procedure main() h: handle begin h := mk() end "
+            "function mk(): handle t: handle begin t := new() end return (t)"
+        )
+        program, _ = normalize(source)
+        assert isinstance(program.main.body.stmts[0], ast.FuncAssign)
+
+
+class TestControlFlowLowering:
+    def test_if_branches_normalized(self):
+        stmts = main_stmts(wrap("a := new(); if a <> nil then a.left := a.right"))
+        branch = stmts[1].then_branch
+        assert isinstance(branch, ast.Block)
+        assert all(ast.is_core_stmt(s) for s in ast.walk_stmt(branch))
+
+    def test_while_body_normalized(self):
+        stmts = main_stmts(wrap("a := new(); while a <> nil do a := a.left"))
+        assert isinstance(stmts[1], ast.WhileStmt)
+        assert isinstance(stmts[1].body, ast.LoadField)
+
+    def test_function_call_in_condition_rejected(self):
+        source = (
+            "program p procedure main() x: int begin if f(1) > 0 then x := 1 end "
+            "function f(n: int): int r: int begin r := n end return (r)"
+        )
+        with pytest.raises(NormalizationError):
+            normalize(source)
+
+    def test_new_in_condition_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize(wrap("if new() = nil then x := 1"))
+
+    def test_parallel_statement_branches_normalized(self):
+        stmts = main_stmts(wrap("a := new(); b := new(); a.value := 1 || b.value := 2"))
+        par = stmts[2]
+        assert isinstance(par, ast.ParallelStmt)
+        assert all(isinstance(b, ast.StoreValue) for b in par.branches)
+
+    def test_original_program_untouched(self):
+        program = parse_program(wrap("a := new(); b := a.left"))
+        before = ast.count_statements(program)
+        normalize_program(program)
+        assert ast.count_statements(program) == before
+        assert not ast.program_is_core(program)
+
+    def test_idempotent_on_core_programs(self, add_and_reverse):
+        program, info = add_and_reverse
+        again, _ = normalize_program(program, None)
+        assert ast.count_statements(again) == ast.count_statements(program)

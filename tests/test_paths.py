@@ -1,0 +1,240 @@
+"""Unit tests for path expressions and their algebra."""
+
+import pytest
+
+from repro.analysis.limits import AnalysisLimits
+from repro.analysis.paths import (
+    Direction,
+    Path,
+    PathSegment,
+    append_link,
+    cancel_first,
+    concat,
+    format_path,
+    generalize_pair,
+    link_path,
+    make_path,
+    parse_path,
+    paths_may_intersect,
+    subsumes,
+)
+from repro.sil.ast import Field
+
+
+def seg(direction, count=1, exact=True):
+    return PathSegment(Direction(direction), count, exact)
+
+
+class TestConstructionAndFormatting:
+    def test_same_path(self):
+        assert format_path(parse_path("S")) == "S"
+        assert parse_path("S").is_same
+        assert parse_path("S?").definite is False
+
+    def test_simple_segments(self):
+        assert format_path(parse_path("L1")) == "L1"
+        assert format_path(parse_path("R+")) == "R+"
+        assert format_path(parse_path("D2+")) == "D2+"
+        assert format_path(parse_path("L1R1")) == "L1R1"
+
+    def test_possible_suffix(self):
+        path = parse_path("D+?")
+        assert not path.definite
+        assert format_path(path) == "D+?"
+
+    def test_bare_letter_means_one_edge(self):
+        assert parse_path("L") == parse_path("L1")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_path("X3")
+
+    def test_segment_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            PathSegment(Direction.LEFT, 0, True)
+
+    def test_min_length(self):
+        assert parse_path("L1R2D+").min_length == 4
+        assert parse_path("S").min_length == 0
+
+    def test_paper_notation_l1_lplus_l1(self):
+        """The paper's L^1 L+ L^1 normalizes to 'at least three left edges'."""
+        path = make_path([seg("L"), seg("L", 1, False), seg("L")])
+        assert format_path(path) == "L3+"
+        assert path.min_length == 3
+
+
+class TestNormalizationLimits:
+    def test_adjacent_same_direction_segments_merge(self):
+        path = make_path([seg("L", 2), seg("L", 3)])
+        assert path.segments == (seg("L", 5),)
+
+    def test_exact_count_clamps_to_open(self):
+        limits = AnalysisLimits(max_exact_count=4)
+        path = make_path([seg("L", 9)], limits=limits)
+        assert path.segments[0].exact is False
+        assert path.segments[0].count == 4
+
+    def test_segment_count_clamps_via_down_collapse(self):
+        limits = AnalysisLimits(max_segments=2)
+        path = make_path([seg("L"), seg("R"), seg("L"), seg("R")], limits=limits)
+        assert len(path.segments) <= 2
+        assert path.segments[-1].direction is Direction.DOWN
+
+    def test_collapse_preserves_min_length_bound(self):
+        limits = AnalysisLimits(max_segments=2)
+        original = [seg("L"), seg("R"), seg("L"), seg("R")]
+        path = make_path(original, limits=limits)
+        assert path.min_length <= sum(s.count for s in original)
+        assert path.min_length >= 1
+
+
+class TestConcatAndAppend:
+    def test_concat_with_same(self):
+        left = parse_path("L1")
+        assert concat(parse_path("S"), left) == left
+        assert concat(left, parse_path("S")) == left
+
+    def test_concat_merges_directions(self):
+        assert format_path(concat(parse_path("L1"), parse_path("L+"))) == "L2+"
+        assert format_path(concat(parse_path("R1"), parse_path("D+"))) == "R1D+"
+
+    def test_concat_definiteness(self):
+        result = concat(parse_path("L1"), parse_path("R1?"))
+        assert not result.definite
+        result = concat(parse_path("L1"), parse_path("R1"))
+        assert result.definite
+
+    def test_append_link(self):
+        assert format_path(append_link(parse_path("S"), Field.LEFT)) == "L1"
+        assert format_path(append_link(parse_path("R1"), Field.RIGHT)) == "R2"
+        assert format_path(append_link(parse_path("D+"), Field.LEFT)) == "D+L1"
+
+    def test_link_path(self):
+        assert format_path(link_path(Field.LEFT)) == "L1"
+        assert format_path(link_path(Field.RIGHT, definite=False)) == "R1?"
+
+
+class TestCancelFirst:
+    """The core of the a := b.f transfer function (Figure 2)."""
+
+    def test_cancel_exact_single_edge(self):
+        [result] = cancel_first(Field.RIGHT, parse_path("R1D+"))
+        assert format_path(result) == "D+"
+        assert result.definite
+
+    def test_cancel_wrong_direction_gives_nothing(self):
+        assert cancel_first(Field.RIGHT, parse_path("L1R1")) == []
+        assert cancel_first(Field.LEFT, parse_path("R+")) == []
+
+    def test_cancel_exact_multi_edge(self):
+        [result] = cancel_first(Field.LEFT, parse_path("L3"))
+        assert format_path(result) == "L2"
+
+    def test_cancel_single_edge_to_same(self):
+        [result] = cancel_first(Field.LEFT, parse_path("L1"))
+        assert result.is_same and result.definite
+
+    def test_cancel_open_count_splits_into_possibilities(self):
+        results = cancel_first(Field.LEFT, parse_path("L+"))
+        rendered = sorted(format_path(p) for p in results)
+        assert rendered == ["L+?", "S?"]
+
+    def test_cancel_down_segment_is_possible(self):
+        """Figure 2(c): cancelling L from D+ gives {S?, D+?}."""
+        results = cancel_first(Field.LEFT, parse_path("D+"))
+        rendered = sorted(format_path(p) for p in results)
+        assert rendered == ["D+?", "S?"]
+
+    def test_cancel_exact_down_edge(self):
+        results = cancel_first(Field.RIGHT, parse_path("D2"))
+        assert [format_path(p) for p in results] == ["D1?"]
+
+    def test_cancel_from_same_gives_nothing(self):
+        assert cancel_first(Field.LEFT, parse_path("S")) == []
+
+    def test_cancel_preserves_possibility(self):
+        [result] = cancel_first(Field.LEFT, parse_path("L2?"))
+        assert not result.definite
+
+
+class TestSubsumption:
+    def test_identical_paths(self):
+        assert subsumes(parse_path("L1R1"), parse_path("L1R1"))
+
+    def test_open_segment_subsumes_specifics(self):
+        assert subsumes(parse_path("L+"), parse_path("L1"))
+        assert subsumes(parse_path("L+"), parse_path("L3"))
+        assert subsumes(parse_path("D+"), parse_path("L1R2"))
+        assert subsumes(parse_path("D2+"), parse_path("L1R2"))
+
+    def test_open_segment_does_not_subsume_shorter(self):
+        assert not subsumes(parse_path("L2+"), parse_path("L1"))
+
+    def test_specific_does_not_subsume_general(self):
+        assert not subsumes(parse_path("L1"), parse_path("L+"))
+        assert not subsumes(parse_path("L+"), parse_path("D+"))
+
+    def test_same_only_subsumed_by_same(self):
+        assert subsumes(parse_path("S"), parse_path("S"))
+        assert not subsumes(parse_path("D+"), parse_path("S"))
+        assert not subsumes(parse_path("S"), parse_path("L1"))
+
+    def test_segmentwise_subsumption(self):
+        assert subsumes(parse_path("D1L+"), parse_path("R1L2"))
+        assert not subsumes(parse_path("D1L+"), parse_path("R1R2"))
+
+
+class TestIntersection:
+    def test_same_intersects_only_same(self):
+        assert paths_may_intersect(parse_path("S"), parse_path("S"))
+        assert not paths_may_intersect(parse_path("S"), parse_path("L1"))
+
+    def test_identical_expressions_intersect(self):
+        assert paths_may_intersect(parse_path("L1R1"), parse_path("L1R1"))
+
+    def test_disjoint_first_edges(self):
+        assert not paths_may_intersect(parse_path("L1"), parse_path("R1"))
+        assert not paths_may_intersect(parse_path("L1D+"), parse_path("R1D+"))
+
+    def test_down_overlaps_both_sides(self):
+        assert paths_may_intersect(parse_path("D+"), parse_path("L1"))
+        assert paths_may_intersect(parse_path("D2"), parse_path("R1L1"))
+
+    def test_length_mismatch_excludes_intersection(self):
+        assert not paths_may_intersect(parse_path("L1"), parse_path("L2"))
+        assert not paths_may_intersect(parse_path("D2"), parse_path("L1R1L1"))
+
+    def test_open_lengths_can_match(self):
+        assert paths_may_intersect(parse_path("L+"), parse_path("L3"))
+        assert paths_may_intersect(parse_path("L2+"), parse_path("L+"))
+        assert not paths_may_intersect(parse_path("L2+"), parse_path("L1"))
+
+    def test_mixed_segments(self):
+        assert paths_may_intersect(parse_path("L1D+"), parse_path("L1R2"))
+        assert not paths_may_intersect(parse_path("L1D+"), parse_path("L1"))
+
+
+class TestGeneralization:
+    def test_identical_paths_unchanged(self):
+        path = parse_path("L1")
+        assert generalize_pair(path, path) == path
+
+    def test_same_segments_merge_definiteness(self):
+        result = generalize_pair(parse_path("L1"), parse_path("L1?"))
+        assert format_path(result) == "L1?"
+
+    def test_different_paths_widen_to_open_segment(self):
+        result = generalize_pair(parse_path("L1"), parse_path("L3"))
+        assert subsumes(result, parse_path("L1"))
+        assert subsumes(result, parse_path("L3"))
+
+    def test_mixed_directions_widen_to_down(self):
+        result = generalize_pair(parse_path("L2"), parse_path("R1"))
+        assert result.segments[0].direction is Direction.DOWN
+        assert subsumes(result, parse_path("L2"))
+        assert subsumes(result, parse_path("R1"))
+
+    def test_same_cannot_generalize_with_proper_path(self):
+        with pytest.raises(ValueError):
+            generalize_pair(parse_path("S"), parse_path("L1"))

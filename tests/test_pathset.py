@@ -1,0 +1,140 @@
+"""Unit tests for path sets (path-matrix entries)."""
+
+import pytest
+
+from repro.analysis.limits import AnalysisLimits
+from repro.analysis.paths import parse_path
+from repro.analysis.pathset import PathSet
+
+
+class TestConstruction:
+    def test_empty_set(self):
+        empty = PathSet.empty()
+        assert empty.is_empty
+        assert not empty
+        assert len(empty) == 0
+        assert empty.format() == ""
+
+    def test_same_singleton(self):
+        same = PathSet.same()
+        assert same.has_same and same.has_definite_same
+        assert not same.has_proper_path
+        assert same.format() == "S"
+
+    def test_possible_same(self):
+        maybe = PathSet.same(definite=False)
+        assert maybe.has_same and maybe.has_possible_same
+        assert not maybe.has_definite_same
+
+    def test_parse_round_trip(self):
+        entry = PathSet.parse("S?, D+?")
+        assert entry.format() == "S?, D+?"
+        assert PathSet.parse("") .is_empty
+        assert PathSet.parse("{}").is_empty
+
+    def test_duplicate_paths_deduplicate_with_definite_dominating(self):
+        entry = PathSet.of(parse_path("L1?"), parse_path("L1"))
+        assert len(entry) == 1
+        assert entry.format() == "L1"
+
+    def test_subsumed_possible_paths_dropped(self):
+        entry = PathSet.of(parse_path("L+?"), parse_path("L1?"), parse_path("L2?"))
+        assert entry.format() == "L+?"
+
+    def test_definite_path_survives_possible_subsumer(self):
+        entry = PathSet.of(parse_path("L+?"), parse_path("L1"))
+        rendered = entry.format()
+        assert "L1" in rendered and "L+?" in rendered
+
+    def test_same_is_never_subsumed_by_proper_paths(self):
+        entry = PathSet.of(parse_path("S?"), parse_path("D+?"))
+        assert entry.has_same and entry.has_proper_path
+
+    def test_equality_and_hash(self):
+        first = PathSet.parse("L1, R1")
+        second = PathSet.of(parse_path("R1"), parse_path("L1"))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != PathSet.parse("L1")
+
+
+class TestCombination:
+    def test_union_accumulates(self):
+        result = PathSet.parse("L1").union(PathSet.parse("R1"))
+        assert result.format() == "L1, R1"
+
+    def test_union_definite_dominates(self):
+        result = PathSet.parse("L1?").union(PathSet.parse("L1"))
+        assert result.format() == "L1"
+
+    def test_union_with_empty(self):
+        entry = PathSet.parse("L1")
+        assert entry.union(PathSet.empty()) == entry
+        assert PathSet.empty().union(entry) == entry
+
+    def test_merge_demotes_one_sided_paths(self):
+        result = PathSet.parse("S").merge(PathSet.parse("L1"))
+        assert result.format() == "S?, L1?"
+
+    def test_merge_keeps_definite_only_if_both_definite(self):
+        assert PathSet.parse("L1").merge(PathSet.parse("L1")).format() == "L1"
+        assert PathSet.parse("L1").merge(PathSet.parse("L1?")).format() == "L1?"
+
+    def test_merge_is_commutative(self):
+        first = PathSet.parse("S, L1")
+        second = PathSet.parse("L1, R2?")
+        assert first.merge(second) == second.merge(first)
+
+    def test_weakened(self):
+        weak = PathSet.parse("S, L1").weakened()
+        assert weak.format() == "S?, L1?"
+
+    def test_map_expands_paths(self):
+        entry = PathSet.parse("L1, R1")
+        doubled = entry.map(lambda p: [p, p.as_possible()])
+        assert doubled == entry  # same segments; definite dominates
+
+    def test_map_can_drop_paths(self):
+        entry = PathSet.parse("L1, R1")
+        lefts = entry.map(lambda p: [p] if p.segments[0].direction.value == "L" else [])
+        assert lefts.format() == "L1"
+
+
+class TestCollapseAndOrder:
+    def test_collapse_respects_limit(self):
+        limits = AnalysisLimits(max_paths_per_entry=3)
+        entry = PathSet.of(
+            parse_path("S?"),
+            parse_path("L1R1"),
+            parse_path("R1L1"),
+            parse_path("L2R2"),
+            parse_path("R2L2"),
+        )
+        collapsed = entry.collapse(limits)
+        assert len(collapsed) <= 3
+        assert collapsed.has_same
+
+    def test_collapse_is_identity_when_small(self):
+        entry = PathSet.parse("S, L1")
+        assert entry.collapse() == entry
+
+    def test_collapse_result_covers_original(self):
+        from repro.analysis.paths import subsumes
+
+        limits = AnalysisLimits(max_paths_per_entry=2)
+        paths = [parse_path("L1R1"), parse_path("R1L1"), parse_path("L2R2")]
+        collapsed = list(PathSet(paths).collapse(limits))
+        proper = [p for p in collapsed if not p.is_same]
+        assert len(proper) == 1
+        assert all(subsumes(proper[0], original) for original in paths)
+
+    def test_subset_order(self):
+        small = PathSet.parse("L1")
+        big = PathSet.parse("L1, R1")
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        assert PathSet.empty().is_subset_of(small)
+
+    def test_iteration_yields_paths(self):
+        entry = PathSet.parse("S?, L1")
+        assert {p.is_same for p in entry} == {True, False}

@@ -1,0 +1,110 @@
+"""Unit tests for the SIL pretty printer (including round-tripping)."""
+
+import pytest
+
+from repro.sil import ast
+from repro.sil.normalize import parse_and_normalize
+from repro.sil.parser import parse_expression, parse_program, parse_statement
+from repro.sil.printer import format_expr, format_procedure, format_program, format_stmt
+from repro.sil.typecheck import check_program
+from repro.workloads import WORKLOADS, source
+
+
+class TestExpressionFormatting:
+    def test_literals(self):
+        assert format_expr(ast.IntLit(42)) == "42"
+        assert format_expr(ast.NilLit()) == "nil"
+        assert format_expr(ast.NewExpr()) == "new()"
+
+    def test_field_chain(self):
+        assert format_expr(parse_expression("a.left.right.value")) == "a.left.right.value"
+
+    def test_minimal_parentheses(self):
+        assert format_expr(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert format_expr(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_comparison_and_logic(self):
+        text = format_expr(parse_expression("h <> nil and x < 3"))
+        assert text == "h <> nil and x < 3"
+
+    def test_round_trip_expression(self):
+        for text in ("1 + 2 * (3 - x)", "a.left.value + b.right.value", "not (x = 0) or y > 1"):
+            formatted = format_expr(parse_expression(text))
+            assert format_expr(parse_expression(formatted)) == formatted
+
+
+class TestStatementFormatting:
+    def test_basic_statements(self):
+        assert format_stmt(ast.AssignNil(target="a")) == "a := nil"
+        assert format_stmt(ast.AssignNew(target="a")) == "a := new()"
+        assert format_stmt(ast.CopyHandle(target="a", source="b")) == "a := b"
+        assert (
+            format_stmt(ast.LoadField(target="a", source="b", field_name=ast.Field.RIGHT))
+            == "a := b.right"
+        )
+        assert (
+            format_stmt(ast.StoreField(target="a", field_name=ast.Field.LEFT, source=None))
+            == "a.left := nil"
+        )
+        assert format_stmt(ast.LoadValue(target="x", source="a")) == "x := a.value"
+
+    def test_parallel_statement_single_line(self):
+        stmt = parse_statement("l := h.left || r := h.right")
+        assert format_stmt(stmt) == "l := h.left || r := h.right"
+
+    def test_block_indentation(self):
+        stmt = parse_statement("begin x := 1; y := 2 end")
+        text = format_stmt(stmt)
+        assert text.splitlines()[0] == "begin"
+        assert text.splitlines()[1] == "  x := 1;"
+        assert text.splitlines()[-1] == "end"
+
+    def test_if_else_layout(self):
+        stmt = parse_statement("if h <> nil then x := 1 else x := 2")
+        lines = format_stmt(stmt).splitlines()
+        assert lines[0] == "if h <> nil then"
+        assert "else" in lines
+
+    def test_while_layout(self):
+        stmt = parse_statement("while l.left <> nil do l := l.left")
+        lines = format_stmt(stmt).splitlines()
+        assert lines[0] == "while l.left <> nil do"
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_round_trips(self, name):
+        """format(parse(x)) parses back to an equivalent, type-correct program."""
+        original = parse_program(source(name, depth=3))
+        text = format_program(original)
+        reparsed = parse_program(text)
+        check_program(reparsed)
+        assert {p.name for p in reparsed.all_callables} == {
+            p.name for p in original.all_callables
+        }
+        assert format_program(reparsed) == text
+
+    def test_core_program_round_trips(self):
+        core, _ = parse_and_normalize(source("add_and_reverse", depth=3))
+        text = format_program(core)
+        reparsed = parse_program(text)
+        check_program(reparsed)
+        assert format_program(reparsed) == text
+
+    def test_parallel_program_round_trips(self, add_and_reverse_parallel):
+        result, _ = add_and_reverse_parallel
+        text = format_program(result.program)
+        reparsed = parse_program(text)
+        check_program(reparsed)
+        assert "||" in text
+
+    def test_procedure_header_includes_types(self):
+        program = parse_program(source("add_and_reverse", depth=3))
+        text = format_procedure(program.procedure("add_n"))
+        assert text.startswith("procedure add_n(h: handle; n: int)")
+
+    def test_function_header_and_return(self):
+        program = parse_program(source("tree_add", depth=3))
+        text = format_procedure(program.function("build"))
+        assert text.startswith("function build(d: int): handle")
+        assert text.rstrip().endswith("return (t)")

@@ -1,0 +1,321 @@
+"""Property-based tests (hypothesis): path algebra, analysis soundness, end-to-end.
+
+Three layers of properties:
+
+1. algebraic invariants of path expressions;
+2. **soundness of the abstract transfer functions** against concrete heap
+   execution: every concrete path between two handles must be described by
+   the path matrix, and definite ``S`` claims must be true;
+3. **end-to-end safety of the parallelizer**: a randomly generated
+   straight-line handle program, parallelized with the path-matrix oracle,
+   runs without dynamic races and computes the same heap as the sequential
+   version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.matrix import PathMatrix
+from repro.analysis.paths import (
+    Direction,
+    Path,
+    PathSegment,
+    concat,
+    format_path,
+    generalize_pair,
+    make_path,
+    parse_path,
+    paths_may_intersect,
+    subsumes,
+)
+from repro.analysis.transfer import apply_basic_statement
+from repro.parallel import parallelize_program
+from repro.runtime import Heap, run_program
+from repro.sil import ast, check_program
+from repro.sil.builder import HANDLE, INT, ProgramBuilder
+from repro.sil.normalize import normalize_program
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+directions = st.sampled_from([Direction.LEFT, Direction.RIGHT, Direction.DOWN])
+segments = st.builds(
+    PathSegment,
+    direction=directions,
+    count=st.integers(min_value=1, max_value=3),
+    exact=st.booleans(),
+)
+paths = st.builds(
+    lambda segs, definite: make_path(segs, definite),
+    st.lists(segments, min_size=0, max_size=3),
+    st.booleans(),
+)
+
+
+class TestPathAlgebraProperties:
+    @given(paths)
+    def test_format_parse_round_trip(self, path):
+        assert parse_path(format_path(path)) == path
+
+    @given(paths)
+    def test_concat_with_same_is_identity(self, path):
+        same = Path((), True)
+        assert concat(same, path) == path
+        assert concat(path, same) == path
+
+    @given(paths, paths)
+    def test_concat_min_length_is_bounded_by_sum(self, first, second):
+        result = concat(first, second)
+        assert result.min_length <= first.min_length + second.min_length
+        assert result.min_length >= min(first.min_length, second.min_length)
+
+    @given(paths)
+    def test_subsumption_is_reflexive(self, path):
+        assert subsumes(path, path)
+
+    @given(paths)
+    def test_path_intersects_itself(self, path):
+        assert paths_may_intersect(path, path)
+
+    @given(paths, paths)
+    def test_intersection_is_symmetric(self, first, second):
+        assert paths_may_intersect(first, second) == paths_may_intersect(second, first)
+
+    @given(paths, paths)
+    def test_subsumption_implies_intersection(self, first, second):
+        if subsumes(first, second):
+            assert paths_may_intersect(first, second)
+
+    @given(paths, paths)
+    def test_generalize_pair_covers_both(self, first, second):
+        if first.is_same != second.is_same:
+            return  # S cannot be generalized with a proper path
+        general = generalize_pair(first, second)
+        assert subsumes(general, first) or general == first
+        assert subsumes(general, second) or general == second
+
+
+# ---------------------------------------------------------------------------
+# Soundness of transfer functions against a concrete heap
+# ---------------------------------------------------------------------------
+
+HANDLES = ["h0", "h1", "h2", "h3"]
+
+#: One abstract operation: (kind, handle index, handle index, field selector).
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["new", "copy", "load", "store", "cut"]),
+        st.integers(min_value=0, max_value=len(HANDLES) - 1),
+        st.integers(min_value=0, max_value=len(HANDLES) - 1),
+        st.sampled_from([ast.Field.LEFT, ast.Field.RIGHT]),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _concrete_paths(heap: Heap, source, target, limit: int = 200) -> List[List[str]]:
+    """All simple edge-label paths from node ``source`` to node ``target``."""
+    results: List[List[str]] = []
+
+    def walk(current, labels, visited):
+        if len(results) >= limit:
+            return
+        if current.node_id == target.node_id and labels:
+            results.append(list(labels))
+        node = heap.node(current)
+        for label, child in (("L", node.left), ("R", node.right)):
+            if child is not None and child.node_id not in visited:
+                walk(child, labels + [label], visited | {child.node_id})
+
+    walk(source, [], {source.node_id})
+    return results
+
+
+def _path_expression(labels: List[str]) -> Path:
+    segments = [PathSegment(Direction.LEFT if l == "L" else Direction.RIGHT, 1, True) for l in labels]
+    return make_path(segments)
+
+
+class TestTransferSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_abstract_matrix_covers_concrete_paths(self, ops):
+        heap = Heap()
+        concrete: Dict[str, Optional[object]] = {name: None for name in HANDLES}
+        matrix = PathMatrix(HANDLES)
+
+        def apply(stmt: ast.BasicStmt) -> None:
+            nonlocal matrix
+            matrix = apply_basic_statement(matrix, stmt).matrix
+
+        for kind, i, j, field in ops:
+            a, b = HANDLES[i], HANDLES[j]
+            if kind == "new":
+                concrete[a] = heap.allocate()
+                apply(ast.AssignNew(target=a))
+            elif kind == "copy":
+                concrete[a] = concrete[b]
+                apply(ast.CopyHandle(target=a, source=b))
+            elif kind == "load":
+                if concrete[b] is None:
+                    continue  # would be a runtime error; skip both sides
+                concrete[a] = heap.read_link(concrete[b], field)
+                apply(ast.LoadField(target=a, source=b, field_name=field))
+            elif kind == "store":
+                if concrete[a] is None or concrete[b] is None:
+                    continue
+                # Keep the structure a TREE (the discipline the analysis is
+                # designed for, Section 3.1): skip stores that would close a
+                # cycle or give the linked node a second parent.
+                if concrete[a].node_id in {
+                    r.node_id for r in heap.reachable_from([concrete[b]])
+                }:
+                    continue
+                if heap.parents().get(concrete[b].node_id):
+                    continue
+                heap.write_link(concrete[a], field, concrete[b])
+                apply(ast.StoreField(target=a, field_name=field, source=b))
+            elif kind == "cut":
+                if concrete[a] is None:
+                    continue
+                heap.write_link(concrete[a], field, None)
+                apply(ast.StoreField(target=a, field_name=field, source=None))
+
+            # --- soundness checks after every step -----------------------
+            for first in HANDLES:
+                for second in HANDLES:
+                    if first == second:
+                        continue
+                    node_a, node_b = concrete[first], concrete[second]
+                    if node_a is None or node_b is None:
+                        continue
+                    entry = matrix.get(first, second)
+                    if node_a.node_id == node_b.node_id:
+                        assert entry.has_same, (
+                            f"{first} and {second} name the same node but "
+                            f"p[{first},{second}] = {{{entry.format()}}}"
+                        )
+                    for labels in _concrete_paths(heap, node_a, node_b):
+                        exact = _path_expression(labels)
+                        assert any(paths_may_intersect(exact, p) for p in entry), (
+                            f"concrete path {''.join(labels)} from {first} to {second} "
+                            f"is not covered by p[{first},{second}] = {{{entry.format()}}}"
+                        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations)
+    def test_definite_same_claims_are_true(self, ops):
+        heap = Heap()
+        concrete: Dict[str, Optional[object]] = {name: None for name in HANDLES}
+        matrix = PathMatrix(HANDLES)
+
+        for kind, i, j, field in ops:
+            a, b = HANDLES[i], HANDLES[j]
+            if kind == "new":
+                concrete[a] = heap.allocate()
+                stmt = ast.AssignNew(target=a)
+            elif kind == "copy":
+                concrete[a] = concrete[b]
+                stmt = ast.CopyHandle(target=a, source=b)
+            elif kind == "load":
+                if concrete[b] is None:
+                    continue
+                concrete[a] = heap.read_link(concrete[b], field)
+                stmt = ast.LoadField(target=a, source=b, field_name=field)
+            else:
+                continue
+            matrix = apply_basic_statement(matrix, stmt).matrix
+
+            for first in HANDLES:
+                for second in HANDLES:
+                    if first == second:
+                        continue
+                    if matrix.get(first, second).has_definite_same:
+                        node_a, node_b = concrete[first], concrete[second]
+                        if node_a is not None and node_b is not None:
+                            assert node_a.node_id == node_b.node_id
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: random straight-line programs parallelize safely
+# ---------------------------------------------------------------------------
+
+
+def _build_random_program(ops) -> Tuple[ast.Program, object]:
+    """Turn a decision stream into a valid straight-line SIL program."""
+    builder = ProgramBuilder("random_straightline")
+    handle_names = [f"h{i}" for i in range(4)]
+    int_names = [f"x{i}" for i in range(2)]
+    main = builder.procedure(
+        "main",
+        locals=[(n, HANDLE) for n in handle_names] + [(n, INT) for n in int_names],
+    )
+    # Mirror the concrete state during generation so every emitted statement
+    # is guaranteed to execute without a nil dereference.
+    heap = Heap()
+    concrete: Dict[str, Optional[object]] = {name: None for name in handle_names}
+
+    main.assign(handle_names[0], ast.NewExpr())
+    concrete[handle_names[0]] = heap.allocate()
+
+    for kind, i, j, field in ops:
+        a, b = handle_names[i], handle_names[j]
+        field_name = "left" if field is ast.Field.LEFT else "right"
+        if kind == "new":
+            main.assign(a, ast.NewExpr())
+            concrete[a] = heap.allocate()
+        elif kind == "copy":
+            main.assign(a, ast.Name(b))
+            concrete[a] = concrete[b]
+        elif kind == "load":
+            if concrete[b] is None:
+                continue
+            main.assign(a, ast.FieldAccess(ast.Name(b), field))
+            concrete[a] = heap.read_link(concrete[b], field)
+        elif kind == "store":
+            if concrete[a] is None or concrete[b] is None:
+                continue
+            if concrete[a].node_id in {r.node_id for r in heap.reachable_from([concrete[b]])}:
+                continue
+            main.assign((a, field_name), ast.Name(b))
+            heap.write_link(concrete[a], field, concrete[b])
+        elif kind == "cut":
+            if concrete[a] is None:
+                continue
+            main.assign((a, field_name), ast.NilLit())
+            heap.write_link(concrete[a], field, None)
+        # Sprinkle in value updates and reads through live handles.
+        if concrete[a] is not None and kind in ("new", "copy", "load"):
+            main.assign((a, "value"), ast.BinOp("+", ast.FieldAccess(ast.Name(a), ast.Field.VALUE), ast.IntLit(i + 1)))
+
+    program = builder.build()
+    return normalize_program(program)
+
+
+class TestEndToEndParallelizationSafety:
+    @settings(max_examples=25, deadline=None)
+    @given(operations)
+    def test_parallelized_random_program_is_race_free_and_equivalent(self, ops):
+        program, info = _build_random_program(ops)
+        sequential = run_program(program, info)
+
+        result = parallelize_program(program, info)
+        parallel_info = check_program(result.program)
+        parallel = run_program(result.program, parallel_info)
+
+        assert parallel.race_free, [str(r) for r in parallel.races]
+        assert parallel.work == sequential.work
+        for name, value in sequential.main_locals.items():
+            par_value = parallel.main_locals[name]
+            if value is None or hasattr(value, "node_id"):
+                seq_shape = sequential.heap.extract(value) if value is not None else None
+                par_shape = parallel.heap.extract(par_value) if par_value is not None else None
+                assert seq_shape == par_shape
+            else:
+                assert value == par_value

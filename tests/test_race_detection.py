@@ -1,0 +1,134 @@
+"""Unit tests for the dynamic race detector (parallel statement validation)."""
+
+import pytest
+
+from repro.runtime import run_source
+from repro.runtime.trace import AccessSet, FieldLocation, VarLocation
+
+
+def wrap(body, decls="a, b, c: handle; x, y: int"):
+    return f"program p procedure main() {decls} begin {body} end"
+
+
+class TestAccessSets:
+    def test_conflict_requires_a_write(self):
+        first, second = AccessSet(), AccessSet()
+        location = FieldLocation(1, "value")
+        first.record_read(location)
+        second.record_read(location)
+        assert not first.conflicts_with(second)
+
+    def test_write_read_conflict(self):
+        first, second = AccessSet(), AccessSet()
+        location = VarLocation(1, "x")
+        first.record_write(location)
+        second.record_read(location)
+        assert first.conflicts_with(second) == {location}
+        assert second.conflicts_with(first) == {location}
+
+    def test_write_write_conflict(self):
+        first, second = AccessSet(), AccessSet()
+        location = FieldLocation(2, "left")
+        first.record_write(location)
+        second.record_write(location)
+        assert first.conflicts_with(second) == {location}
+
+    def test_distinct_locations_do_not_conflict(self):
+        first, second = AccessSet(), AccessSet()
+        first.record_write(FieldLocation(1, "left"))
+        second.record_write(FieldLocation(1, "right"))
+        assert not first.conflicts_with(second)
+
+
+class TestRaceFreePrograms:
+    def test_disjoint_value_updates(self):
+        result = run_source(wrap("a := new(); b := new(); a.value := 1 || b.value := 2"))
+        assert result.race_free
+
+    def test_disjoint_field_updates_on_same_node(self):
+        # left and right of the same node are different locations.
+        result = run_source(wrap("a := new(); b := new(); c := new(); a.left := b || a.right := c"))
+        assert result.race_free
+
+    def test_reads_of_shared_node_are_not_races(self):
+        result = run_source(wrap("a := new(); a.value := 5; x := a.value || y := a.value"))
+        assert result.race_free
+
+    def test_parallel_calls_on_disjoint_subtrees(self):
+        source = """
+        program p
+        procedure main()
+          root, l, r: handle
+        begin
+          root := new();
+          root.left := new();
+          root.right := new();
+          l := root.left;
+          r := root.right;
+          bump(l) || bump(r)
+        end
+        procedure bump(h: handle)
+        begin
+          h.value := h.value + 1
+        end
+        """
+        result = run_source(source)
+        assert result.race_free
+        assert result.parallel_statements == 1
+
+
+class TestRacyPrograms:
+    def test_write_write_race_on_value(self):
+        result = run_source(wrap("a := new(); b := a; a.value := 1 || b.value := 2"))
+        assert not result.race_free
+        assert len(result.races) == 1
+        locations = {str(l) for l in result.races[0].locations}
+        assert any(".value" in l for l in locations)
+
+    def test_read_write_race_on_variable(self):
+        result = run_source(wrap("x := 1; x := 2 || y := x"))
+        assert not result.race_free
+
+    def test_race_through_aliased_handles(self):
+        result = run_source(
+            wrap("a := new(); a.left := new(); b := a.left; c := a.left; b.value := 1 || c.value := 2")
+        )
+        assert not result.race_free
+
+    def test_parallel_calls_on_overlapping_subtrees_race(self):
+        source = """
+        program p
+        procedure main()
+          root, l: handle
+        begin
+          root := new();
+          root.left := new();
+          l := root.left;
+          bump(root) || bump(l)
+        end
+        procedure bump(h: handle)
+          c: handle
+        begin
+          h.value := h.value + 1;
+          c := h.left;
+          if c <> nil then bump(c)
+        end
+        """
+        result = run_source(source)
+        assert not result.race_free
+
+    def test_race_report_identifies_branches(self):
+        result = run_source(wrap("a := new(); a.value := 1 || x := 2 || a.value := 3"))
+        assert len(result.races) == 1
+        assert result.races[0].branch_indices == (0, 2)
+
+    def test_races_in_nested_parallel_statements(self):
+        result = run_source(
+            wrap("a := new(); b := new(); begin a.value := 1 || b.value := 2 end || a.value := 3")
+        )
+        assert not result.race_free
+
+    def test_variable_race_between_branches(self):
+        result = run_source(wrap("x := 1 || x := 2"))
+        assert not result.race_free
+        assert isinstance(next(iter(result.races[0].locations)), VarLocation)

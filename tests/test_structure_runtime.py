@@ -1,0 +1,117 @@
+"""Unit tests for the runtime TREE/DAG/CYCLIC classifier."""
+
+import pytest
+
+from repro.runtime.heap import Heap
+from repro.runtime.structure import (
+    StructureKind,
+    classify_structure,
+    is_dag,
+    is_tree,
+    subtrees_disjoint,
+)
+from repro.sil.ast import Field
+
+
+class TestClassification:
+    def test_empty_structure_is_tree(self):
+        heap = Heap()
+        report = classify_structure(heap, [None])
+        assert report.is_tree and report.node_count == 0
+
+    def test_single_node_is_tree(self):
+        heap = Heap()
+        root = heap.allocate()
+        assert is_tree(heap, root)
+
+    def test_full_tree_is_tree(self):
+        heap = Heap()
+        root = heap.build_full_tree(5)
+        report = classify_structure(heap, [root])
+        assert report.kind is StructureKind.TREE
+        assert report.node_count == 31
+        assert report.shared_nodes == []
+        assert report.cycle is None
+
+    def test_shared_node_makes_dag(self):
+        heap = Heap()
+        a, b, shared = heap.allocate(), heap.allocate(), heap.allocate()
+        root = heap.allocate()
+        heap.write_link(root, Field.LEFT, a)
+        heap.write_link(root, Field.RIGHT, b)
+        heap.write_link(a, Field.LEFT, shared)
+        heap.write_link(b, Field.RIGHT, shared)
+        report = classify_structure(heap, [root])
+        assert report.kind is StructureKind.DAG
+        assert report.shared_nodes == [shared.node_id]
+        assert is_dag(heap, root)
+        assert not is_tree(heap, root)
+
+    def test_double_edge_from_same_parent_is_dag(self):
+        heap = Heap()
+        parent, child = heap.allocate(), heap.allocate()
+        heap.write_link(parent, Field.LEFT, child)
+        heap.write_link(parent, Field.RIGHT, child)
+        report = classify_structure(heap, [parent])
+        assert report.kind is StructureKind.DAG
+
+    def test_self_loop_is_cyclic(self):
+        heap = Heap()
+        node = heap.allocate()
+        heap.write_link(node, Field.LEFT, node)
+        report = classify_structure(heap, [node])
+        assert report.kind is StructureKind.CYCLIC
+        assert report.cycle is not None
+
+    def test_long_cycle_detected(self):
+        heap = Heap()
+        nodes = [heap.allocate() for _ in range(5)]
+        for first, second in zip(nodes, nodes[1:]):
+            heap.write_link(first, Field.LEFT, second)
+        heap.write_link(nodes[-1], Field.RIGHT, nodes[0])
+        report = classify_structure(heap, [nodes[0]])
+        assert report.is_cyclic
+        assert set(report.cycle[:-1]) == {n.node_id for n in nodes}
+
+    def test_classification_restricted_to_reachable_nodes(self):
+        heap = Heap()
+        tree_root = heap.build_full_tree(3)
+        # An unrelated cyclic blob elsewhere in the heap must not matter.
+        a, b = heap.allocate(), heap.allocate()
+        heap.write_link(a, Field.LEFT, b)
+        heap.write_link(b, Field.LEFT, a)
+        assert is_tree(heap, tree_root)
+
+    def test_multiple_roots_sharing_is_dag(self):
+        heap = Heap()
+        shared = heap.build((5, 1, 2))
+        first, second = heap.allocate(), heap.allocate()
+        heap.write_link(first, Field.LEFT, shared)
+        heap.write_link(second, Field.LEFT, shared)
+        report = classify_structure(heap, [first, second])
+        assert report.kind is StructureKind.DAG
+
+    def test_report_flags(self):
+        heap = Heap()
+        root = heap.build_full_tree(2)
+        report = classify_structure(heap, [root])
+        assert report.is_tree and not report.is_dag and not report.is_cyclic
+
+
+class TestDisjointness:
+    def test_siblings_of_a_tree_are_disjoint(self):
+        heap = Heap()
+        root = heap.build_full_tree(4)
+        node = heap.node(root)
+        assert subtrees_disjoint(heap, node.left, node.right)
+
+    def test_overlapping_subtrees_detected(self):
+        heap = Heap()
+        root = heap.build_full_tree(3)
+        node = heap.node(root)
+        assert not subtrees_disjoint(heap, root, node.left)
+
+    def test_nil_subtree_is_disjoint_from_everything(self):
+        heap = Heap()
+        root = heap.build_full_tree(2)
+        assert subtrees_disjoint(heap, None, root)

@@ -1,0 +1,154 @@
+"""Unit tests for procedure summaries (read-only vs. update arguments)."""
+
+import pytest
+
+from repro.analysis.summaries import compute_summaries
+from repro.sil.normalize import parse_and_normalize
+from repro.workloads import load
+
+
+def summaries_of(source):
+    program, info = parse_and_normalize(source)
+    return compute_summaries(program, info)
+
+
+class TestAddAndReverse:
+    def test_add_n_is_update_but_not_structural(self):
+        program, info = load("add_and_reverse", depth=3)
+        summaries = compute_summaries(program, info)
+        add_n = summaries["add_n"]
+        assert add_n.update_params == {"h"}
+        assert add_n.readonly_params() == []
+        assert not add_n.modifies_links
+
+    def test_reverse_modifies_links(self):
+        program, info = load("add_and_reverse", depth=3)
+        summaries = compute_summaries(program, info)
+        reverse = summaries["reverse"]
+        assert reverse.update_params == {"h"}
+        assert reverse.modifies_links
+
+    def test_build_returns_fresh_structure(self):
+        program, info = load("add_and_reverse", depth=3)
+        summaries = compute_summaries(program, info)
+        build = summaries["build"]
+        assert build.result_may_be_fresh
+        assert build.result_derived_from == set()
+
+
+class TestClassification:
+    def test_pure_reader_is_readonly(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle; x: int begin h := new(); x := peek(h) end
+            function peek(t: handle): int r: int; c: handle
+            begin r := t.value; c := t.left; if c <> nil then r := r + peek(c) end
+            return (r)
+            """
+        )
+        assert summaries["peek"].readonly_params() == ["t"]
+        assert not summaries["peek"].modifies_links
+
+    def test_value_writer_is_update_without_links(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle begin h := new(); bump(h) end
+            procedure bump(t: handle) begin t.value := t.value + 1 end
+            """
+        )
+        assert summaries["bump"].update_params == {"t"}
+        assert not summaries["bump"].modifies_links
+
+    def test_update_through_derived_handle(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle begin h := new(); h.left := new(); poke(h) end
+            procedure poke(t: handle) c: handle begin c := t.left; c.value := 1 end
+            """
+        )
+        assert summaries["poke"].update_params == {"t"}
+
+    def test_update_propagates_through_calls(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle begin h := new(); outer(h) end
+            procedure outer(a: handle) begin inner(a) end
+            procedure inner(b: handle) begin b.value := 1 end
+            """
+        )
+        assert summaries["outer"].update_params == {"a"}
+        assert summaries["inner"].update_params == {"b"}
+
+    def test_modifies_links_propagates_through_calls(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle begin h := new(); outer(h) end
+            procedure outer(a: handle) begin chop(a) end
+            procedure chop(b: handle) begin b.left := nil end
+            """
+        )
+        assert summaries["outer"].modifies_links
+        assert summaries["chop"].update_params == {"b"}
+
+    def test_one_of_two_params_updated(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() a, b: handle begin a := new(); b := new(); move(a, b) end
+            procedure move(source, target: handle) v: int
+            begin v := source.value; target.value := v end
+            """
+        )
+        move = summaries["move"]
+        assert move.update_params == {"target"}
+        assert move.readonly_params() == ["source"]
+
+    def test_mutually_recursive_procedures_reach_fixed_point(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h: handle begin h := new(); even(h) end
+            procedure even(a: handle) c: handle
+            begin c := a.left; if c <> nil then odd(c) end
+            procedure odd(b: handle) c: handle
+            begin b.value := 1; c := b.left; if c <> nil then even(c) end
+            """
+        )
+        # even writes nothing itself but calls odd on a node derived from a.
+        assert summaries["even"].update_params == {"a"}
+        assert summaries["odd"].update_params == {"b"}
+
+
+class TestFunctionResults:
+    def test_result_derived_from_argument(self):
+        summaries = summaries_of(
+            """
+            program p
+            procedure main() h, t: handle begin h := new(); h.left := new(); t := leftmost(h) end
+            function leftmost(a: handle): handle r, c: handle
+            begin r := a; c := a.left; if c <> nil then r := leftmost(c) end
+            return (r)
+            """
+        )
+        leftmost = summaries["leftmost"]
+        assert leftmost.result_derived_from == {"a"}
+
+    def test_fresh_result(self):
+        program, info = load("tree_copy", depth=3)
+        summaries = compute_summaries(program, info)
+        assert summaries["copy"].result_may_be_fresh
+        # copy reads its argument but never writes through it.
+        assert summaries["copy"].readonly_params() == ["h"]
+        assert summaries["copy"].modifies_links  # it links freshly built nodes
+
+    def test_bitonic_cmpswap_updates_both(self):
+        program, info = load("bitonic_sort", depth=3)
+        summaries = compute_summaries(program, info)
+        assert summaries["cmpswap"].update_params == {"a", "b"}
+        assert summaries["bisort"].update_params == {"t"}
+        assert not summaries["cmpswap"].modifies_links

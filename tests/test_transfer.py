@@ -1,0 +1,215 @@
+"""Unit tests for the per-statement transfer functions (Section 4)."""
+
+import pytest
+
+from repro.analysis.matrix import PathMatrix
+from repro.analysis.pathset import PathSet
+from repro.analysis.transfer import (
+    apply_assign_new,
+    apply_assign_nil,
+    apply_basic_statement,
+    apply_copy,
+    apply_load_field,
+    apply_store_field,
+)
+from repro.sil import ast
+from repro.sil.ast import Field
+
+
+def figure2_initial():
+    matrix = PathMatrix(["a", "b", "c"])
+    matrix.set("a", "b", PathSet.parse("L1L+L1"))
+    matrix.set("a", "c", PathSet.parse("R1D+"))
+    return matrix
+
+
+class TestNilNewCopy:
+    def test_assign_nil_clears_relationships(self):
+        matrix = figure2_initial()
+        result = apply_assign_nil(matrix, "a")
+        assert result.get("a", "b").is_empty and result.get("a", "c").is_empty
+        assert "a" in result
+
+    def test_assign_new_clears_relationships(self):
+        matrix = figure2_initial()
+        result = apply_assign_new(matrix, "c")
+        assert result.get("a", "c").is_empty
+        assert result.get("a", "b").format() == "L3+"
+
+    def test_assign_does_not_mutate_input(self):
+        matrix = figure2_initial()
+        apply_assign_nil(matrix, "a")
+        assert matrix.get("a", "b").format() == "L3+"
+
+    def test_copy_aliases_source(self):
+        matrix = figure2_initial()
+        result = apply_copy(matrix, "d", "a")
+        assert result.must_alias("d", "a")
+        assert result.get("d", "b") == matrix.get("a", "b")
+        assert result.get("d", "c") == matrix.get("a", "c")
+
+    def test_copy_overwrites_old_relationships(self):
+        matrix = figure2_initial()
+        step1 = apply_copy(matrix, "d", "a")
+        step2 = apply_copy(step1, "d", "b")
+        assert step2.must_alias("d", "b")
+        assert not step2.must_alias("d", "a")
+        # d now sits where b sits: below a.
+        assert step2.get("a", "d").format() == "L3+"
+
+    def test_copy_to_itself_is_identity(self):
+        matrix = figure2_initial()
+        assert apply_copy(matrix, "a", "a") == matrix
+
+    def test_copy_inherits_incoming_paths(self):
+        matrix = figure2_initial()
+        result = apply_copy(matrix, "d", "c")
+        assert result.get("a", "d").format() == "R1D+"
+
+
+class TestLoadField:
+    """Figure 2 of the paper, statement by statement."""
+
+    def test_paths_into_the_new_handle(self):
+        matrix = apply_load_field(figure2_initial(), "d", "a", Field.RIGHT)
+        assert matrix.get("a", "d").format() == "R1"
+
+    def test_left_cancellation_gives_descendant_relation(self):
+        matrix = apply_load_field(figure2_initial(), "d", "a", Field.RIGHT)
+        assert matrix.get("d", "c").format() == "D+"
+        assert matrix.get("d", "b").is_empty
+
+    def test_second_load_introduces_possible_paths(self):
+        step1 = apply_load_field(figure2_initial(), "d", "a", Field.RIGHT)
+        step2 = apply_load_field(step1, "e", "d", Field.LEFT)
+        assert step2.get("a", "e").format() == "R1L1"
+        assert step2.get("d", "e").format() == "L1"
+        assert step2.get("e", "c").format() == "S?, D+?"
+
+    def test_original_entries_preserved(self):
+        matrix = apply_load_field(figure2_initial(), "d", "a", Field.RIGHT)
+        assert matrix.get("a", "b").format() == "L3+"
+        assert matrix.get("a", "c").format() == "R1D+"
+
+    def test_self_load_walks_down(self):
+        matrix = PathMatrix(["h", "l"])
+        matrix.set("h", "l", PathSet.same())
+        matrix.set("l", "h", PathSet.same())
+        result = apply_load_field(matrix, "l", "l", Field.LEFT)
+        assert result.get("h", "l").format() == "L1"
+        assert result.get("l", "h").is_empty
+
+    def test_load_from_unrelated_handle(self):
+        matrix = PathMatrix(["a", "b"])
+        result = apply_load_field(matrix, "c", "b", Field.LEFT)
+        assert result.get("b", "c").format() == "L1"
+        assert result.get("a", "c").is_empty
+        assert result.get("c", "a").is_empty
+
+    def test_load_overwrites_previous_binding(self):
+        matrix = PathMatrix(["a", "b"])
+        matrix.set("a", "b", PathSet.parse("L1"))
+        result = apply_load_field(matrix, "b", "a", Field.RIGHT)
+        assert result.get("a", "b").format() == "R1"
+
+
+class TestStoreField:
+    def test_linking_fresh_node_adds_definite_path(self):
+        matrix = PathMatrix(["t", "c"])
+        result = apply_store_field(matrix, "t", Field.LEFT, "c")
+        assert result.matrix.get("t", "c").format() == "L1"
+        assert result.diagnostics == []
+
+    def test_composite_paths_through_new_edge(self):
+        matrix = PathMatrix(["root", "t", "c"])
+        matrix.set("root", "t", PathSet.parse("L1"))
+        matrix.set("c", "x", PathSet.parse("R1"))
+        result = apply_store_field(matrix, "t", Field.RIGHT, "c").matrix
+        assert result.get("root", "c").format() == "L1R1"
+        assert result.get("root", "x").format() == "L1R2"
+        assert result.get("t", "x").format() == "R2"
+
+    def test_old_paths_through_overwritten_field_are_demoted(self):
+        matrix = PathMatrix(["h", "l", "r"])
+        matrix.set("h", "l", PathSet.parse("L1"))
+        matrix.set("h", "r", PathSet.parse("R1"))
+        result = apply_store_field(matrix, "h", Field.LEFT, "r").matrix
+        assert result.get("h", "l").format() == "L1?"
+        # The new edge is definite; the old right edge is untouched.
+        rendered = result.get("h", "r").format()
+        assert "L1" in rendered and "R1" in rendered
+
+    def test_unrelated_entries_untouched_by_demotion(self):
+        matrix = PathMatrix(["h", "l", "other", "x"])
+        matrix.set("h", "l", PathSet.parse("L1"))
+        matrix.set("other", "x", PathSet.parse("R1"))
+        result = apply_store_field(matrix, "h", Field.LEFT, None).matrix
+        assert result.get("other", "x").format() == "R1"
+        assert result.get("h", "l").format() == "L1?"
+
+    def test_store_nil_adds_no_paths(self):
+        matrix = PathMatrix(["h", "l"])
+        matrix.set("h", "l", PathSet.parse("L1"))
+        result = apply_store_field(matrix, "h", Field.LEFT, None).matrix
+        assert result.get("h", "l").format() == "L1?"
+        assert result.get("l", "h").is_empty
+
+    def test_cycle_detection_definite(self):
+        matrix = PathMatrix(["a", "b"])
+        matrix.set("b", "a", PathSet.parse("L1"))
+        result = apply_store_field(matrix, "a", Field.LEFT, "b")
+        cycles = [d for d in result.diagnostics if d.is_cycle]
+        assert len(cycles) == 1
+        assert cycles[0].certainty.value == "definite"
+
+    def test_cycle_detection_possible(self):
+        matrix = PathMatrix(["a", "b"])
+        matrix.set("b", "a", PathSet.parse("D+?"))
+        result = apply_store_field(matrix, "a", Field.RIGHT, "b")
+        cycles = [d for d in result.diagnostics if d.is_cycle]
+        assert len(cycles) == 1
+        assert cycles[0].certainty.value == "possible"
+
+    def test_self_link_is_definite_cycle(self):
+        matrix = PathMatrix(["a"])
+        result = apply_store_field(matrix, "a", Field.LEFT, "a")
+        assert any(d.is_cycle and d.certainty.value == "definite" for d in result.diagnostics)
+
+    def test_sharing_detection(self):
+        matrix = PathMatrix(["x", "y", "shared"])
+        matrix.set("x", "shared", PathSet.parse("L1"))
+        result = apply_store_field(matrix, "y", Field.RIGHT, "shared")
+        sharing = [d for d in result.diagnostics if d.is_sharing]
+        assert len(sharing) == 1
+        assert "shared" in sharing[0].detail
+
+    def test_no_diagnostics_for_fresh_child(self):
+        matrix = PathMatrix(["parent", "fresh"])
+        result = apply_store_field(matrix, "parent", Field.LEFT, "fresh")
+        assert result.diagnostics == []
+
+
+class TestDispatcher:
+    def test_value_statements_do_not_change_matrix(self):
+        matrix = figure2_initial()
+        for stmt in (
+            ast.LoadValue(target="x", source="a"),
+            ast.StoreValue(target="a", expr=ast.IntLit(1)),
+            ast.ScalarAssign(target="x", expr=ast.IntLit(2)),
+        ):
+            assert apply_basic_statement(matrix, stmt).matrix == matrix
+
+    def test_dispatch_load_field(self):
+        stmt = ast.LoadField(target="d", source="a", field_name=Field.RIGHT)
+        result = apply_basic_statement(figure2_initial(), stmt)
+        assert result.matrix.get("a", "d").format() == "R1"
+
+    def test_dispatch_store_field_reports_diagnostics(self):
+        matrix = PathMatrix(["a"])
+        stmt = ast.StoreField(target="a", field_name=Field.LEFT, source="a")
+        result = apply_basic_statement(matrix, stmt)
+        assert result.diagnostics
+
+    def test_dispatch_rejects_non_basic(self):
+        with pytest.raises(TypeError):
+            apply_basic_statement(PathMatrix(), ast.ProcCall(name="p", args=[]))

@@ -1,0 +1,200 @@
+"""Unit tests for the SIL type checker."""
+
+import pytest
+
+from repro.sil import ast
+from repro.sil.errors import TypeCheckError
+from repro.sil.parser import parse_program
+from repro.sil.typecheck import ExprType, check_program
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+GOOD = """
+program good
+procedure main()
+  root, l: handle; n: int
+begin
+  root := new();
+  root.value := 3;
+  l := root.left;
+  n := root.value + 1;
+  touch(root, n)
+end
+procedure touch(h: handle; k: int)
+begin
+  if h <> nil then h.value := k
+end
+"""
+
+
+class TestAcceptedPrograms:
+    def test_well_typed_program(self):
+        info = check(GOOD)
+        scope = info.for_procedure("main")
+        assert scope.is_handle("root")
+        assert scope.is_int("n")
+        assert sorted(scope.handle_variables()) == ["l", "root"]
+
+    def test_function_return_variable(self):
+        info = check(
+            "program p procedure main() x: int begin x := f(2) end "
+            "function f(n: int): int r: int begin r := n * 2 end return (r)"
+        )
+        assert info.for_procedure("f").is_int("r")
+
+    def test_handle_comparison_with_nil(self):
+        check(
+            "program p procedure main() h: handle begin "
+            "h := nil; if h = nil then h := new() end"
+        )
+
+    def test_handle_equality_between_handles(self):
+        check(
+            "program p procedure main() a, b: handle begin "
+            "a := new(); b := a; if a = b then a := nil end"
+        )
+
+
+class TestRejectedPrograms:
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() begin x := 1 end")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() x: int; x: handle begin end")
+
+    def test_assign_handle_to_int(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() x: int; h: handle begin h := new(); x := h end")
+
+    def test_assign_int_to_handle(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() h: handle begin h := 3 end")
+
+    def test_field_access_on_int(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() x: int begin x := 1; x.value := 2 end")
+
+    def test_handle_ordering_comparison_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() a, b: handle begin "
+                "a := new(); b := new(); if a < b then a := nil end"
+            )
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() x: int begin if x then x := 1 end")
+
+    def test_assigning_boolean_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() x: int begin x := 1 < 2 end")
+
+    def test_arithmetic_on_handles_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() a, b: handle; x: int begin "
+                "a := new(); b := new(); x := a + b end"
+            )
+
+    def test_call_to_undefined_procedure(self):
+        with pytest.raises(TypeCheckError):
+            check("program p procedure main() begin ghost(1) end")
+
+    def test_wrong_argument_count(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() begin q(1, 2) end "
+                "procedure q(n: int) begin end"
+            )
+
+    def test_wrong_argument_type(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() h: handle begin h := new(); q(h) end "
+                "procedure q(n: int) begin end"
+            )
+
+    def test_calling_function_as_procedure(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() begin f(1) end "
+                "function f(n: int): int r: int begin r := n end return (r)"
+            )
+
+    def test_assigning_procedure_call_result(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() x: int begin x := q(1) end "
+                "procedure q(n: int) begin end"
+            )
+
+    def test_main_with_parameters_rejected(self):
+        program = parse_program(
+            "program p procedure main() begin end"
+        )
+        # Manually add a parameter to main to exercise the check.
+        program.main.params.append(ast.VarDecl(name="x", type=ast.SilType.INT))
+        with pytest.raises(TypeCheckError):
+            check_program(program)
+
+    def test_duplicate_procedure_names(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() begin end "
+                "procedure q() begin end procedure q() begin end"
+            )
+
+    def test_function_return_var_type_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() begin end "
+                "function f(): int t: handle begin t := nil end return (t)"
+            )
+
+    def test_function_result_type_mismatch_at_use(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() h: handle begin h := f() end "
+                "function f(): int r: int begin r := 1 end return (r)"
+            )
+
+    def test_variable_shadowing_procedure_name(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "program p procedure main() q: int begin q := 1 end "
+                "procedure q() begin end"
+            )
+
+
+class TestCoreStatementChecking:
+    """The checker also validates already-normalized (core) statements."""
+
+    def test_core_program_passes(self, add_and_reverse):
+        program, info = add_and_reverse
+        # Re-checking an already normalized program succeeds.
+        assert check_program(program).for_procedure("add_n").is_handle("h")
+
+    def test_store_field_requires_link_field(self):
+        program = parse_program("program p procedure main() h: handle begin h := new() end")
+        program.main.body.stmts.append(
+            ast.StoreField(target="h", field_name=ast.Field.VALUE, source=None)
+        )
+        with pytest.raises(TypeCheckError):
+            check_program(program)
+
+    def test_load_value_into_handle_rejected(self):
+        program = parse_program(
+            "program p procedure main() h, g: handle begin h := new(); g := new() end"
+        )
+        program.main.body.stmts.append(ast.LoadValue(target="g", source="h"))
+        with pytest.raises(TypeCheckError):
+            check_program(program)
+
+    def test_expr_type_helper(self):
+        assert ExprType.of(ast.SilType.INT) is ExprType.INT
+        assert ExprType.of(ast.SilType.HANDLE) is ExprType.HANDLE

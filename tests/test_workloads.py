@@ -1,0 +1,159 @@
+"""Integration tests for the workload suite and generators."""
+
+import pytest
+
+from repro.runtime import classify_structure, run_program
+from repro.sil import ast
+from repro.workloads import (
+    TREE_PRESERVING,
+    WORKLOADS,
+    load,
+    make_handle_web_program,
+    make_independent_loads_program,
+    make_recursive_walker_program,
+    perfect_tree_values,
+    random_tree_spec,
+    source,
+    with_depth,
+)
+
+
+class TestSuiteLoading:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            load("no_such_program")
+
+    def test_with_depth_substitution(self):
+        assert "build(7)" in with_depth(WORKLOADS["add_and_reverse"], 7)
+        assert "{DEPTH}" not in source("tree_add", depth=5)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_is_core_after_loading(self, name):
+        program, info = load(name, depth=3)
+        assert ast.program_is_core(program)
+        assert info.for_procedure("main") is not None
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_runs(self, name):
+        depth = 12 if name == "bst_build" else 4
+        program, info = load(name, depth=depth)
+        result = run_program(program, info)
+        assert result.work > 0
+        assert result.race_free
+
+
+class TestWorkloadSemantics:
+    def test_add_and_reverse_adds_and_mirrors(self):
+        program, info = load("add_and_reverse", depth=3)
+        result = run_program(program, info)
+        heap = result.heap
+        root = result.main_locals["root"]
+        node = heap.node(root)
+        # After add_n(+1 / -1) and reverse, the (reversed) left subtree is the
+        # old right subtree with every value decremented.
+        assert heap.node(node.left).value == 2 - 1
+        assert heap.node(node.right).value == 2 + 1
+
+    def test_tree_add_total(self):
+        program, info = load("tree_add", depth=6)
+        result = run_program(program, info)
+        assert result.main_locals["total"] == 2 ** 6 - 1
+
+    def test_tree_mirror_swaps_children(self):
+        program, info = load("tree_mirror", depth=3)
+        result = run_program(program, info)
+        heap = result.heap
+        original = heap.extract(result.main_locals["root"])
+
+        def mirrored(spec):
+            if spec is None or isinstance(spec, int):
+                return spec
+            value, left, right = spec
+            return (value, mirrored(right), mirrored(left))
+
+        # Mirroring twice gives back the build() shape (values encode depth).
+        rebuilt_program, rebuilt_info = load("tree_mirror", depth=3)
+        fresh = run_program(rebuilt_program, rebuilt_info)
+        assert original == heap.extract(result.main_locals["root"])
+        assert mirrored(mirrored(original)) == original
+        assert fresh.heap.extract(fresh.main_locals["root"]) == original
+
+    def test_bst_build_is_search_tree(self):
+        program, info = load("bst_build", depth=24)
+        result = run_program(program, info)
+        values = result.heap.values_inorder(result.main_locals["root"])
+        assert values == sorted(values)
+        assert result.main_locals["total"] == sum(values)
+
+    def test_list_walk_count(self):
+        program, info = load("list_walk", depth=9)
+        result = run_program(program, info)
+        assert result.main_locals["count"] == 8
+
+    def test_bitonic_sorts_leaves(self):
+        program, info = load("bitonic_sort", depth=6)
+        result = run_program(program, info)
+        heap, root = result.heap, result.main_locals["root"]
+        leaves = [heap.node(ref).value for ref in heap.reachable_from([root]) if heap.node(ref).left is None]
+        inorder = heap.values_inorder(root)
+        leaf_sequence = [v for v in inorder if v != 0]
+        assert sorted(leaves) == sorted(perfect_tree_values(6))
+        assert leaf_sequence == sorted(leaf_sequence)
+
+    @pytest.mark.parametrize("name", TREE_PRESERVING)
+    def test_tree_preserving_workloads_end_as_trees(self, name):
+        depth = 12 if name == "bst_build" else 3
+        program, info = load(name, depth=depth)
+        result = run_program(program, info)
+        roots = [v for v in result.main_locals.values() if v is None or hasattr(v, "node_id")]
+        report = classify_structure(result.heap, [r for r in roots if r is not None])
+        assert report.is_tree
+
+    def test_dag_sharing_creates_a_dag(self):
+        program, info = load("dag_sharing")
+        result = run_program(program, info)
+        roots = [result.main_locals["x"], result.main_locals["y"]]
+        assert classify_structure(result.heap, roots).is_dag
+
+    def test_cycle_bug_creates_a_cycle(self):
+        program, info = load("cycle_bug")
+        result = run_program(program, info)
+        report = classify_structure(result.heap, [result.main_locals["root"]])
+        assert report.is_cyclic
+
+
+class TestGenerators:
+    def test_random_tree_spec_depth_bound(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            spec = random_tree_spec(rng, max_depth=4)
+            from repro.runtime import Heap
+
+            heap = Heap()
+            root = heap.build(spec)
+            assert heap.height(root) <= 4
+
+    def test_independent_loads_program_scales(self):
+        program, info = make_independent_loads_program(5)
+        assert ast.program_is_core(program)
+        result = run_program(program, info)
+        assert len(result.heap) == 1 + 2 * 5
+
+    def test_handle_web_program(self):
+        program, info = make_handle_web_program(6)
+        result = run_program(program, info)
+        assert len(result.heap) == 7
+
+    def test_recursive_walker_update_flag(self):
+        reader, reader_info = make_recursive_walker_program(depth=3, update=False)
+        updater, updater_info = make_recursive_walker_program(depth=3, update=True)
+        from repro.analysis import compute_summaries
+
+        assert compute_summaries(reader, reader_info)["walk"].readonly_params() == ["h"]
+        assert compute_summaries(updater, updater_info)["walk"].update_params == {"h"}
+        assert run_program(updater, updater_info).race_free
+
+    def test_perfect_tree_values_count(self):
+        assert len(perfect_tree_values(5)) == 2 ** 4
