@@ -5,23 +5,33 @@ structures keeps the analysis efficient.  This bench measures
 
 * how whole-program analysis time scales with program size (number of
   statements) and with the number of live handles (the path-matrix
-  dimension), using generated programs with known shape, and
+  dimension), using generated programs with known shape,
 * an ablation over the :class:`AnalysisLimits` bounds showing that tighter
-  widening keeps the key disjointness facts while reducing work.
+  widening keeps the key disjointness facts while reducing work, and
+* the engine-architecture counters: worklist pops stay strictly below the
+  seed's rounds x procedures product, the memoized transfer cache answers
+  re-analyses, and the :class:`AnalysisStats` snapshot is written to
+  ``BENCH_analysis.json`` for CI to pick up.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.analysis import analyze_program
+from repro.analysis import analyze_many, analyze_program, analyze_program_reference
 from repro.analysis.limits import AnalysisLimits
 from repro.sil import ast
 from repro.workloads import (
+    WORKLOADS,
     load,
     make_handle_web_program,
     make_independent_loads_program,
 )
+
+#: Stats artifact consumed by the CI bench-smoke job (repo root).
+STATS_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_analysis.json"
 
 
 def banner(title: str) -> None:
@@ -104,3 +114,77 @@ def test_ext_analysis_limit_ablation(benchmark):
 
     # The key disjointness fact (and hence Figure 8) survives every setting.
     assert all(row["disjoint"] for row in results.values())
+
+
+def test_ext_analysis_worklist_and_cache_stats():
+    """EXT-D' — engine-architecture counters (worklist + memoized transfers).
+
+    Asserts the two structural speedups of the pipeline engine:
+
+    * the worklist solver performs strictly fewer procedure analyses than
+      the seed's rounds x procedures bound (measured per workload against
+      the retained reference engine), and
+    * a re-analysis of the same program is fully served by the memoized
+      transfer cache (nonzero hit rate; in fact 100%).
+
+    Writes the aggregate :class:`AnalysisStats` snapshot to
+    ``BENCH_analysis.json``.
+    """
+    banner("EXT-D' — worklist + transfer-cache statistics")
+    print(
+        f"{'workload':16s} {'pops':>5s} {'rounds':>7s} {'procs':>6s} "
+        f"{'bound':>6s} {'rerun-hit%':>10s}"
+    )
+
+    per_workload = {}
+    names = sorted(name for name in WORKLOADS)
+    for name in names:
+        program, info = load(name, depth=3)
+        reference = analyze_program_reference(program, info)
+        first = analyze_program(program, info)
+        rerun = analyze_program(program, info)
+
+        procedures = len(reference.entry_matrices)
+        bound = reference.iterations * procedures
+        pops = first.stats.worklist_pops
+        hit_rate = rerun.stats.transfer_cache_hit_rate
+
+        per_workload[name] = {
+            "worklist_pops": pops,
+            "reference_rounds": reference.iterations,
+            "procedures": procedures,
+            "rounds_times_procedures": bound,
+            "rerun_hit_rate": round(hit_rate, 4),
+        }
+        print(
+            f"{name:16s} {pops:5d} {reference.iterations:7d} {procedures:6d} "
+            f"{bound:6d} {hit_rate:10.1%}"
+        )
+
+        # The worklist never exceeds the seed's rounds x procedures work.
+        assert pops <= bound
+        # Identical results, served from the cache on the second run.
+        assert rerun.entry_matrices == first.entry_matrices
+        assert rerun.stats.transfer_cache_hits > 0
+        assert hit_rate > 0.0
+
+    # Multi-procedure workloads must genuinely beat the old bound.
+    multi = {k: v for k, v in per_workload.items() if v["procedures"] > 1}
+    assert multi and all(
+        row["worklist_pops"] < row["rounds_times_procedures"] for row in multi.values()
+    )
+
+    # Batch analysis over the whole suite shares one context; its aggregate
+    # stats are the artifact CI uploads.
+    suite_results = analyze_many([load(name, depth=3) for name in names])
+    suite_stats = suite_results[0].stats
+    print("\naggregate AnalysisStats over the batched suite:")
+    print(suite_stats.format())
+    assert suite_stats.programs_analyzed == len(names)
+
+    artifact = {
+        "suite": suite_stats.as_dict(),
+        "per_workload": per_workload,
+    }
+    STATS_ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {STATS_ARTIFACT}")

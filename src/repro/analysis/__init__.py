@@ -7,8 +7,15 @@ entry matrices (with ``h*``/``h**`` symbolic handles), procedure summaries
 (read-only vs. update arguments) and structure diagnostics.
 """
 
-from .engine import AnalysisResult, analyze_program
+from .context import AnalysisContext, AnalysisRecorder, AnalysisStats
+from .engine import (
+    AnalysisResult,
+    analyze_many,
+    analyze_program,
+    analyze_program_reference,
+)
 from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .pipeline import pass_names, run_pipeline
 from .matrix import PathMatrix, caller_symbol, is_symbolic, stacked_symbol
 from .paths import (
     Direction,
@@ -27,10 +34,13 @@ from .pathset import PathSet
 from .structure import Certainty, DiagnosticKind, StructureDiagnostic
 from .summaries import ProcedureSummary, compute_summaries
 from .transfer import (
+    GLOBAL_TRANSFER_CACHE,
+    TransferCache,
     TransferResult,
     apply_assign_new,
     apply_assign_nil,
     apply_basic_statement,
+    apply_basic_statement_cached,
     apply_copy,
     apply_load_field,
     apply_store_field,
@@ -38,7 +48,17 @@ from .transfer import (
 
 __all__ = [
     "analyze_program",
+    "analyze_program_reference",
+    "analyze_many",
+    "AnalysisContext",
+    "AnalysisRecorder",
+    "AnalysisStats",
     "AnalysisResult",
+    "run_pipeline",
+    "pass_names",
+    "TransferCache",
+    "GLOBAL_TRANSFER_CACHE",
+    "apply_basic_statement_cached",
     "AnalysisLimits",
     "DEFAULT_LIMITS",
     "PathMatrix",

@@ -1,0 +1,190 @@
+"""Shared state of one whole-program analysis run.
+
+The analysis used to be a tangle of positional arguments (program, type
+info, summaries, limits, recorder) threaded through every layer.  This
+module centralizes that state:
+
+* :class:`AnalysisStats` — cheap counters describing how much work the
+  engine actually did (worklist pops, transfer-cache hits, matrices
+  allocated, ...).  Exposed on every
+  :class:`~repro.analysis.engine.AnalysisResult` and printed by the
+  benchmark suite.
+* :class:`AnalysisRecorder` — everything the engine keeps per program point
+  (before/after matrices, diagnostics, loop histories, call-site
+  projections).
+* :class:`AnalysisContext` — the mutable bag the pass pipeline
+  (:mod:`repro.analysis.pipeline`) operates on.  A context owns (or shares)
+  the memoized-transfer cache; the hash-consed path domain
+  (:mod:`repro.analysis.paths` / :mod:`repro.analysis.pathset`) is global
+  by construction, so every context automatically shares interned domain
+  values with every other.
+
+Batch analyses (:func:`repro.analysis.engine.analyze_many`) create one
+:class:`TransferCache` and hand it to each per-program context, so a whole
+workload suite shares one memoization space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sil import ast
+from ..sil.typecheck import TypeInfo
+from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .matrix import PathMatrix
+from .pathset import intern_table_sizes
+from .structure import StructureDiagnostic
+from .summaries import ProcedureSummary
+from .transfer import GLOBAL_TRANSFER_CACHE, TransferCache
+
+
+@dataclass
+class AnalysisStats:
+    """Work counters for one analysis run (or one shared batch).
+
+    ``transfer_cache_hits`` / ``transfer_cache_misses`` count memoized
+    transfer-function lookups; hits include hits against results cached by
+    *earlier* runs when the process-wide shared cache is used.
+    """
+
+    #: Procedures popped off the interprocedural worklist (re-analyses).
+    worklist_pops: int = 0
+    #: Entry matrices that changed when a call-site projection was merged in.
+    entry_updates: int = 0
+    #: Statements visited by the intraprocedural analyzer (recording visits).
+    statements_visited: int = 0
+    #: Iterations spent in ``while``-loop fixed points.
+    loop_iterations: int = 0
+    #: Memoized transfer applications answered from the cache.
+    transfer_cache_hits: int = 0
+    #: Memoized transfer applications that had to compute.
+    transfer_cache_misses: int = 0
+    #: Path matrices allocated while this context was active.
+    matrices_allocated: int = 0
+    #: Programs analyzed against this stats object (one, unless batched).
+    programs_analyzed: int = 0
+
+    @property
+    def transfer_cache_requests(self) -> int:
+        return self.transfer_cache_hits + self.transfer_cache_misses
+
+    @property
+    def transfer_cache_hit_rate(self) -> float:
+        """Fraction of transfer applications answered from the cache."""
+        requests = self.transfer_cache_requests
+        return self.transfer_cache_hits / requests if requests else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-JSON-able snapshot (counters plus global table sizes)."""
+        snapshot: Dict[str, float] = {
+            "worklist_pops": self.worklist_pops,
+            "entry_updates": self.entry_updates,
+            "statements_visited": self.statements_visited,
+            "loop_iterations": self.loop_iterations,
+            "transfer_cache_hits": self.transfer_cache_hits,
+            "transfer_cache_misses": self.transfer_cache_misses,
+            "transfer_cache_hit_rate": round(self.transfer_cache_hit_rate, 4),
+            "matrices_allocated": self.matrices_allocated,
+            "programs_analyzed": self.programs_analyzed,
+        }
+        snapshot.update(intern_table_sizes())
+        return snapshot
+
+    def format(self) -> str:
+        """One-per-line human-readable rendering (benchmark banners)."""
+        return "\n".join(f"{key:28s} {value}" for key, value in self.as_dict().items())
+
+
+@dataclass
+class AnalysisRecorder:
+    """Collects everything the whole-program engine wants to keep."""
+
+    #: Path matrix before each statement, keyed by ``id(stmt)``.
+    before: Dict[int, PathMatrix] = field(default_factory=dict)
+    #: Path matrix after each statement, keyed by ``id(stmt)``.
+    after: Dict[int, PathMatrix] = field(default_factory=dict)
+    #: The statement objects themselves (so ids can be resolved later).
+    statements: Dict[int, ast.Stmt] = field(default_factory=dict)
+    #: Which procedure each recorded statement belongs to.
+    procedure_of: Dict[int, str] = field(default_factory=dict)
+    #: Structure diagnostics, with the owning procedure name.
+    diagnostics: List[Tuple[str, StructureDiagnostic]] = field(default_factory=list)
+    #: Projected entry matrices observed at call sites: (callee, matrix).
+    call_sites: List[Tuple[str, PathMatrix]] = field(default_factory=list)
+    #: Iteration history of each while loop, keyed by ``id(stmt)``.
+    loop_histories: Dict[int, List[PathMatrix]] = field(default_factory=dict)
+
+    def record_point(
+        self, proc_name: str, stmt: ast.Stmt, before: PathMatrix, after: PathMatrix
+    ) -> None:
+        self.before[id(stmt)] = before
+        self.after[id(stmt)] = after
+        self.statements[id(stmt)] = stmt
+        self.procedure_of[id(stmt)] = proc_name
+
+    def record_diagnostics(
+        self, proc_name: str, diagnostics: List[StructureDiagnostic]
+    ) -> None:
+        for diagnostic in diagnostics:
+            self.diagnostics.append(
+                (
+                    proc_name,
+                    StructureDiagnostic(
+                        kind=diagnostic.kind,
+                        certainty=diagnostic.certainty,
+                        statement=diagnostic.statement,
+                        detail=diagnostic.detail,
+                        procedure=proc_name,
+                    ),
+                )
+            )
+
+    def record_call_site(self, callee: str, projected: PathMatrix) -> None:
+        self.call_sites.append((callee, projected))
+
+    def record_loop(self, stmt: ast.Stmt, history: List[PathMatrix]) -> None:
+        self.loop_histories[id(stmt)] = history
+
+    def absorb(self, other: "AnalysisRecorder") -> None:
+        """Fold another recorder's observations into this one.
+
+        Used by the worklist solver to assemble the final program-point
+        recording from each procedure's *last* stabilization visit.
+        """
+        self.before.update(other.before)
+        self.after.update(other.after)
+        self.statements.update(other.statements)
+        self.procedure_of.update(other.procedure_of)
+        self.diagnostics.extend(other.diagnostics)
+        self.call_sites.extend(other.call_sites)
+        self.loop_histories.update(other.loop_histories)
+
+
+@dataclass
+class AnalysisContext:
+    """Everything one run of the pass pipeline reads and writes.
+
+    Construct with at least ``program``; the pipeline passes fill in the
+    rest (``info``, ``summaries``, ``entry_matrices``, ``recorder``).  Pass
+    an explicit ``transfer_cache`` to share memoized transfers across
+    several contexts (see :func:`repro.analysis.engine.analyze_many`);
+    leave it ``None`` to use the process-wide shared cache.
+    """
+
+    program: ast.Program
+    info: Optional[TypeInfo] = None
+    limits: AnalysisLimits = DEFAULT_LIMITS
+    entry_name: str = "main"
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    transfer_cache: Optional[TransferCache] = None
+
+    # Filled by the pipeline passes.
+    summaries: Optional[Dict[str, ProcedureSummary]] = None
+    entry_matrices: Dict[str, PathMatrix] = field(default_factory=dict)
+    procedure_recorders: Dict[str, AnalysisRecorder] = field(default_factory=dict)
+    recorder: Optional[AnalysisRecorder] = None
+
+    def __post_init__(self) -> None:
+        if self.transfer_cache is None:
+            self.transfer_cache = GLOBAL_TRANSFER_CACHE

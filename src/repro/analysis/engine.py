@@ -13,31 +13,44 @@ Computes, for a normalized SIL program:
   cycle / sharing creation);
 * the per-loop iteration histories (Figure 3).
 
-The interprocedural fixed point iterates: analyze every reachable procedure
-from its current entry matrix, collect the call-site projections observed,
-merge them into the callees' entry matrices, and repeat until no entry
-matrix changes.  The abstract domain is finite (see
-:mod:`repro.analysis.limits`), so this terminates.
+The interprocedural fixed point is solved by the worklist-driven pass
+pipeline of :mod:`repro.analysis.pipeline`: a procedure is re-analyzed only
+when its entry matrix absorbs a changed call-site projection, and the
+recording made during each procedure's last stabilization visit is the
+final one.  The abstract domain is finite (see
+:mod:`repro.analysis.limits`), so this terminates.  The seed's
+rounds-until-stable engine is retained as
+:func:`analyze_program_reference`; the golden tests assert both produce
+identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..sil import ast
 from ..sil.typecheck import TypeInfo, check_program
+from .context import AnalysisContext, AnalysisRecorder, AnalysisStats
 from .interproc import initial_entry_matrix
-from .intraproc import AnalysisRecorder, ProcedureAnalyzer
+from .intraproc import ProcedureAnalyzer
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .matrix import PathMatrix
+from .pipeline import run_pipeline
 from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary, compute_summaries
+from .transfer import TransferCache
 
 
 @dataclass
 class AnalysisResult:
-    """Everything the whole-program analysis produces."""
+    """Everything the whole-program analysis produces.
+
+    Recorded matrices are **shared, not owned**: with the memoized transfer
+    cache, the matrix at a program point may be the very object another
+    result (or a future re-analysis) sees.  Cached matrices are *sealed* —
+    mutating one raises — so call ``matrix.copy()`` and mutate the copy.
+    """
 
     program: ast.Program
     info: TypeInfo
@@ -45,8 +58,11 @@ class AnalysisResult:
     summaries: Dict[str, ProcedureSummary]
     entry_matrices: Dict[str, PathMatrix]
     recorder: AnalysisRecorder
-    #: Number of interprocedural iterations until the entry matrices stabilized.
+    #: Interprocedural work performed until the entry matrices stabilized —
+    #: worklist pops for the pipeline engine, rounds for the reference engine.
     iterations: int = 0
+    #: Work counters for this run (shared across a batch for analyze_many).
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -130,8 +146,103 @@ def analyze_program(
     info: Optional[TypeInfo] = None,
     limits: AnalysisLimits = DEFAULT_LIMITS,
     entry: str = "main",
+    context: Optional[AnalysisContext] = None,
 ) -> AnalysisResult:
-    """Run the whole-program path-matrix analysis on a core SIL program."""
+    """Run the whole-program path-matrix analysis on a core SIL program.
+
+    This drives the worklist pass pipeline of
+    :mod:`repro.analysis.pipeline`.  Pass a pre-built
+    :class:`~repro.analysis.context.AnalysisContext` to share transfer
+    caches and stats across runs; otherwise a fresh context using the
+    process-wide shared transfer cache is created.
+    """
+    if context is None:
+        context = AnalysisContext(
+            program=program, info=info, limits=limits, entry_name=entry
+        )
+    elif context.program is not program:
+        raise ValueError(
+            "analyze_program was given an AnalysisContext built for a "
+            "different program; build one context per program (share caches "
+            "via the transfer_cache/stats fields or use analyze_many)"
+        )
+    run_pipeline(context)
+    return AnalysisResult(
+        program=context.program,
+        info=context.info,
+        limits=context.limits,
+        summaries=context.summaries,
+        entry_matrices=context.entry_matrices,
+        recorder=context.recorder,
+        iterations=context.stats.worklist_pops,
+        stats=context.stats,
+    )
+
+
+def analyze_many(
+    programs: Iterable[Union[ast.Program, Tuple[ast.Program, Optional[TypeInfo]]]],
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+    entry: str = "main",
+) -> List[AnalysisResult]:
+    """Analyze a batch of programs against one shared interned-domain context.
+
+    The hash-consed path domain is global, so every analysis already shares
+    interned :class:`Path`/:class:`PathSet` values; this entry point
+    additionally shares one memoized-transfer cache and one
+    :class:`~repro.analysis.context.AnalysisStats` across the whole batch —
+    the workload-suite batching used by
+    :func:`repro.workloads.suite.analyze_suite`.
+
+    ``programs`` items may be bare programs or ``(program, info)`` pairs.
+    """
+    shared_cache = TransferCache(limits.transfer_cache_size)
+    shared_stats = AnalysisStats()
+    results: List[AnalysisResult] = []
+    for item in programs:
+        if isinstance(item, tuple):
+            program, info = item
+        else:
+            program, info = item, None
+        pops_before = shared_stats.worklist_pops
+        context = AnalysisContext(
+            program=program,
+            info=info,
+            limits=limits,
+            entry_name=entry,
+            stats=shared_stats,
+            transfer_cache=shared_cache,
+        )
+        run_pipeline(context)
+        results.append(
+            AnalysisResult(
+                program=context.program,
+                info=context.info,
+                limits=context.limits,
+                summaries=context.summaries,
+                entry_matrices=context.entry_matrices,
+                recorder=context.recorder,
+                iterations=shared_stats.worklist_pops - pops_before,
+                stats=shared_stats,
+            )
+        )
+    return results
+
+
+def analyze_program_reference(
+    program: ast.Program,
+    info: Optional[TypeInfo] = None,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+    entry: str = "main",
+) -> AnalysisResult:
+    """The seed's rounds-until-stable engine, kept as a golden reference.
+
+    Every interprocedural round re-analyzes every reachable procedure from
+    its current entry matrix; once nothing changes, one extra full pass
+    records the program points.  No caches, no worklist — this is the
+    paper-literal formulation the golden tests compare the pipeline engine
+    against (``result.iterations`` counts rounds here, so the seed's
+    rounds x procedures work bound is ``iterations * len(entry_matrices)``).
+    """
     if not ast.program_is_core(program):
         raise ValueError(
             "the analysis requires a normalized (core) program; "

@@ -204,8 +204,8 @@ def apply_call_effect(
 
         # 1. Demote relationships whose witnessing paths may traverse the
         #    restructured region.
-        for first in matrix.handles:
-            for second in matrix.handles:
+        for first in matrix.iter_handles():
+            for second in matrix.iter_handles():
                 if first == second:
                     continue
                 if second in strictly_below_update or first in at_or_below_update:
@@ -248,7 +248,7 @@ def _at_or_below(matrix: PathMatrix, anchors: Sequence[str], strict: bool) -> Se
     """
     result: Set[str] = set()
     anchor_set = set(anchors)
-    for handle in matrix.handles:
+    for handle in matrix.iter_handles():
         for anchor in anchor_set:
             if handle == anchor:
                 if not strict:

@@ -13,11 +13,11 @@ projected entry matrices to the interprocedural driver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, Optional, TYPE_CHECKING
 
 from ..sil import ast
 from ..sil.typecheck import TypeInfo
+from .context import AnalysisRecorder
 from .interproc import (
     apply_call_effect,
     project_external_call,
@@ -25,64 +25,22 @@ from .interproc import (
 )
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .matrix import PathMatrix
-from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary
-from .transfer import apply_basic_statement
+from .transfer import apply_basic_statement, apply_basic_statement_cached
 
-
-@dataclass
-class AnalysisRecorder:
-    """Collects everything the whole-program engine wants to keep."""
-
-    #: Path matrix before each statement, keyed by ``id(stmt)``.
-    before: Dict[int, PathMatrix] = field(default_factory=dict)
-    #: Path matrix after each statement, keyed by ``id(stmt)``.
-    after: Dict[int, PathMatrix] = field(default_factory=dict)
-    #: The statement objects themselves (so ids can be resolved later).
-    statements: Dict[int, ast.Stmt] = field(default_factory=dict)
-    #: Which procedure each recorded statement belongs to.
-    procedure_of: Dict[int, str] = field(default_factory=dict)
-    #: Structure diagnostics, with the owning procedure name.
-    diagnostics: List[Tuple[str, StructureDiagnostic]] = field(default_factory=list)
-    #: Projected entry matrices observed at call sites: (callee, matrix).
-    call_sites: List[Tuple[str, PathMatrix]] = field(default_factory=list)
-    #: Iteration history of each while loop, keyed by ``id(stmt)``.
-    loop_histories: Dict[int, List[PathMatrix]] = field(default_factory=dict)
-
-    def record_point(
-        self, proc_name: str, stmt: ast.Stmt, before: PathMatrix, after: PathMatrix
-    ) -> None:
-        self.before[id(stmt)] = before
-        self.after[id(stmt)] = after
-        self.statements[id(stmt)] = stmt
-        self.procedure_of[id(stmt)] = proc_name
-
-    def record_diagnostics(
-        self, proc_name: str, diagnostics: List[StructureDiagnostic]
-    ) -> None:
-        for diagnostic in diagnostics:
-            self.diagnostics.append(
-                (
-                    proc_name,
-                    StructureDiagnostic(
-                        kind=diagnostic.kind,
-                        certainty=diagnostic.certainty,
-                        statement=diagnostic.statement,
-                        detail=diagnostic.detail,
-                        procedure=proc_name,
-                    ),
-                )
-            )
-
-    def record_call_site(self, callee: str, projected: PathMatrix) -> None:
-        self.call_sites.append((callee, projected))
-
-    def record_loop(self, stmt: ast.Stmt, history: List[PathMatrix]) -> None:
-        self.loop_histories[id(stmt)] = history
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import AnalysisContext
 
 
 class ProcedureAnalyzer:
-    """Analyzes one procedure body given its entry matrix."""
+    """Analyzes one procedure body given its entry matrix.
+
+    When given an :class:`~repro.analysis.context.AnalysisContext`, basic
+    statements go through the memoized transfer cache and the context's
+    :class:`~repro.analysis.context.AnalysisStats` counters are updated;
+    without one, every transfer is computed directly (the reference
+    engine's behaviour).
+    """
 
     def __init__(
         self,
@@ -91,12 +49,14 @@ class ProcedureAnalyzer:
         summaries: Dict[str, ProcedureSummary],
         limits: AnalysisLimits = DEFAULT_LIMITS,
         recorder: Optional[AnalysisRecorder] = None,
+        context: Optional["AnalysisContext"] = None,
     ) -> None:
         self.program = program
         self.info = info
         self.summaries = summaries
         self.limits = limits
         self.recorder = recorder if recorder is not None else AnalysisRecorder()
+        self.context = context
 
     # ------------------------------------------------------------------
     # Procedure level
@@ -121,6 +81,8 @@ class ProcedureAnalyzer:
         before = matrix
         after = self._analyze(stmt, matrix, proc)
         self.recorder.record_point(proc.name, stmt, before, after)
+        if self.context is not None:
+            self.context.stats.statements_visited += 1
         return after
 
     def _analyze(self, stmt: ast.Stmt, matrix: PathMatrix, proc: ast.Procedure) -> PathMatrix:
@@ -158,7 +120,17 @@ class ProcedureAnalyzer:
             return self._analyze_call(stmt, matrix, proc)
 
         if isinstance(stmt, ast.BasicStmt):
-            result = apply_basic_statement(matrix, stmt, self.limits)
+            context = self.context
+            if context is not None:
+                result = apply_basic_statement_cached(
+                    matrix,
+                    stmt,
+                    self.limits,
+                    cache=context.transfer_cache,
+                    stats=context.stats,
+                )
+            else:
+                result = apply_basic_statement(matrix, stmt, self.limits)
             if result.diagnostics:
                 self.recorder.record_diagnostics(proc.name, result.diagnostics)
             return result.matrix
@@ -177,9 +149,11 @@ class ProcedureAnalyzer:
     def _analyze_while(
         self, stmt: ast.WhileStmt, matrix: PathMatrix, proc: ast.Procedure
     ) -> PathMatrix:
-        history: List[PathMatrix] = [matrix]
+        history = [matrix]
         head = matrix
         for _ in range(self.limits.max_iterations):
+            if self.context is not None:
+                self.context.stats.loop_iterations += 1
             body_out = self.analyze_stmt(stmt.body, head, proc)
             new_head = head.merge(body_out)
             history.append(new_head)

@@ -42,6 +42,15 @@ class AnalysisLimits:
     #: forcing a collapse (a safety net; the finite domain already terminates).
     max_iterations: int = 64
 
+    #: Capacity of the memoized-transfer LRU cache (entries, not bytes).  Used
+    #: when an :class:`~repro.analysis.context.AnalysisContext` builds its own
+    #: private cache (e.g. for a batch run); the process-wide default cache
+    #: uses :data:`DEFAULT_TRANSFER_CACHE_SIZE`.
+    transfer_cache_size: int = 4096
+
 
 #: Default limits used when none are supplied.
 DEFAULT_LIMITS = AnalysisLimits()
+
+#: Capacity of the process-wide shared transfer cache.
+DEFAULT_TRANSFER_CACHE_SIZE = 4096

@@ -38,20 +38,43 @@ def is_symbolic(handle: str) -> bool:
 
 
 class PathMatrix:
-    """A mutable square matrix of :class:`PathSet` entries keyed by handle name."""
+    """A mutable square matrix of :class:`PathSet` entries keyed by handle name.
 
-    __slots__ = ("_handles", "_entries", "limits")
+    Handles are stored in an insertion-ordered dict, so membership tests,
+    additions and removals are O(1) instead of scanning a list.  The matrix
+    also maintains a cheap mutation ``version`` from which an exact
+    :meth:`fingerprint` is derived lazily — the key the memoized transfer
+    functions use to recognise a previously-seen input.
+    """
+
+    __slots__ = (
+        "_handles",
+        "_entries",
+        "limits",
+        "_version",
+        "_fingerprint",
+        "_fingerprint_version",
+        "_sealed",
+    )
+
+    #: Total number of matrices constructed (snapshot-diffed by AnalysisStats).
+    allocations: int = 0
 
     def __init__(
         self,
         handles: Iterable[str] = (),
         limits: AnalysisLimits = DEFAULT_LIMITS,
     ):
-        self._handles: List[str] = []
+        self._handles: Dict[str, None] = {}
         self._entries: Dict[Tuple[str, str], PathSet] = {}
         self.limits = limits
+        self._version = 0
+        self._fingerprint: Optional[Tuple] = None
+        self._fingerprint_version = -1
+        self._sealed = False
+        PathMatrix.allocations += 1
         for handle in handles:
-            self.add_handle(handle)
+            self._handles.setdefault(handle, None)
 
     # ------------------------------------------------------------------
     # Handles
@@ -59,28 +82,60 @@ class PathMatrix:
 
     @property
     def handles(self) -> List[str]:
-        """The handles tracked by this matrix, in insertion order."""
+        """The handles tracked by this matrix, in insertion order (a copy)."""
         return list(self._handles)
+
+    def iter_handles(self) -> Iterable[str]:
+        """Iterate the tracked handles in insertion order without copying."""
+        return self._handles.keys()
 
     def __contains__(self, handle: str) -> bool:
         return handle in self._handles
 
+    def seal(self) -> "PathMatrix":
+        """Mark this matrix immutable; further mutation raises.
+
+        Matrices entering the memoized transfer cache are sealed because
+        they are shared across program points, results and future runs —
+        a silent mutation would poison every later cache hit.  ``copy()``
+        returns an unsealed clone.
+        """
+        self._sealed = True
+        return self
+
+    def _mutating(self) -> None:
+        if self._sealed:
+            raise ValueError(
+                "this PathMatrix is sealed (shared via the transfer cache / "
+                "analysis results); call copy() and mutate the copy"
+            )
+
     def add_handle(self, handle: str) -> None:
         """Add a handle unrelated to everything already tracked (idempotent)."""
         if handle not in self._handles:
-            self._handles.append(handle)
+            self._mutating()
+            self._handles[handle] = None
+            self._version += 1
 
     def remove_handle(self, handle: str) -> None:
         """Drop a handle and every entry mentioning it (idempotent)."""
         if handle in self._handles:
-            self._handles.remove(handle)
-        for key in [key for key in self._entries if handle in key]:
-            del self._entries[key]
+            self._mutating()
+            del self._handles[handle]
+            self._version += 1
+        self._drop_entries_of(handle)
 
     def clear_handle(self, handle: str) -> None:
         """Make ``handle`` unrelated to every other handle (it stays tracked)."""
-        for key in [key for key in self._entries if handle in key]:
-            del self._entries[key]
+        self._drop_entries_of(handle)
+
+    def _drop_entries_of(self, handle: str) -> None:
+        stale = [key for key in self._entries if key[0] == handle or key[1] == handle]
+        if stale:
+            self._mutating()
+            for key in stale:
+                del self._entries[key]
+            self._version += 1
 
     # ------------------------------------------------------------------
     # Entries
@@ -105,9 +160,16 @@ class PathMatrix:
         self.add_handle(target)
         paths = paths.collapse(self.limits)
         if paths.is_empty:
-            self._entries.pop((source, target), None)
+            if (source, target) in self._entries:
+                self._mutating()
+                del self._entries[(source, target)]
+                self._version += 1
         else:
-            self._entries[(source, target)] = paths
+            key = (source, target)
+            if self._entries.get(key) is not paths:
+                self._mutating()
+                self._entries[key] = paths
+                self._version += 1
 
     def __setitem__(self, key: Tuple[str, str], paths: PathSet) -> None:
         self.set(key[0], key[1], paths)
@@ -159,6 +221,29 @@ class PathMatrix:
         return result
 
     # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> Tuple:
+        """An exact, hashable snapshot of this matrix's contents.
+
+        Two matrices with equal fingerprints have the same handles (in the
+        same insertion order) and the same entries, so a transfer function
+        applied to either produces equal results — this is the cache key of
+        the memoized transfer application.  With interned path sets the
+        frozenset hashes from precomputed per-entry hashes, and the result
+        is cached against a mutation counter so repeated lookups are cheap.
+        """
+        if self._fingerprint_version != self._version:
+            self._fingerprint = (
+                tuple(self._handles),
+                frozenset(self._entries.items()),
+                self.limits,
+            )
+            self._fingerprint_version = self._version
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
     # Whole-matrix operations
     # ------------------------------------------------------------------
 
@@ -169,10 +254,11 @@ class PathMatrix:
 
     def restricted(self, handles: Sequence[str]) -> "PathMatrix":
         """A copy keeping only the given handles (project away the rest)."""
-        keep = [h for h in self._handles if h in set(handles)]
+        keep_set = set(handles)
+        keep = [h for h in self._handles if h in keep_set]
         clone = PathMatrix(keep, self.limits)
         for (source, target), paths in self._entries.items():
-            if source in set(keep) and target in set(keep):
+            if source in keep_set and target in keep_set:
                 clone._entries[(source, target)] = paths
         return clone
 
@@ -225,9 +311,14 @@ class PathMatrix:
         return result
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PathMatrix):
             return NotImplemented
-        return set(self._handles) == set(other._handles) and self._entries == other._entries
+        return (
+            self._handles.keys() == other._handles.keys()
+            and self._entries == other._entries
+        )
 
     def __hash__(self) -> int:  # pragma: no cover - matrices are mutable
         raise TypeError("PathMatrix is not hashable")
@@ -262,4 +353,4 @@ class PathMatrix:
         return self.format()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"PathMatrix(handles={self._handles!r}, entries={len(self._entries)})"
+        return f"PathMatrix(handles={list(self._handles)!r}, entries={len(self._entries)})"

@@ -28,8 +28,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sil.ast import Field
 from .limits import DEFAULT_LIMITS, AnalysisLimits
@@ -70,21 +69,67 @@ class Direction(enum.Enum):
         return Direction.DOWN
 
 
-@dataclass(frozen=True)
 class PathSegment:
-    """``count`` edges in ``direction``; exactly ``count`` if ``exact`` else at least."""
+    """``count`` edges in ``direction``; exactly ``count`` if ``exact`` else at least.
 
-    direction: Direction
-    count: int
-    exact: bool
+    Instances are *hash-consed*: constructing the same (direction, count,
+    exact) triple twice yields the **same** object, so equality is an identity
+    check and the hash is precomputed once.  Interned instances are immutable
+    and live for the lifetime of the process; the whole abstract domain is
+    finite (see :mod:`repro.analysis.limits`), so the table stays small.
+    """
 
-    def __post_init__(self) -> None:
-        if self.count < 1:
+    __slots__ = ("direction", "count", "exact", "_hash")
+
+    _intern: Dict[Tuple[Direction, int, bool], "PathSegment"] = {}
+
+    def __new__(cls, direction: Direction, count: int, exact: bool) -> "PathSegment":
+        key = (direction, count, exact)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        if count < 1:
             raise ValueError("a path segment must contain at least one edge")
+        self = object.__new__(cls)
+        object.__setattr__(self, "direction", direction)
+        object.__setattr__(self, "count", count)
+        object.__setattr__(self, "exact", exact)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PathSegment is immutable (interned)")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("PathSegment is immutable (interned)")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PathSegment):
+            return NotImplemented
+        # Interning makes distinct instances unequal by construction; this
+        # fallback only matters for exotic cases (e.g. unpickled copies from
+        # another process image, which __reduce__ re-interns anyway).
+        return (
+            self.direction is other.direction
+            and self.count == other.count
+            and self.exact == other.exact
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (PathSegment, (self.direction, self.count, self.exact))
 
     @property
     def min_length(self) -> int:
         return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PathSegment({self.direction!r}, {self.count!r}, {self.exact!r})"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return format_segment(self)
@@ -100,16 +145,59 @@ def format_segment(segment: PathSegment) -> str:
     return f"{base}{segment.count}+"
 
 
-@dataclass(frozen=True)
 class Path:
     """A single path: ``S`` (empty segment tuple) or a path expression.
 
     ``definite`` is True for paths guaranteed to exist, False for paths that
     may exist (displayed with a trailing ``?``).
+
+    Like :class:`PathSegment`, paths are hash-consed: the same (segments,
+    definite) pair always yields the same object, equality is identity, and
+    the hash is precomputed.  This makes the path sets and matrices built on
+    top of them near-pointer structures.
     """
 
-    segments: Tuple[PathSegment, ...] = ()
-    definite: bool = True
+    __slots__ = ("segments", "definite", "_hash")
+
+    _intern: Dict[Tuple[Tuple[PathSegment, ...], bool], "Path"] = {}
+
+    def __new__(
+        cls, segments: Iterable[PathSegment] = (), definite: bool = True
+    ) -> "Path":
+        segments = tuple(segments)
+        definite = bool(definite)
+        key = (segments, definite)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "definite", definite)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Path is immutable (interned)")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Path is immutable (interned)")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.segments == other.segments and self.definite == other.definite
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Path, (self.segments, self.definite))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Path({self.segments!r}, definite={self.definite!r})"
 
     @property
     def is_same(self) -> bool:
@@ -399,6 +487,14 @@ def _path_nfa(path: Path) -> Tuple[List[dict], int]:
     return transitions, current
 
 
+#: Memo tables for the two quadratic path predicates.  Keys hold strong
+#: references to interned paths (which live forever anyway), so entries can
+#: never go stale; the domain is finite, so the tables are bounded.
+_INTERSECT_CACHE: Dict[Tuple[Path, Path], bool] = {}
+_SUBSUMES_CACHE: Dict[Tuple[Path, Path], bool] = {}
+_PREDICATE_CACHE_CAP = 1 << 16
+
+
 def paths_may_intersect(first: Path, second: Path) -> bool:
     """Could the two path expressions (from a common origin) describe the same path?
 
@@ -407,9 +503,26 @@ def paths_may_intersect(first: Path, second: Path) -> bool:
     node only if the *languages* of their path expressions intersect.  This
     is decided exactly with a product construction over the two (tiny) NFAs.
     Definiteness is ignored (a possible path still describes a possibility).
+    The result is memoized over the interned path pair.
     """
     if first.is_same or second.is_same:
         return first.is_same and second.is_same
+    if first is second:
+        # A path expression's language is never empty, so it intersects itself.
+        return True
+    key = (first, second)
+    cached = _INTERSECT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _paths_may_intersect(first, second)
+    if len(_INTERSECT_CACHE) >= _PREDICATE_CACHE_CAP:  # pragma: no cover - bound
+        _INTERSECT_CACHE.clear()
+    _INTERSECT_CACHE[key] = result
+    _INTERSECT_CACHE[(second, first)] = result
+    return result
+
+
+def _paths_may_intersect(first: Path, second: Path) -> bool:
 
     first_nfa, first_accept = _path_nfa(first)
     second_nfa, second_accept = _path_nfa(second)
@@ -443,7 +556,21 @@ def subsumes(general: Path, specific: Path) -> bool:
       of ``specific``'s directions and whose minimum length is not larger;
     * the two paths have the same number of segments and each of
       ``general``'s segments covers the corresponding one of ``specific``.
+
+    Definiteness is ignored; the result is memoized over the interned pair.
     """
+    key = (general, specific)
+    cached = _SUBSUMES_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _subsumes(general, specific)
+    if len(_SUBSUMES_CACHE) >= _PREDICATE_CACHE_CAP:  # pragma: no cover - bound
+        _SUBSUMES_CACHE.clear()
+    _SUBSUMES_CACHE[key] = result
+    return result
+
+
+def _subsumes(general: Path, specific: Path) -> bool:
     if specific.is_same or general.is_same:
         return specific.is_same and general.is_same
 

@@ -18,8 +18,8 @@ Two different combination operations are needed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+import weakref
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .paths import (
@@ -43,11 +43,24 @@ class PathSet:
     presence of ``L+``) are dropped unless they carry a *definiteness*
     guarantee the subsumer lacks — this keeps the sets small and makes the
     iterative loop/recursion approximation converge.
+
+    Path sets are *hash-consed*: after canonicalization, identical contents
+    always yield the **same** instance, so equality is an identity check,
+    the hash is precomputed, and the merge/union/collapse operations used on
+    every control-flow join are memoized over object pairs.
     """
 
-    __slots__ = ("_paths",)
+    __slots__ = ("_paths", "_hash", "__weakref__")
 
-    def __init__(self, paths: Iterable[Path] = ()):
+    # Unlike the (small, finite) Path/PathSegment tables, distinct path-set
+    # contents are combinatorial, so the intern table holds its values
+    # weakly: a set no longer referenced anywhere is collected and its slot
+    # reclaimed.  The identity law still holds for all *live* sets.
+    _intern: "weakref.WeakValueDictionary[FrozenSet[Tuple[Tuple[PathSegment, ...], bool]], PathSet]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, paths: Iterable[Path] = ()) -> "PathSet":
         table: Dict[Tuple[PathSegment, ...], bool] = {}
         for path in paths:
             existing = table.get(path.segments)
@@ -56,7 +69,19 @@ class PathSet:
             else:
                 # Same-derivation accumulation: definite dominates.
                 table[path.segments] = existing or path.definite
-        self._paths = _drop_subsumed(table)
+        table = _drop_subsumed(table)
+        key = frozenset(table.items())
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self._paths = table
+        self._hash = hash(key)
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (_pathset_from_items, (tuple(self._paths.items()),))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -101,12 +126,15 @@ class PathSet:
             yield Path(segments, definite)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PathSet):
             return NotImplemented
+        # Interned: distinct instances have distinct canonical contents.
         return self._paths == other._paths
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._paths.items()))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"PathSet({self.format()!r})"
@@ -149,11 +177,17 @@ class PathSet:
 
     def union(self, other: "PathSet") -> "PathSet":
         """Accumulate paths along the same control path (definite dominates)."""
-        if not other:
+        if not other or self is other:
             return self
         if not self:
             return other
-        return PathSet(list(self) + list(other))
+        key = (self, other)
+        cached = _UNION_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result = PathSet(list(self) + list(other))
+        _cache_put(_UNION_CACHE, key, result)
+        return result
 
     def merge(self, other: "PathSet") -> "PathSet":
         """Control-flow join: definite only where definite on both sides.
@@ -161,21 +195,34 @@ class PathSet:
         Paths present on only one side are kept but demoted to possible —
         on the other control path they might not exist.
         """
-        result: List[Path] = []
+        if self is other:
+            return self
+        key = (self, other)
+        cached = _MERGE_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result_paths: List[Path] = []
         for segments, definite in self._paths.items():
             other_definite = other._paths.get(segments)
             if other_definite is None:
-                result.append(Path(segments, False))
+                result_paths.append(Path(segments, False))
             else:
-                result.append(Path(segments, definite and other_definite))
+                result_paths.append(Path(segments, definite and other_definite))
         for segments, definite in other._paths.items():
             if segments not in self._paths:
-                result.append(Path(segments, False))
-        return PathSet(result)
+                result_paths.append(Path(segments, False))
+        result = PathSet(result_paths)
+        _cache_put(_MERGE_CACHE, key, result)
+        return result
 
     def weakened(self) -> "PathSet":
         """Every path demoted to possible (used by destructive updates)."""
-        return PathSet(Path(segments, False) for segments in self._paths)
+        cached = _WEAKENED_CACHE.get(self)
+        if cached is not None:
+            return cached
+        result = PathSet(Path(segments, False) for segments in self._paths)
+        _cache_put(_WEAKENED_CACHE, self, result)
+        return result
 
     def map(self, transform) -> "PathSet":
         """Apply ``transform: Path -> Iterable[Path]`` and collect the results."""
@@ -197,6 +244,10 @@ class PathSet:
         """
         if len(self._paths) <= limits.max_paths_per_entry:
             return self
+        key = (self, limits)
+        cached = _COLLAPSE_CACHE.get(key)
+        if cached is not None:
+            return cached
         same_definite = self._paths.get(())
         proper = [Path(segments, definite) for segments, definite in self._paths.items() if segments]
         collapsed: Optional[Path] = None
@@ -205,12 +256,14 @@ class PathSet:
                 collapsed = path
             else:
                 collapsed = generalize_pair(collapsed, path, limits)
-        result: List[Path] = []
+        result_paths: List[Path] = []
         if same_definite is not None:
-            result.append(Path((), same_definite))
+            result_paths.append(Path((), same_definite))
         if collapsed is not None:
-            result.append(collapsed)
-        return PathSet(result)
+            result_paths.append(collapsed)
+        result = PathSet(result_paths)
+        _cache_put(_COLLAPSE_CACHE, key, result)
+        return result
 
     def is_subset_of(self, other: "PathSet") -> bool:
         """Partial order used by fixed-point tests: self ⊑ other.
@@ -268,6 +321,44 @@ def _drop_subsumed(
     if not kept:
         return table
     return kept
+
+
+def _pathset_from_items(items: Tuple[Tuple[Tuple[PathSegment, ...], bool], ...]) -> PathSet:
+    """Pickle support: rebuild (and re-intern) a path set from its items."""
+    return PathSet(Path(segments, definite) for segments, definite in items)
+
+
+#: Memo tables for the binary/widening operations.  Keys hold strong
+#: references to interned path sets, so entries can never go stale; the
+#: caches are cleared wholesale if they ever reach the (generous) cap.
+_UNION_CACHE: Dict[Tuple["PathSet", "PathSet"], "PathSet"] = {}
+_MERGE_CACHE: Dict[Tuple["PathSet", "PathSet"], "PathSet"] = {}
+_WEAKENED_CACHE: Dict["PathSet", "PathSet"] = {}
+_COLLAPSE_CACHE: Dict[Tuple["PathSet", AnalysisLimits], "PathSet"] = {}
+_OP_CACHE_CAP = 1 << 16
+
+
+def _cache_put(cache: Dict, key, value) -> None:
+    if len(cache) >= _OP_CACHE_CAP:  # pragma: no cover - safety bound
+        cache.clear()
+    cache[key] = value
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Sizes of the global hash-consing/memo tables (for stats and docs)."""
+    from .paths import _INTERSECT_CACHE, _SUBSUMES_CACHE, Path as _Path, PathSegment as _Segment
+
+    return {
+        "segments_interned": len(_Segment._intern),
+        "paths_interned": len(_Path._intern),
+        "pathsets_interned": len(PathSet._intern),
+        "union_memo": len(_UNION_CACHE),
+        "merge_memo": len(_MERGE_CACHE),
+        "weakened_memo": len(_WEAKENED_CACHE),
+        "collapse_memo": len(_COLLAPSE_CACHE),
+        "subsumes_memo": len(_SUBSUMES_CACHE),
+        "intersect_memo": len(_INTERSECT_CACHE),
+    }
 
 
 _EMPTY = PathSet()

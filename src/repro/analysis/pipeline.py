@@ -1,0 +1,161 @@
+"""The staged pass pipeline behind :func:`repro.analysis.analyze_program`.
+
+The whole-program analysis is organised as a short sequence of passes over
+one :class:`~repro.analysis.context.AnalysisContext`:
+
+1. **validate** — require a normalized (core) program;
+2. **typecheck** — compute :class:`~repro.sil.typecheck.TypeInfo` unless the
+   caller already supplied it;
+3. **summaries** — the flow-insensitive read/update summaries of Section 5.2;
+4. **solve** — the worklist-driven interprocedural fixed point (below);
+5. **assemble** — stitch the final per-procedure recordings into one
+   :class:`~repro.analysis.context.AnalysisRecorder`.
+
+**The worklist solver.**  The seed engine re-analyzed *every* reachable
+procedure on *every* interprocedural round and then ran one more full
+recording pass once the entry matrices had stabilized.  The solver here
+tracks entry-matrix dirtiness instead: a procedure is (re-)analyzed only
+when it is discovered or its entry matrix absorbs a changed call-site
+projection.  Because procedure summaries are fixed before the fixed point
+starts, a procedure's recorded program points depend only on its own entry
+matrix — so the recording made during a procedure's *last* visit is already
+the final one, and no extra recording pass is needed.  Entry matrices grow
+by the same commutative/associative merge the seed used, so the solved
+fixed point is identical (the golden tests compare against the retained
+reference engine).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Tuple
+
+from ..sil import ast
+from ..sil.typecheck import check_program
+from .context import AnalysisContext, AnalysisRecorder
+from .interproc import initial_entry_matrix
+from .intraproc import ProcedureAnalyzer
+from .matrix import PathMatrix
+from .summaries import compute_summaries
+
+#: A pass is just a named callable over the context.
+AnalysisPass = Callable[[AnalysisContext], None]
+
+
+def validate_pass(context: AnalysisContext) -> None:
+    """Reject surface programs; the analysis needs core (normalized) SIL."""
+    if not ast.program_is_core(context.program):
+        raise ValueError(
+            "the analysis requires a normalized (core) program; "
+            "run repro.sil.normalize.normalize_program first"
+        )
+
+
+def typecheck_pass(context: AnalysisContext) -> None:
+    """Ensure the context carries type information."""
+    if context.info is None:
+        context.info = check_program(context.program)
+
+
+def summaries_pass(context: AnalysisContext) -> None:
+    """Compute the per-procedure read/update summaries once, up front."""
+    if context.summaries is None:
+        context.summaries = compute_summaries(context.program, context.info)
+
+
+def solve_pass(context: AnalysisContext) -> None:
+    """Worklist-driven interprocedural fixed point with last-visit recording.
+
+    Invariants:
+
+    * ``entries[p]`` only ever changes by merging in a call-site projection
+      (monotone accumulation, exactly as the seed's rounds did);
+    * a procedure is queued whenever its entry matrix changes, so the last
+      ``ProcedureAnalyzer`` visit of every procedure used its final entry
+      matrix — its recording *is* the fixed-point recording.
+    """
+    program = context.program
+    limits = context.limits
+    stats = context.stats
+
+    entry_proc = program.callable(context.entry_name)
+    entries = {entry_proc.name: initial_entry_matrix(entry_proc, limits)}
+    last_visit = context.procedure_recorders
+    last_visit.clear()
+
+    pending = deque([entry_proc.name])
+    queued = {entry_proc.name}
+    # Safety net mirroring the seed's bound: rounds x procedures.
+    max_pops = max(8, 4 * len(program.all_callables)) * limits.max_iterations * max(
+        1, len(program.all_callables)
+    )
+
+    while pending:
+        name = pending.popleft()
+        queued.discard(name)
+        stats.worklist_pops += 1
+
+        visit = AnalysisRecorder()
+        analyzer = ProcedureAnalyzer(
+            program, context.info, context.summaries, limits, visit, context=context
+        )
+        analyzer.analyze_procedure(program.callable(name), entries[name])
+        last_visit[name] = visit
+
+        for callee, projected in visit.call_sites:
+            current = entries.get(callee)
+            if current is None:
+                base = initial_entry_matrix(program.callable(callee), limits)
+                merged = base.merge(projected)
+            else:
+                merged = current.merge(projected)
+            if current is None or merged != current:
+                entries[callee] = merged
+                stats.entry_updates += 1
+                if callee not in queued:
+                    queued.add(callee)
+                    pending.append(callee)
+        if stats.worklist_pops >= max_pops:  # pragma: no cover - safety net
+            break
+
+    context.entry_matrices = entries
+
+
+def assemble_pass(context: AnalysisContext) -> None:
+    """Stitch each procedure's last-visit recording into the final recorder.
+
+    Procedures are visited in entry-matrix discovery order (the same order
+    the seed's final recording pass used), so diagnostics and statement
+    enumeration order are preserved.
+    """
+    final = AnalysisRecorder()
+    for name in context.entry_matrices:
+        visit = context.procedure_recorders.get(name)
+        if visit is not None:
+            final.absorb(visit)
+    context.recorder = final
+    context.stats.programs_analyzed += 1
+
+
+#: The default pipeline, in execution order.
+PIPELINE: Tuple[Tuple[str, AnalysisPass], ...] = (
+    ("validate", validate_pass),
+    ("typecheck", typecheck_pass),
+    ("summaries", summaries_pass),
+    ("solve", solve_pass),
+    ("assemble", assemble_pass),
+)
+
+
+def run_pipeline(context: AnalysisContext) -> AnalysisContext:
+    """Run the standard pass sequence over ``context`` and return it."""
+    allocated_before = PathMatrix.allocations
+    for _name, analysis_pass in PIPELINE:
+        analysis_pass(context)
+    context.stats.matrices_allocated += PathMatrix.allocations - allocated_before
+    return context
+
+
+def pass_names() -> List[str]:
+    """The pipeline stages, in order (for docs and debugging)."""
+    return [name for name, _ in PIPELINE]

@@ -26,12 +26,13 @@ diagnostics for updates) and never modify their argument.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..sil import ast
 from ..sil.printer import _format_inline as format_statement_inline
-from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .limits import DEFAULT_LIMITS, DEFAULT_TRANSFER_CACHE_SIZE, AnalysisLimits
 from .matrix import PathMatrix
 from .paths import Path, append_link, cancel_first, concat, starts_with_field
 from .pathset import PathSet
@@ -188,7 +189,7 @@ def apply_store_field(
             )
         parents = [
             other
-            for other in matrix.handles
+            for other in matrix.iter_handles()
             if other != source and matrix.get(other, source).has_proper_path
         ]
         if parents:
@@ -208,13 +209,13 @@ def apply_store_field(
     # ---- demote relationships that may have used the old a.f edge --------
     f_targets = [
         other
-        for other in matrix.handles
+        for other in matrix.iter_handles()
         if other != target
         and any(starts_with_field(path, field_name) for path in matrix.get(target, other))
     ]
     above = [
         other
-        for other in matrix.handles
+        for other in matrix.iter_handles()
         if other == target or not matrix.get(other, target).is_empty
     ]
     for upper in above:
@@ -285,3 +286,94 @@ def apply_basic_statement(
     if isinstance(stmt, (ast.LoadValue, ast.StoreValue, ast.ScalarAssign)):
         return TransferResult(matrix.copy())
     raise TypeError(f"not a basic statement: {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Memoized transfer application
+# ---------------------------------------------------------------------------
+
+
+class TransferCache:
+    """A size-bounded LRU of transfer results keyed on (statement, matrix).
+
+    The key combines ``id(stmt)`` with the input matrix's exact
+    :meth:`~repro.analysis.matrix.PathMatrix.fingerprint` (which includes the
+    :class:`AnalysisLimits`), so a hit is only possible for the same
+    statement applied to an identical matrix under identical limits — the
+    cached result is therefore exactly what recomputation would produce.
+
+    Each cache value keeps a strong reference to the statement object, so an
+    ``id`` can never be recycled while any entry for it is alive (entries
+    and their pins are dropped together on LRU eviction).
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_TRANSFER_CACHE_SIZE):
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[Tuple, Tuple[ast.BasicStmt, TransferResult]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[TransferResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[1]
+
+    def put(self, key: Tuple, stmt: ast.BasicStmt, result: TransferResult) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        while len(entries) >= self.capacity:
+            entries.popitem(last=False)
+        entries[key] = (stmt, result)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide default cache shared by every analysis that does not supply
+#: its own (so repeated analyses of the same program — benchmark reruns,
+#: oracle re-preparation — hit across calls).
+GLOBAL_TRANSFER_CACHE = TransferCache()
+
+
+def apply_basic_statement_cached(
+    matrix: PathMatrix,
+    stmt: ast.BasicStmt,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+    cache: Optional[TransferCache] = None,
+    stats=None,
+) -> TransferResult:
+    """Memoizing wrapper around :func:`apply_basic_statement`.
+
+    ``stats`` may be an :class:`~repro.analysis.context.AnalysisStats` (or
+    any object with ``transfer_cache_hits``/``transfer_cache_misses``
+    counters); pass ``None`` to skip counting.
+    """
+    if cache is None:
+        cache = GLOBAL_TRANSFER_CACHE
+    # The fingerprint embeds matrix.limits, but the transfer is computed with
+    # the separate ``limits`` argument — key on it too so a caller passing
+    # mismatched limits can never be served another configuration's result.
+    key = (id(stmt), limits, matrix.fingerprint())
+    cached = cache.get(key)
+    if cached is not None:
+        if stats is not None:
+            stats.transfer_cache_hits += 1
+        return cached
+    result = apply_basic_statement(matrix, stmt, limits)
+    # Entering the cache makes the result shared across program points and
+    # future runs; seal it so a caller mutation fails loudly instead of
+    # silently poisoning every later hit.
+    result.matrix.seal()
+    cache.put(key, stmt, result)
+    if stats is not None:
+        stats.transfer_cache_misses += 1
+    return result

@@ -34,7 +34,7 @@ def alias_set(handle: str, field: Field, matrix: PathMatrix) -> Set[Location]:
     as ``a`` (including ``(a, f)`` itself).
     """
     result: Set[Location] = {field_location(handle, field)}
-    for other in matrix.handles:
+    for other in matrix.iter_handles():
         if other == handle:
             continue
         if matrix.get(handle, other).has_same or matrix.get(other, handle).has_same:
@@ -45,7 +45,7 @@ def alias_set(handle: str, field: Field, matrix: PathMatrix) -> Set[Location]:
 def must_alias_set(handle: str, field: Field, matrix: PathMatrix) -> Set[Location]:
     """Locations that *definitely* alias ``(a, f)`` (definite ``S`` entries)."""
     result: Set[Location] = {field_location(handle, field)}
-    for other in matrix.handles:
+    for other in matrix.iter_handles():
         if other == handle:
             continue
         if (

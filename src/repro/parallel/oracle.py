@@ -19,8 +19,10 @@ import abc
 from typing import Dict, Optional
 
 from ..analysis import AnalysisResult, analyze_program
+from ..analysis.context import AnalysisContext, AnalysisStats
 from ..analysis.limits import DEFAULT_LIMITS, AnalysisLimits
 from ..analysis.matrix import PathMatrix
+from ..analysis.transfer import TransferCache
 from ..interference.basic import statements_interfere
 from ..interference.calls import calls_independent
 from ..interference.locations import LocationKind
@@ -74,16 +76,33 @@ class PathMatrixOracle(DependenceOracle):
         limits: AnalysisLimits = DEFAULT_LIMITS,
         use_update_refinement: bool = True,
         analysis: Optional[AnalysisResult] = None,
+        transfer_cache: Optional[TransferCache] = None,
     ) -> None:
         self.limits = limits
         self.use_update_refinement = use_update_refinement
         self.analysis = analysis
+        #: Optional shared memoized-transfer cache.  Passing the same cache
+        #: to several oracles (or reusing one oracle across programs) lets
+        #: re-preparation hit previously computed transfers; ``None`` uses
+        #: the process-wide shared cache.
+        self.transfer_cache = transfer_cache
 
     # ------------------------------------------------------------------
 
     def prepare(self, program: ast.Program, info: TypeInfo) -> None:
         if self.analysis is None or self.analysis.program is not program:
-            self.analysis = analyze_program(program, info, limits=self.limits)
+            context = AnalysisContext(
+                program=program,
+                info=info,
+                limits=self.limits,
+                transfer_cache=self.transfer_cache,
+            )
+            self.analysis = analyze_program(program, info, context=context)
+
+    @property
+    def stats(self) -> Optional[AnalysisStats]:
+        """Work counters of the prepared analysis (None before prepare())."""
+        return self.analysis.stats if self.analysis is not None else None
 
     def _matrix_at(self, group_start: ast.Stmt) -> PathMatrix:
         assert self.analysis is not None, "prepare() must be called first"

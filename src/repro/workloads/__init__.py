@@ -7,12 +7,13 @@ from .generators import (
     perfect_tree_values,
     random_tree_spec,
 )
-from .suite import TREE_PRESERVING, WORKLOADS, load, source, with_depth
+from .suite import TREE_PRESERVING, WORKLOADS, analyze_suite, load, source, with_depth
 
 __all__ = [
     "WORKLOADS",
     "TREE_PRESERVING",
     "load",
+    "analyze_suite",
     "source",
     "with_depth",
     "random_tree_spec",

@@ -24,7 +24,7 @@ external input.
 from __future__ import annotations
 
 import re
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..sil import ast
 from ..sil.normalize import parse_and_normalize
@@ -521,3 +521,27 @@ def load(name: str, depth: int = 4) -> Tuple[ast.Program, TypeInfo]:
 def source(name: str, depth: int = 4) -> str:
     """The SIL source text of a named workload at the given depth."""
     return with_depth(WORKLOADS[name], depth)
+
+
+def analyze_suite(
+    names: Optional[Sequence[str]] = None,
+    depth: int = 4,
+    limits=None,
+):
+    """Analyze a batch of named workloads against one shared analysis context.
+
+    Loads each workload, then runs :func:`repro.analysis.analyze_many` so the
+    whole suite shares one memoized-transfer cache, one
+    :class:`~repro.analysis.context.AnalysisStats` and the global interned
+    path domain.  Returns ``{name: AnalysisResult}``; the shared stats object
+    is reachable as ``results[name].stats`` (it is the same object on every
+    result).
+    """
+    from ..analysis import analyze_many
+    from ..analysis.limits import DEFAULT_LIMITS
+
+    if names is None:
+        names = list(WORKLOADS)
+    pairs = [load(name, depth=depth) for name in names]
+    results = analyze_many(pairs, limits=limits if limits is not None else DEFAULT_LIMITS)
+    return dict(zip(names, results))

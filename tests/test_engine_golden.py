@@ -1,0 +1,104 @@
+"""Golden comparison: worklist pipeline engine vs. the seed reference engine.
+
+The refactored engine (worklist solver + hash-consed domain + memoized
+transfers) must be *observationally identical* to the seed's
+rounds-until-stable engine on every workload: same entry matrices, same
+per-statement matrices, same diagnostics (contents *and* order), same loop
+histories.  It must also do strictly less interprocedural work than the
+seed's rounds x procedures product.
+"""
+
+import pytest
+
+from repro.analysis import analyze_many, analyze_program, analyze_program_reference
+from repro.analysis.limits import AnalysisLimits
+from repro.workloads import WORKLOADS, analyze_suite, load
+
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+def assert_identical(new, ref):
+    assert new.entry_matrices == ref.entry_matrices
+    assert set(new.entry_matrices) == set(ref.entry_matrices)
+
+    # Diagnostics: contents and order.
+    new_diags = [(p, d.kind, d.certainty, d.statement, d.detail) for p, d in new.recorder.diagnostics]
+    ref_diags = [(p, d.kind, d.certainty, d.statement, d.detail) for p, d in ref.recorder.diagnostics]
+    assert new_diags == ref_diags
+
+    # Per-statement matrices at every recorded program point.
+    assert set(new.recorder.before) == set(ref.recorder.before)
+    assert set(new.recorder.after) == set(ref.recorder.after)
+    for stmt_id, matrix in ref.recorder.before.items():
+        assert new.recorder.before[stmt_id] == matrix
+    for stmt_id, matrix in ref.recorder.after.items():
+        assert new.recorder.after[stmt_id] == matrix
+
+    # Loop iteration histories (Figure 3).
+    assert set(new.recorder.loop_histories) == set(ref.recorder.loop_histories)
+    for stmt_id, history in ref.recorder.loop_histories.items():
+        assert new.recorder.loop_histories[stmt_id] == history
+
+    # Summaries.
+    assert set(new.summaries) == set(ref.summaries)
+    for name, summary in ref.summaries.items():
+        other = new.summaries[name]
+        assert other.update_params == summary.update_params
+        assert other.modifies_links == summary.modifies_links
+        assert other.result_derived_from == summary.result_derived_from
+        assert other.result_may_be_fresh == summary.result_may_be_fresh
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_pipeline_matches_reference(name):
+    program, info = load(name, depth=3)
+    new = analyze_program(program, info)
+    ref = analyze_program_reference(program, info)
+    assert_identical(new, ref)
+
+
+@pytest.mark.parametrize("name", ["add_and_reverse", "bitonic_sort", "bst_build"])
+def test_worklist_does_less_work_than_rounds(name):
+    program, info = load(name, depth=3)
+    new = analyze_program(program, info)
+    ref = analyze_program_reference(program, info)
+    rounds_times_procedures = ref.iterations * len(ref.entry_matrices)
+    assert new.stats.worklist_pops < rounds_times_procedures
+
+
+def test_pipeline_matches_reference_under_tight_limits():
+    limits = AnalysisLimits(max_exact_count=2, max_segments=2, max_paths_per_entry=3)
+    program, info = load("add_and_reverse", depth=3)
+    new = analyze_program(program, info, limits=limits)
+    ref = analyze_program_reference(program, info, limits=limits)
+    assert_identical(new, ref)
+
+
+def test_reanalysis_is_cache_served_and_identical():
+    program, info = load("tree_copy", depth=3)
+    first = analyze_program(program, info)
+    second = analyze_program(program, info)
+    assert_identical(second, first)
+    assert second.stats.transfer_cache_hits > 0
+    assert second.stats.transfer_cache_hit_rate == 1.0
+
+
+def test_analyze_many_matches_individual_runs():
+    names = ["tree_add", "tree_mirror", "list_walk"]
+    pairs = [load(name, depth=3) for name in names]
+    batch = analyze_many(pairs)
+    assert len(batch) == len(names)
+    shared_stats = batch[0].stats
+    assert all(result.stats is shared_stats for result in batch)
+    assert shared_stats.programs_analyzed == len(names)
+    for (program, info), result in zip(pairs, batch):
+        ref = analyze_program_reference(program, info)
+        assert_identical(result, ref)
+
+
+def test_analyze_suite_returns_named_results():
+    results = analyze_suite(["tree_add", "swap_children"], depth=3)
+    assert set(results) == {"tree_add", "swap_children"}
+    assert results["tree_add"].entry_matrices
+    assert results["tree_add"].stats is results["swap_children"].stats
