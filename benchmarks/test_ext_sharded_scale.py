@@ -1,0 +1,64 @@
+"""EXT-E — the sharded batch-analysis frontend at population scale.
+
+The ROADMAP's scaling direction: serve whole workload populations — every
+named workload plus a seeded random scenario population — through
+:class:`~repro.workloads.suite.ShardedSuiteRunner`, and show that
+
+* sharding is *transparent*: the merged results are bit-identical to a
+  single-process run over the same population (per-point path matrices,
+  entry matrices and diagnostics, compared via the canonical encoding),
+* the merged :class:`~repro.analysis.context.AnalysisStats` is exactly the
+  sum of the per-shard breakdowns, and
+* the per-shard wall-clock spread is visible, so the round-robin
+  assignment can be judged.
+
+Kept deliberately small for tier-1 (a handful of scenarios, 2 shards); the
+CLI (``python -m repro bench``) runs the full 50+-scenario population.
+"""
+
+from conftest import banner
+
+from repro.analysis.context import AnalysisStats
+from repro.workloads import (
+    WORKLOADS,
+    GeneratorConfig,
+    ShardedSuiteRunner,
+    generate_scenarios,
+    source,
+)
+
+
+def test_ext_sharded_population_bit_identity():
+    scenarios = generate_scenarios(
+        12, base_seed=2024, config=GeneratorConfig(depth=3, procedures=2)
+    )
+    items = [(name, source(name, depth=3)) for name in WORKLOADS]
+    items += [(s.name, s.source) for s in scenarios]
+    runner = ShardedSuiteRunner(items, shards=2)
+
+    sharded = runner.run()
+    single = runner.run_single_process()
+
+    banner("EXT-E — sharded batch analysis (named workloads + generated population)")
+    print(f"population: {len(WORKLOADS)} named + {len(scenarios)} generated scenarios")
+    print(f"{'shard':>5s} {'n':>4s} {'pops':>6s} {'visited':>8s} {'seconds':>8s}")
+    for shard in sharded.shards:
+        print(
+            f"{shard.shard:5d} {len(shard.workloads):4d} {shard.stats.worklist_pops:6d} "
+            f"{shard.stats.statements_visited:8d} {shard.seconds:8.3f}"
+        )
+    print(
+        f"\nsharded {sharded.seconds:.3f}s vs single-process {single.seconds:.3f}s; "
+        f"bit-identical: {sharded.matches(single)}"
+    )
+    print("\nmerged AnalysisStats:")
+    print(sharded.stats.format())
+
+    assert sharded.ok and single.ok
+    assert sharded.matches(single)
+    assert sharded.results == single.results
+    assert sharded.stats.programs_analyzed == len(items)
+    for name in AnalysisStats.COUNTER_FIELDS:
+        assert getattr(sharded.stats, name) == sum(
+            getattr(shard.stats, name) for shard in sharded.shards
+        )

@@ -46,6 +46,11 @@ class AnalysisStats:
     ``transfer_cache_hits`` / ``transfer_cache_misses`` count memoized
     transfer-function lookups; hits include hits against results cached by
     *earlier* runs when the process-wide shared cache is used.
+
+    Stats are additive: :meth:`merge` sums counters across runs, which is
+    how the sharded suite runner (:mod:`repro.workloads.suite`) folds
+    per-shard stats — reconstructed from worker snapshots via
+    :meth:`from_dict` — into one suite-wide total.
     """
 
     #: Procedures popped off the interprocedural worklist (re-analyses).
@@ -65,6 +70,19 @@ class AnalysisStats:
     #: Programs analyzed against this stats object (one, unless batched).
     programs_analyzed: int = 0
 
+    #: The additive counter fields, in ``as_dict`` order.  Derived values
+    #: (hit rate) and the global intern-table sizes are excluded.
+    COUNTER_FIELDS = (
+        "worklist_pops",
+        "entry_updates",
+        "statements_visited",
+        "loop_iterations",
+        "transfer_cache_hits",
+        "transfer_cache_misses",
+        "matrices_allocated",
+        "programs_analyzed",
+    )
+
     @property
     def transfer_cache_requests(self) -> int:
         return self.transfer_cache_hits + self.transfer_cache_misses
@@ -75,21 +93,45 @@ class AnalysisStats:
         requests = self.transfer_cache_requests
         return self.transfer_cache_hits / requests if requests else 0.0
 
+    def counters(self) -> Dict[str, int]:
+        """Just the additive counters — no derived values, no global tables.
+
+        This is the right rendering for *merged* cross-process stats: the
+        intern-table sizes :meth:`as_dict` appends are those of the calling
+        process, which reflect none of the shard workers' interning.
+        """
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
     def as_dict(self) -> Dict[str, float]:
         """A plain-JSON-able snapshot (counters plus global table sizes)."""
-        snapshot: Dict[str, float] = {
-            "worklist_pops": self.worklist_pops,
-            "entry_updates": self.entry_updates,
-            "statements_visited": self.statements_visited,
-            "loop_iterations": self.loop_iterations,
-            "transfer_cache_hits": self.transfer_cache_hits,
-            "transfer_cache_misses": self.transfer_cache_misses,
-            "transfer_cache_hit_rate": round(self.transfer_cache_hit_rate, 4),
-            "matrices_allocated": self.matrices_allocated,
-            "programs_analyzed": self.programs_analyzed,
-        }
+        snapshot: Dict[str, float] = dict(self.counters())
+        snapshot["transfer_cache_hit_rate"] = round(self.transfer_cache_hit_rate, 4)
         snapshot.update(intern_table_sizes())
         return snapshot
+
+    @classmethod
+    def from_dict(cls, snapshot: Dict[str, float]) -> "AnalysisStats":
+        """Rebuild stats from an :meth:`as_dict` snapshot.
+
+        Derived values and intern-table sizes in the snapshot are ignored —
+        they are recomputed (or global) on the receiving side.  This is how
+        shard workers ship their counters back across process boundaries.
+        """
+        return cls(**{name: int(snapshot.get(name, 0)) for name in cls.COUNTER_FIELDS})
+
+    def merge(self, *others: "AnalysisStats") -> "AnalysisStats":
+        """A new stats object with counters summed across ``self`` and ``others``.
+
+        Addition is exact for every counter (they count disjoint work), so
+        merging per-shard stats reproduces what a single shared-stats run
+        over the union of the shards' programs would have counted — minus
+        cross-shard transfer-cache hits, which show up as extra misses.
+        """
+        merged = AnalysisStats()
+        for source in (self, *others):
+            for name in self.COUNTER_FIELDS:
+                setattr(merged, name, getattr(merged, name) + getattr(source, name))
+        return merged
 
     def format(self) -> str:
         """One-per-line human-readable rendering (benchmark banners)."""

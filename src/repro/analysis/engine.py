@@ -111,6 +111,45 @@ class AnalysisResult:
         return sorted(self.entry_matrices.keys())
 
     # ------------------------------------------------------------------
+    # Canonical (process-independent) encoding
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, object]:
+        """A canonical, JSON-able, process-independent encoding of the result.
+
+        Matrices are keyed by procedure name and *statement position* (the
+        index in :func:`repro.sil.ast.walk_stmt` order) rather than by
+        ``id(stmt)``, and path sets by their exact textual rendering — so
+        two analyses of the same source text produce equal encodings even
+        in different processes.  The sharded suite runner ships these back
+        from workers and the regression tests compare them bit-for-bit
+        against single-process runs.
+        """
+        points = {}
+        for proc_name in sorted(self.entry_matrices):
+            proc = self.program.callable(proc_name)
+            for index, stmt in enumerate(ast.walk_stmt(proc.body)):
+                recorded_before = self.recorder.before.get(id(stmt))
+                if recorded_before is None:
+                    continue
+                points[f"{proc_name}#{index}"] = {
+                    "before": canonical_matrix(recorded_before),
+                    "after": canonical_matrix(self.recorder.after[id(stmt)]),
+                }
+        return {
+            "program": self.program.name,
+            "entry_matrices": {
+                name: canonical_matrix(matrix)
+                for name, matrix in sorted(self.entry_matrices.items())
+            },
+            "points": points,
+            "diagnostics": sorted(
+                [proc, diag.kind.name, diag.certainty.name, diag.statement, diag.detail]
+                for proc, diag in self.recorder.diagnostics
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # Convenience: locate statements by shape
     # ------------------------------------------------------------------
 
@@ -139,6 +178,22 @@ class AnalysisResult:
         raise KeyError(
             f"call #{occurrence} to {callee!r} not found in procedure {procedure_name!r}"
         )
+
+
+def canonical_matrix(matrix: PathMatrix) -> Dict[str, object]:
+    """A canonical, JSON-able encoding of one :class:`PathMatrix`.
+
+    Captures exactly what :meth:`PathMatrix.__eq__` compares — the tracked
+    handles (in insertion order) and every non-empty entry, with path sets
+    rendered via their exact textual form.  Equal encodings ⇔ equal
+    matrices, across process boundaries.
+    """
+    return {
+        "handles": matrix.handles,
+        "entries": sorted(
+            [source, target, paths.format()] for source, target, paths in matrix.entries()
+        ),
+    }
 
 
 def analyze_program(
@@ -179,6 +234,49 @@ def analyze_program(
     )
 
 
+class BatchAnalyzer:
+    """One shared memoized-transfer cache + stats, fed one program at a time.
+
+    The single implementation of the batch-sharing contract: every batch
+    entry point — :func:`analyze_many`, the workload suite's
+    :func:`~repro.workloads.suite.analyze_suite`, and the sharded runner's
+    workers — builds on this instead of re-threading the cache/stats/
+    pops-delta bookkeeping itself.  ``result.iterations`` on each returned
+    result counts only that program's worklist pops; ``result.stats`` is
+    the shared batch-wide object.
+    """
+
+    def __init__(self, limits: AnalysisLimits = DEFAULT_LIMITS, entry: str = "main"):
+        self.limits = limits
+        self.entry = entry
+        self.stats = AnalysisStats()
+        self.cache = TransferCache(limits.transfer_cache_size)
+
+    def analyze(
+        self, program: ast.Program, info: Optional[TypeInfo] = None
+    ) -> AnalysisResult:
+        pops_before = self.stats.worklist_pops
+        context = AnalysisContext(
+            program=program,
+            info=info,
+            limits=self.limits,
+            entry_name=self.entry,
+            stats=self.stats,
+            transfer_cache=self.cache,
+        )
+        run_pipeline(context)
+        return AnalysisResult(
+            program=context.program,
+            info=context.info,
+            limits=context.limits,
+            summaries=context.summaries,
+            entry_matrices=context.entry_matrices,
+            recorder=context.recorder,
+            iterations=self.stats.worklist_pops - pops_before,
+            stats=self.stats,
+        )
+
+
 def analyze_many(
     programs: Iterable[Union[ast.Program, Tuple[ast.Program, Optional[TypeInfo]]]],
     limits: AnalysisLimits = DEFAULT_LIMITS,
@@ -189,42 +287,17 @@ def analyze_many(
     The hash-consed path domain is global, so every analysis already shares
     interned :class:`Path`/:class:`PathSet` values; this entry point
     additionally shares one memoized-transfer cache and one
-    :class:`~repro.analysis.context.AnalysisStats` across the whole batch —
-    the workload-suite batching used by
+    :class:`~repro.analysis.context.AnalysisStats` across the whole batch
+    (via :class:`BatchAnalyzer`) — the workload-suite batching used by
     :func:`repro.workloads.suite.analyze_suite`.
 
     ``programs`` items may be bare programs or ``(program, info)`` pairs.
     """
-    shared_cache = TransferCache(limits.transfer_cache_size)
-    shared_stats = AnalysisStats()
+    batch = BatchAnalyzer(limits=limits, entry=entry)
     results: List[AnalysisResult] = []
     for item in programs:
-        if isinstance(item, tuple):
-            program, info = item
-        else:
-            program, info = item, None
-        pops_before = shared_stats.worklist_pops
-        context = AnalysisContext(
-            program=program,
-            info=info,
-            limits=limits,
-            entry_name=entry,
-            stats=shared_stats,
-            transfer_cache=shared_cache,
-        )
-        run_pipeline(context)
-        results.append(
-            AnalysisResult(
-                program=context.program,
-                info=context.info,
-                limits=context.limits,
-                summaries=context.summaries,
-                entry_matrices=context.entry_matrices,
-                recorder=context.recorder,
-                iterations=shared_stats.worklist_pops - pops_before,
-                stats=shared_stats,
-            )
-        )
+        program, info = item if isinstance(item, tuple) else (item, None)
+        results.append(batch.analyze(program, info))
     return results
 
 

@@ -1,0 +1,322 @@
+"""The batch-analysis command line: ``python -m repro <command>``.
+
+Three subcommands turn the reproduction into a workload-serving frontend:
+
+* ``analyze`` — analyze named workloads and/or generated scenarios,
+  optionally sharded across worker processes, and print per-workload
+  outcomes plus the merged :class:`~repro.analysis.context.AnalysisStats`.
+* ``bench`` — run a whole population (every named workload + a seeded
+  random scenario population) through the sharded suite runner, verify the
+  sharded results are bit-identical to a single-process run, and write the
+  merged per-shard stats artifact (``BENCH_analysis.json``).
+* ``generate`` — emit seeded random SIL scenario sources (stdout or
+  ``--out`` directory), optionally cross-checked against the reference
+  engine.
+
+Everything is built on the PR-1 architecture: scenarios travel as source
+text, every analysis goes through ``AnalysisContext`` and the pass
+pipeline, and sharding happens in :class:`repro.workloads.suite.
+ShardedSuiteRunner` — no side-channel entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .workloads.generators import (
+    FAMILIES,
+    GeneratorConfig,
+    Scenario,
+    cross_check_scenario,
+    generate_scenarios,
+)
+from .workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
+
+#: Default artifact path of ``bench`` (matches the pytest bench artifact).
+DEFAULT_ARTIFACT = "BENCH_analysis.json"
+
+
+def _add_generator_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="base seed of the population")
+    parser.add_argument(
+        "--family",
+        choices=FAMILIES + ("all",),
+        default="all",
+        help="scenario family (default: round-robin over all families)",
+    )
+    parser.add_argument(
+        "--procedures", type=int, default=2, help="walker procedures per scenario"
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4, help="structure depth / length constant"
+    )
+    parser.add_argument(
+        "--aliasing", type=float, default=0.3, help="handle-overlap probability in [0,1]"
+    )
+
+
+def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
+    """The effective (clamped) generator config the population will use."""
+    return GeneratorConfig(
+        procedures=args.procedures, depth=args.depth, aliasing=args.aliasing
+    ).clamped()
+
+
+def _population(args: argparse.Namespace, count: int) -> List[Scenario]:
+    families = None if args.family == "all" else [args.family]
+    return generate_scenarios(
+        count, base_seed=args.seed, config=_generator_config(args), families=families
+    )
+
+
+def _print_report(report: ShardedSuiteReport, matrices: bool = False) -> None:
+    for name, canonical in report.results.items():
+        procedures = len(canonical["entry_matrices"])
+        diagnostics = len(canonical["diagnostics"])
+        print(f"  ok    {name:24s} procs={procedures:<3d} diagnostics={diagnostics}")
+        if matrices:
+            for procedure, matrix in canonical["entry_matrices"].items():
+                for source_handle, target_handle, paths in matrix["entries"]:
+                    print(f"          {procedure}: {source_handle} -> {target_handle} : {paths}")
+    for name, error in report.failures.items():
+        print(f"  FAIL  {name:24s} {error}")
+    print()
+    print(f"shards ({len(report.shards)}):")
+    header = f"  {'shard':>5s} {'n':>4s} {'pops':>6s} {'hits':>7s} {'misses':>7s} {'seconds':>8s}"
+    print(header)
+    for shard in report.shards:
+        stats = shard.stats
+        print(
+            f"  {shard.shard:5d} {len(shard.workloads):4d} {stats.worklist_pops:6d} "
+            f"{stats.transfer_cache_hits:7d} {stats.transfer_cache_misses:7d} "
+            f"{shard.seconds:8.3f}"
+        )
+    print()
+    print("merged AnalysisStats:")
+    # Counters only: the intern tables live in the worker processes.
+    for key, value in report.stats.counters().items():
+        print(f"  {key:28s} {value}")
+    print(f"  {'transfer_cache_hit_rate':28s} {report.stats.transfer_cache_hit_rate:.4f}")
+
+
+def _census(items: Sequence[Tuple[str, str]]) -> Dict[str, Dict[str, int]]:
+    """Parallelism census over (name, source) items, batch-prepared oracles.
+
+    Items that fail to parse or analyze get an ``error`` row instead of
+    aborting the census (matching the suite's failure isolation).
+    """
+    from .parallel.oracle import PathMatrixOracle, parallelism_census
+    from .analysis.limits import DEFAULT_LIMITS
+    from .analysis.transfer import TransferCache
+    from .sil.normalize import parse_and_normalize
+
+    shared_cache = TransferCache(DEFAULT_LIMITS.transfer_cache_size)
+    census: Dict[str, Dict[str, int]] = {}
+    for name, text in items:
+        try:
+            program, info = parse_and_normalize(text)
+            oracle = PathMatrixOracle(transfer_cache=shared_cache)
+            oracle.prepare(program, info)
+            census[name] = parallelism_census(program, info, oracle=oracle)
+        except Exception as error:  # noqa: BLE001 - surfaced per workload
+            census[name] = {"error": f"{type(error).__name__}: {error}"}
+    return census
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list:
+        print("named workloads:")
+        for name in WORKLOADS:
+            print(f"  {name}")
+        print("scenario families:")
+        for family in FAMILIES:
+            print(f"  {family}")
+        return 0
+
+    names = args.names or (list(WORKLOADS) if not args.generated else [])
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {unknown}; known: {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        print(f"duplicate workloads: {duplicates}", file=sys.stderr)
+        return 2
+    items = [(name, source(name, depth=args.depth)) for name in names]
+    if args.generated:
+        items += [(s.name, s.source) for s in _population(args, args.generated)]
+
+    runner = ShardedSuiteRunner(items, shards=args.shards)
+    report = runner.run()
+    print(f"analyzed {len(report.results)}/{len(items)} workloads "
+          f"across {len(report.shards)} shard(s) in {report.seconds:.3f}s")
+    _print_report(report, matrices=args.matrices)
+
+    if args.census:
+        print("\nparallelism census (path-matrix oracle):")
+        for name, row in _census(items).items():
+            if "error" in row:
+                print(f"  {name:24s} FAIL {row['error']}")
+            else:
+                print(
+                    f"  {name:24s} groups={row['groups']:<3d} "
+                    f"call_groups={row['call_groups']:<3d} "
+                    f"independent={row['independent_answers']}/{row['queries']}"
+                )
+    return 1 if report.failures else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    config = _generator_config(args)
+    scenarios = _population(args, args.seeds)
+    items = [(name, source(name, depth=min(config.depth, 4))) for name in WORKLOADS]
+    items += [(s.name, s.source) for s in scenarios]
+    print(
+        f"population: {len(WORKLOADS)} named workloads + {len(scenarios)} generated "
+        f"scenarios (seed {args.seed}, families "
+        f"{args.family if args.family != 'all' else ', '.join(FAMILIES)})"
+    )
+
+    runner = ShardedSuiteRunner(items, shards=args.shards)
+    report = runner.run()
+    print(f"\nsharded run ({args.shards} shards): {report.seconds:.3f}s")
+    _print_report(report)
+
+    artifact: Dict[str, object] = {
+        "population": {
+            "named_workloads": len(WORKLOADS),
+            "generated_scenarios": len(scenarios),
+            "base_seed": args.seed,
+            "families": list(FAMILIES) if args.family == "all" else [args.family],
+            # The *effective* (clamped) knobs the population was generated
+            # with, not the raw CLI values.
+            "generator": {
+                "procedures": config.procedures,
+                "depth": config.depth,
+                "aliasing": config.aliasing,
+            },
+        },
+        "sharded": report.as_dict(),
+    }
+
+    verified: Optional[bool] = None
+    if not args.no_verify:
+        single = runner.run_single_process()
+        verified = report.matches(single)
+        speedup = single.seconds / report.seconds if report.seconds else 0.0
+        print(f"\nsingle-process reference: {single.seconds:.3f}s "
+              f"(sharded speedup {speedup:.2f}x)")
+        print(f"sharded results bit-identical to single process: {verified}")
+        artifact["single_process"] = {"seconds": round(single.seconds, 4)}
+        artifact["verified_identical"] = verified
+
+    output = Path(args.output)
+    output.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+
+    if report.failures or verified is False:
+        return 1
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    scenarios = _population(args, args.count)
+    if args.verify:
+        for scenario in scenarios:
+            if not cross_check_scenario(scenario):
+                print(f"cross-check FAILED: {scenario.name}", file=sys.stderr)
+                return 1
+        print(f"cross-checked {len(scenarios)} scenarios against the reference engine",
+              file=sys.stderr)
+    if args.out:
+        directory = Path(args.out)
+        directory.mkdir(parents=True, exist_ok=True)
+        for scenario in scenarios:
+            (directory / f"{scenario.name}.sil").write_text(scenario.source.strip() + "\n")
+        print(f"wrote {len(scenarios)} scenarios to {directory}")
+    else:
+        for scenario in scenarios:
+            print(f"{{ scenario {scenario.name} (family {scenario.family}, "
+                  f"seed {scenario.seed}) }}")
+            print(scenario.source.strip())
+            print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Batch path-matrix analysis over workload suites and "
+        "generated SIL scenario populations.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyze named workloads and/or generated scenarios"
+    )
+    analyze.add_argument("names", nargs="*", help="workload names (default: all)")
+    analyze.add_argument("--shards", type=int, default=1, help="worker processes")
+    analyze.add_argument(
+        "--generated", type=int, default=0, metavar="N", help="add N generated scenarios"
+    )
+    analyze.add_argument("--matrices", action="store_true", help="print main entry matrices")
+    analyze.add_argument(
+        "--census", action="store_true", help="report the parallelism census per workload"
+    )
+    analyze.add_argument("--list", action="store_true", help="list workloads and families")
+    _add_generator_options(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    bench = commands.add_parser(
+        "bench",
+        help="sharded benchmark over the named workloads + a generated population; "
+        "writes the merged stats artifact",
+    )
+    bench.add_argument("--shards", type=int, default=4, help="worker processes")
+    bench.add_argument(
+        "--seeds", type=int, default=50, metavar="N", help="generated scenarios in the population"
+    )
+    bench.add_argument(
+        "--output", default=DEFAULT_ARTIFACT, help="merged stats artifact path"
+    )
+    bench.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the single-process bit-identity verification run",
+    )
+    _add_generator_options(bench)
+    bench.set_defaults(func=cmd_bench)
+
+    generate = commands.add_parser(
+        "generate", help="emit seeded random SIL scenarios (stdout or --out directory)"
+    )
+    generate.add_argument("--count", type=int, default=5, help="scenarios to generate")
+    generate.add_argument("--out", help="directory for .sil files (default: stdout)")
+    generate.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check each scenario against the reference engine",
+    )
+    _add_generator_options(generate)
+    generate.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

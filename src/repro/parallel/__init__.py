@@ -1,6 +1,13 @@
 """Parallelization: dependence oracles, the Figure 8 transformation, speedup model."""
 
-from .oracle import DependenceOracle, PathMatrixOracle, is_call, is_groupable
+from .oracle import (
+    DependenceOracle,
+    PathMatrixOracle,
+    batch_oracles,
+    is_call,
+    is_groupable,
+    parallelism_census,
+)
 from .schedule import (
     DEFAULT_PROCESSORS,
     ParallelismReport,
@@ -20,6 +27,8 @@ __all__ = [
     "PathMatrixOracle",
     "is_call",
     "is_groupable",
+    "batch_oracles",
+    "parallelism_census",
     "parallelize_program",
     "Parallelizer",
     "ParallelizationResult",

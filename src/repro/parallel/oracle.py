@@ -16,7 +16,7 @@ parallelism the path-matrix analysis exposes over prior work (bench EXT-C).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis import AnalysisResult, analyze_program
 from ..analysis.context import AnalysisContext, AnalysisStats
@@ -199,3 +199,61 @@ class PathMatrixOracle(DependenceOracle):
                 ):
                     return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# Batch preparation (generated-scenario populations)
+# ---------------------------------------------------------------------------
+
+
+def batch_oracles(
+    pairs: Iterable[Tuple[ast.Program, Optional[TypeInfo]]],
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> List[PathMatrixOracle]:
+    """Prepared :class:`PathMatrixOracle`\\ s for a batch of programs.
+
+    All oracles share one memoized-transfer cache (the oracle analogue of
+    :func:`repro.analysis.engine.analyze_many`), so preparing a population
+    of generated scenarios — structurally similar programs — hits across
+    programs instead of recomputing every transfer from scratch.
+    """
+    shared_cache = TransferCache(limits.transfer_cache_size)
+    oracles: List[PathMatrixOracle] = []
+    for program, info in pairs:
+        if info is None:
+            info = check_program(program)
+        oracle = PathMatrixOracle(limits=limits, transfer_cache=shared_cache)
+        oracle.prepare(program, info)
+        oracles.append(oracle)
+    return oracles
+
+
+def parallelism_census(
+    program: ast.Program,
+    info: Optional[TypeInfo] = None,
+    oracle: Optional[DependenceOracle] = None,
+    limits: AnalysisLimits = DEFAULT_LIMITS,
+) -> Dict[str, int]:
+    """How much parallelism an oracle exposes in one program, as plain counters.
+
+    Runs the Figure 8 transformation with the given oracle (default: a
+    fresh :class:`PathMatrixOracle`) and returns the group/query counters —
+    the per-scenario parallelism row the batch-analysis CLI reports for
+    generated populations.
+    """
+    from .transform import parallelize_program
+
+    if info is None:
+        info = check_program(program)
+    if oracle is None:
+        oracle = PathMatrixOracle(limits=limits)
+    result = parallelize_program(program, info, oracle=oracle)
+    stats = result.stats
+    return {
+        "groups": stats.groups,
+        "statements_in_groups": stats.statements_in_groups,
+        "largest_group": stats.largest_group,
+        "call_groups": stats.call_groups,
+        "queries": stats.queries,
+        "independent_answers": stats.independent_answers,
+    }

@@ -1,18 +1,24 @@
 """Workload generators: random trees and synthetic SIL programs.
 
 Used by the property-based tests (soundness of the analysis against
-concrete execution), the analysis-cost bench (EXT-D) and the examples.
+concrete execution), the analysis-cost bench (EXT-D), the examples, and —
+via the seeded *scenario* generator (:func:`generate_scenario` /
+:func:`generate_scenarios`) — the batch-analysis frontend
+(``python -m repro``), which feeds whole populations of random SIL
+programs through the sharded suite runner.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..runtime.heap import Heap, TreeSpec
 from ..sil import ast
 from ..sil.builder import HANDLE, INT, ProgramBuilder, field, lit, name, new, not_nil
-from ..sil.normalize import normalize_program
+from ..sil.normalize import normalize_program, parse_and_normalize
+from ..sil.printer import format_program
 from ..sil.typecheck import TypeInfo, check_program
 
 
@@ -122,6 +128,138 @@ def make_recursive_walker_program(depth: int, update: bool) -> Tuple[ast.Program
     branch.then.call("walk", name("l"))
     branch.then.call("walk", name("r"))
 
+    _build_tree_function(builder)
+    return builder.build_core()
+
+
+# ---------------------------------------------------------------------------
+# Seeded random SIL scenarios (the batch-analysis workload population)
+# ---------------------------------------------------------------------------
+
+#: The scenario families the random generator can produce.
+FAMILIES = ("list", "tree", "web", "mixed")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random-scenario generator.
+
+    ``procedures`` counts the recursive *walker* routines generated on top
+    of the structure builder; ``depth`` is the structure-size constant baked
+    into ``main`` (tree depth / list length); ``aliasing`` is the
+    probability, per choice point, that the generator introduces handle
+    overlap — aliased call targets, handle copies, cross-links — which is
+    what drives interference density.  Defaults stay comfortably inside
+    :data:`~repro.analysis.limits.DEFAULT_LIMITS` (no widening/truncation).
+    """
+
+    family: str = "mixed"
+    procedures: int = 2
+    depth: int = 4
+    aliasing: float = 0.3
+
+    def clamped(self) -> "GeneratorConfig":
+        """A copy with every knob forced into its supported range."""
+        return replace(
+            self,
+            procedures=max(1, min(4, self.procedures)),
+            depth=max(1, min(8, self.depth)),
+            aliasing=max(0.0, min(1.0, self.aliasing)),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated SIL program, carried as *source text*.
+
+    Source text is the canonical (and picklable) form: the sharded runner
+    ships scenarios to worker processes as strings, and every consumer
+    re-enters the front end via :meth:`load` — so each scenario is
+    validated by the real parser, type checker and normalizer, never by a
+    side channel.
+    """
+
+    name: str
+    family: str
+    seed: int
+    config: GeneratorConfig
+    source: str
+
+    def load(self) -> Tuple[ast.Program, TypeInfo]:
+        """Parse, type check and normalize the scenario's source."""
+        return parse_and_normalize(self.source)
+
+
+def generate_scenario(seed: int, config: Optional[GeneratorConfig] = None) -> Scenario:
+    """Generate one random SIL scenario, deterministically from ``seed``.
+
+    The program is assembled with :class:`~repro.sil.builder.ProgramBuilder`,
+    rendered to concrete syntax, and immediately re-validated through the
+    parser/type checker/normalizer — a generator bug surfaces here, not in a
+    downstream worker.
+    """
+    config = (config or GeneratorConfig()).clamped()
+    rng = random.Random(seed)
+    build_family = _FAMILY_BUILDERS.get(config.family)
+    if build_family is None:
+        raise KeyError(f"unknown scenario family {config.family!r}; known: {list(FAMILIES)}")
+    program_name = f"{config.family}_s{seed}"
+    source = format_program(build_family(program_name, rng, config))
+    parse_and_normalize(source)  # validate through the real front end
+    return Scenario(
+        name=program_name, family=config.family, seed=seed, config=config, source=source
+    )
+
+
+def generate_scenarios(
+    count: int,
+    base_seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+    families: Optional[Sequence[str]] = None,
+) -> List[Scenario]:
+    """A population of ``count`` scenarios, round-robin over ``families``.
+
+    Scenario ``i`` uses seed ``base_seed + i`` and family
+    ``families[i % len(families)]`` (default: all of :data:`FAMILIES`), so
+    populations are reproducible and evenly mixed.
+    """
+    config = config or GeneratorConfig()
+    chosen = tuple(families) if families else FAMILIES
+    for family in chosen:
+        if family not in FAMILIES:
+            raise KeyError(f"unknown scenario family {family!r}; known: {list(FAMILIES)}")
+    return [
+        generate_scenario(base_seed + index, replace(config, family=chosen[index % len(chosen)]))
+        for index in range(count)
+    ]
+
+
+def cross_check_scenario(scenario: Scenario, limits=None) -> bool:
+    """True iff the pipeline and reference engines agree on the scenario.
+
+    Compares the canonical encodings of
+    :func:`~repro.analysis.engine.analyze_program` and the retained seed
+    engine :func:`~repro.analysis.engine.analyze_program_reference` — the
+    generated-population analogue of the golden tests on the named
+    workloads.  Intended for small sizes (the reference engine re-analyzes
+    every procedure every round).
+    """
+    from ..analysis import analyze_program, analyze_program_reference
+    from ..analysis.limits import DEFAULT_LIMITS
+
+    limits = limits if limits is not None else DEFAULT_LIMITS
+    program, info = scenario.load()
+    pipeline = analyze_program(program, info, limits=limits)
+    reference_program, reference_info = scenario.load()
+    reference = analyze_program_reference(reference_program, reference_info, limits=limits)
+    return pipeline.canonical() == reference.canonical()
+
+
+# -- family builders (surface ASTs; callers print + reparse) ----------------
+
+
+def _build_tree_function(builder: ProgramBuilder, value_expr=None) -> None:
+    """The standard recursive ``build(d)`` tree constructor."""
     build = builder.function(
         "build",
         params=[("d", INT)],
@@ -132,9 +270,195 @@ def make_recursive_walker_program(depth: int, update: bool) -> Tuple[ast.Program
     build.assign("t", ast.NilLit())
     grow = build.if_(ast.BinOp(">", name("d"), lit(0)))
     grow.then.assign("t", new())
-    grow.then.assign(("t", "value"), name("d"))
+    grow.then.assign(("t", "value"), value_expr if value_expr is not None else name("d"))
     grow.then.call_assign("c", "build", ast.BinOp("-", name("d"), lit(1)))
     grow.then.assign(("t", "left"), name("c"))
     grow.then.call_assign("c", "build", ast.BinOp("-", name("d"), lit(1)))
     grow.then.assign(("t", "right"), name("c"))
-    return builder.build_core()
+
+
+def _build_list_function(builder: ProgramBuilder) -> None:
+    """The standard recursive ``makelist(n)`` constructor (left-linked)."""
+    makelist = builder.function(
+        "makelist",
+        params=[("n", INT)],
+        locals=[("t", HANDLE), ("rest", HANDLE)],
+        return_type=HANDLE,
+        return_var="t",
+    )
+    makelist.assign("t", ast.NilLit())
+    grow = makelist.if_(ast.BinOp(">", name("n"), lit(0)))
+    grow.then.assign("t", new())
+    grow.then.assign(("t", "value"), name("n"))
+    grow.then.call_assign("rest", "makelist", ast.BinOp("-", name("n"), lit(1)))
+    grow.then.assign(("t", "left"), name("rest"))
+
+
+def _add_list_walker(builder: ProgramBuilder, proc_name: str, rng: random.Random) -> None:
+    """A recursive list walker: read-only or updating, chosen by the rng."""
+    updating = rng.random() < 0.5
+    locals_ = [("l", HANDLE)] + ([] if updating else [("v", INT)])
+    walker = builder.procedure(proc_name, params=[("h", HANDLE)], locals=locals_)
+    branch = walker.if_(not_nil("h"))
+    if updating:
+        branch.then.assign(
+            ("h", "value"),
+            ast.BinOp("+", field("h", "value"), lit(rng.randint(1, 9))),
+        )
+    else:
+        branch.then.assign("v", field("h", "value"))
+    branch.then.assign("l", field("h", "left"))
+    branch.then.call(proc_name, name("l"))
+
+
+def _add_tree_walker(builder: ProgramBuilder, proc_name: str, rng: random.Random) -> None:
+    """A recursive tree walker: reader, updater, or child-swapping mutator."""
+    style = rng.choice(("read", "update", "swap"))
+    locals_ = [("l", HANDLE), ("r", HANDLE)] + ([("v", INT)] if style == "read" else [])
+    walker = builder.procedure(proc_name, params=[("h", HANDLE)], locals=locals_)
+    branch = walker.if_(not_nil("h"))
+    if style == "read":
+        branch.then.assign("v", field("h", "value"))
+    elif style == "update":
+        branch.then.assign(
+            ("h", "value"),
+            ast.BinOp("+", field("h", "value"), lit(rng.randint(1, 9))),
+        )
+    branch.then.assign("l", field("h", "left"))
+    branch.then.assign("r", field("h", "right"))
+    branch.then.call(proc_name, name("l"))
+    branch.then.call(proc_name, name("r"))
+    if style == "swap":
+        branch.then.assign(("h", "left"), name("r"))
+        branch.then.assign(("h", "right"), name("l"))
+
+
+def _spine_walk(main, cursor: str, counter: str, link: str = "left") -> None:
+    """Append ``cursor``'s while-loop spine walk to ``main`` (Figure 3 shape)."""
+    loop = main.while_(not_nil(cursor))
+    loop.assign(counter, ast.BinOp("+", name(counter), lit(1)))
+    loop.assign(cursor, field(cursor, link))
+
+
+def _list_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """Recursive list walkers over one shared left-linked list."""
+    builder = ProgramBuilder(program_name)
+    walker_names = [f"lwalk{index}" for index in range(config.procedures)]
+    locals_ = [("head", HANDLE)] + [(f"c{i}", HANDLE) for i in range(len(walker_names))]
+    use_spine = rng.random() < 0.7
+    if use_spine:
+        locals_ += [("w", HANDLE), ("steps", INT)]
+    main = builder.procedure("main", locals=locals_)
+    main.call_assign("head", "makelist", lit(config.depth))
+    previous = "head"
+    for index, walker in enumerate(walker_names):
+        cursor = f"c{index}"
+        if rng.random() < config.aliasing:
+            main.assign(cursor, name(previous))  # aliased with the previous target
+        else:
+            main.assign(cursor, field(previous, "left"))  # strictly below it
+        main.call(walker, name(cursor))
+        previous = cursor
+    if use_spine:
+        main.assign("w", name("head"))
+        main.assign("steps", lit(0))
+        _spine_walk(main, "w", "steps")
+    for walker in walker_names:
+        _add_list_walker(builder, walker, rng)
+    _build_list_function(builder)
+    return builder.build()
+
+
+def _tree_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """Recursive tree walkers over one shared binary tree."""
+    builder = ProgramBuilder(program_name)
+    walker_names = [f"twalk{index}" for index in range(config.procedures)]
+    main = builder.procedure(
+        "main", locals=[("root", HANDLE), ("l", HANDLE), ("r", HANDLE)]
+    )
+    main.call_assign("root", "build", lit(config.depth))
+    main.assign("l", field("root", "left"))
+    main.assign("r", field("root", "right"))
+    targets = ("l", "r")
+    for index, walker in enumerate(walker_names):
+        if rng.random() < config.aliasing:
+            # Overlapping pair: the whole tree, then one of its subtrees.
+            main.call(walker, name("root"))
+            main.call(walker, name(rng.choice(targets)))
+        else:
+            # Disjoint pair: the two sibling subtrees.
+            main.call(walker, name("l"))
+            main.call(walker, name("r"))
+    for walker in walker_names:
+        _add_tree_walker(builder, walker, rng)
+    _build_tree_function(builder)
+    return builder.build()
+
+
+def _web_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """A straight-line handle web: a chain of live handles with random overlap."""
+    builder = ProgramBuilder(program_name)
+    chain = max(3, min(6, config.depth + 1))
+    locals_ = [("root", HANDLE)] + [(f"h{i}", HANDLE) for i in range(chain)]
+    main = builder.procedure("main", locals=locals_)
+    main.assign("root", new())
+    previous = "root"
+    grown: List[str] = ["root"]
+    for index in range(chain):
+        handle = f"h{index}"
+        if len(grown) > 1 and rng.random() < config.aliasing:
+            main.assign(handle, name(rng.choice(grown)))  # direct alias
+        else:
+            main.assign((previous, "left"), new())
+            main.assign(handle, field(previous, "left"))
+            previous = handle
+        grown.append(handle)
+    for index in range(chain):
+        if rng.random() < 0.5:
+            main.assign((f"h{index}", "value"), lit(rng.randint(-99, 99)))
+    if rng.random() < config.aliasing:
+        # One destructive cross-link: introduces (possible) sharing.
+        first, second = rng.sample(grown[1:], 2)
+        main.assign((first, "right"), name(second))
+    return builder.build()
+
+
+def _mixed_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """Tree build + walkers + a spine walk + web-style handle grabs."""
+    builder = ProgramBuilder(program_name)
+    walker_names = [f"mwalk{index}" for index in range(max(1, config.procedures - 1))]
+    main = builder.procedure(
+        "main",
+        locals=[
+            ("root", HANDLE),
+            ("l", HANDLE),
+            ("lr", HANDLE),
+            ("w", HANDLE),
+            ("steps", INT),
+        ],
+    )
+    main.call_assign("root", "build", lit(config.depth))
+    main.assign("l", field("root", "left"))
+    main.assign("lr", field("l", "right"))
+    for walker in walker_names:
+        if rng.random() < config.aliasing:
+            main.call(walker, name("root"))
+            main.call(walker, name("l"))
+        else:
+            main.call(walker, name("l"))
+            main.call(walker, name("lr"))
+    main.assign("w", name("root"))
+    main.assign("steps", lit(0))
+    _spine_walk(main, "w", "steps", link=rng.choice(("left", "right")))
+    for walker in walker_names:
+        _add_tree_walker(builder, walker, rng)
+    _build_tree_function(builder)
+    return builder.build()
+
+
+_FAMILY_BUILDERS = {
+    "list": _list_scenario,
+    "tree": _tree_scenario,
+    "web": _web_scenario,
+    "mixed": _mixed_scenario,
+}

@@ -23,12 +23,21 @@ external input.
 
 from __future__ import annotations
 
+import multiprocessing
 import re
-from typing import Dict, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..sil import ast
 from ..sil.normalize import parse_and_normalize
 from ..sil.typecheck import TypeInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.context import AnalysisStats
+    from ..analysis.engine import AnalysisResult
+    from ..analysis.limits import AnalysisLimits
+    from .generators import Scenario
 
 #: Marker rewritten by :func:`with_depth` (a plain integer literal in the source).
 _DEPTH_PATTERN = re.compile(r"\{DEPTH\}")
@@ -523,25 +532,258 @@ def source(name: str, depth: int = 4) -> str:
     return with_depth(WORKLOADS[name], depth)
 
 
+class SuiteResult(Dict[str, "AnalysisResult"]):
+    """``{name: AnalysisResult}`` for the workloads that analyzed successfully.
+
+    Behaves exactly like the plain dict :func:`analyze_suite` used to
+    return, with two extras:
+
+    * ``failures`` — ``{name: exception}`` for every workload that failed to
+      load or analyze.  One bad program no longer aborts the whole batch.
+    * ``stats`` — the :class:`~repro.analysis.context.AnalysisStats` shared
+      by every successful analysis in the batch.
+    """
+
+    def __init__(self, stats: "AnalysisStats"):
+        super().__init__()
+        self.failures: Dict[str, Exception] = {}
+        self.stats = stats
+
+
 def analyze_suite(
     names: Optional[Sequence[str]] = None,
     depth: int = 4,
     limits=None,
-):
+) -> SuiteResult:
     """Analyze a batch of named workloads against one shared analysis context.
 
-    Loads each workload, then runs :func:`repro.analysis.analyze_many` so the
-    whole suite shares one memoized-transfer cache, one
-    :class:`~repro.analysis.context.AnalysisStats` and the global interned
-    path domain.  Returns ``{name: AnalysisResult}``; the shared stats object
-    is reachable as ``results[name].stats`` (it is the same object on every
-    result).
+    Each workload is loaded and analyzed against one shared memoized-transfer
+    cache, one :class:`~repro.analysis.context.AnalysisStats` and the global
+    interned path domain (the same :class:`~repro.analysis.engine.
+    BatchAnalyzer` sharing :func:`repro.analysis.analyze_many` uses).  A
+    workload that fails to load or analyze is recorded in
+    ``result.failures`` — with its name and the exception — instead of
+    aborting the rest of the batch.
     """
-    from ..analysis import analyze_many
+    from ..analysis.engine import BatchAnalyzer
     from ..analysis.limits import DEFAULT_LIMITS
 
     if names is None:
         names = list(WORKLOADS)
-    pairs = [load(name, depth=depth) for name in names]
-    results = analyze_many(pairs, limits=limits if limits is not None else DEFAULT_LIMITS)
-    return dict(zip(names, results))
+    batch = BatchAnalyzer(limits=limits if limits is not None else DEFAULT_LIMITS)
+    results = SuiteResult(stats=batch.stats)
+    for name in names:
+        try:
+            program, info = load(name, depth=depth)
+            results[name] = batch.analyze(program, info)
+        except Exception as error:  # noqa: BLE001 - surfaced per workload
+            results.failures[name] = error
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Sharded batch analysis
+# ---------------------------------------------------------------------------
+
+
+def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "AnalysisLimits"]) -> Dict:
+    """Analyze one shard of ``(name, source)`` pairs; returns plain data.
+
+    Runs in a worker process: parses each source through the real front
+    end, analyzes against a shard-private transfer cache and stats object,
+    and ships back canonical (process-independent, picklable) encodings —
+    never live ``AnalysisResult`` objects, whose ``id()``-keyed recorders
+    and interned domain values do not survive pickling meaningfully.
+    """
+    from ..analysis.engine import BatchAnalyzer
+
+    shard_index, pairs, limits = payload
+    started = time.perf_counter()
+    batch = BatchAnalyzer(limits=limits)
+    results: Dict[str, Dict] = {}
+    failures: Dict[str, str] = {}
+    for name, source_text in pairs:
+        try:
+            program, info = parse_and_normalize(source_text)
+            results[name] = batch.analyze(program, info).canonical()
+        except Exception as error:  # noqa: BLE001 - surfaced per workload
+            failures[name] = f"{type(error).__name__}: {error}"
+    return {
+        "shard": shard_index,
+        "workloads": [name for name, _ in pairs],
+        "results": results,
+        "failures": failures,
+        "stats": batch.stats.counters(),
+        "seconds": time.perf_counter() - started,
+    }
+
+
+@dataclass
+class ShardReport:
+    """What one shard did: its workloads, work counters and wall-clock time."""
+
+    shard: int
+    workloads: List[str]
+    stats: "AnalysisStats"
+    seconds: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "shard": self.shard,
+            "workloads": self.workloads,
+            "seconds": round(self.seconds, 4),
+            "stats": self.stats.counters(),
+        }
+
+
+@dataclass
+class ShardedSuiteReport:
+    """The merged outcome of a sharded suite run.
+
+    ``results`` maps every workload name to its *canonical* encoding (see
+    :meth:`repro.analysis.engine.AnalysisResult.canonical`) in input order;
+    ``stats`` is the merge of every shard's counters, with the per-shard
+    breakdown retained in ``shards``.
+    """
+
+    results: Dict[str, Dict]
+    failures: Dict[str, str]
+    stats: "AnalysisStats"
+    shards: List[ShardReport] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def matches(self, other: "ShardedSuiteReport") -> bool:
+        """Bit-identical results: same encodings and same failure set."""
+        return self.results == other.results and set(self.failures) == set(other.failures)
+
+    def as_dict(self) -> Dict:
+        # Counters only: as_dict() would append *this* process's intern-table
+        # sizes, which reflect none of the shard workers' interning.
+        merged_stats = dict(self.stats.counters())
+        merged_stats["transfer_cache_hit_rate"] = round(self.stats.transfer_cache_hit_rate, 4)
+        return {
+            "workloads_analyzed": len(self.results),
+            "seconds": round(self.seconds, 4),
+            "stats": merged_stats,
+            "shards": [shard.as_dict() for shard in self.shards],
+            "failures": dict(self.failures),
+        }
+
+
+class ShardedSuiteRunner:
+    """Shards a workload suite across worker processes and merges the results.
+
+    Items are ``(name, source)`` pairs — source *text*, the canonical
+    picklable form — assigned round-robin to ``shards`` workers.  Each
+    worker analyzes its shard against a shard-private memoized-transfer
+    cache and :class:`~repro.analysis.context.AnalysisStats`, then ships
+    canonical encodings back; the parent merges stats (exactly additive)
+    and keeps the per-shard breakdown.  ``shards <= 1`` runs inline in this
+    process — the reference the regression tests compare against, since
+    shard assignment never changes any per-program result.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[str, str]],
+        shards: int = 2,
+        limits: Optional["AnalysisLimits"] = None,
+    ):
+        from collections import Counter
+
+        from ..analysis.limits import DEFAULT_LIMITS
+
+        counts = Counter(name for name, _ in items)
+        duplicates = sorted(name for name, count in counts.items() if count > 1)
+        if duplicates:
+            raise ValueError(f"duplicate workload names across shards: {duplicates}")
+        self.items = list(items)
+        self.shards = max(1, int(shards))
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Optional[Sequence[str]] = None,
+        depth: int = 4,
+        shards: int = 2,
+        limits: Optional["AnalysisLimits"] = None,
+    ) -> "ShardedSuiteRunner":
+        """A runner over named workloads from :data:`WORKLOADS`."""
+        if names is None:
+            names = list(WORKLOADS)
+        return cls([(name, source(name, depth=depth)) for name in names], shards, limits)
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence["Scenario"],
+        shards: int = 2,
+        limits: Optional["AnalysisLimits"] = None,
+    ) -> "ShardedSuiteRunner":
+        """A runner over generated scenarios (see :mod:`.generators`)."""
+        return cls([(s.name, s.source) for s in scenarios], shards, limits)
+
+    # ------------------------------------------------------------------
+
+    def _payloads(self, shards: int) -> List[Tuple[int, List[Tuple[str, str]], "AnalysisLimits"]]:
+        buckets: List[List[Tuple[str, str]]] = [[] for _ in range(shards)]
+        for index, item in enumerate(self.items):
+            buckets[index % shards].append(item)
+        return [
+            (index, bucket, self.limits) for index, bucket in enumerate(buckets) if bucket
+        ]
+
+    def run(self) -> ShardedSuiteReport:
+        """Run the suite across ``self.shards`` worker processes."""
+        started = time.perf_counter()
+        payloads = self._payloads(self.shards)
+        if self.shards <= 1 or len(payloads) <= 1:
+            outputs = [_analyze_shard(payload) for payload in payloads]
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with context.Pool(processes=len(payloads)) as pool:
+                outputs = pool.map(_analyze_shard, payloads)
+        return self._merge(outputs, time.perf_counter() - started)
+
+    def run_single_process(self) -> ShardedSuiteReport:
+        """The same suite, analyzed inline as one shard (the reference run)."""
+        started = time.perf_counter()
+        outputs = [_analyze_shard((0, list(self.items), self.limits))]
+        return self._merge(outputs, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+
+    def _merge(self, outputs: List[Dict], seconds: float) -> ShardedSuiteReport:
+        from ..analysis.context import AnalysisStats
+
+        shard_reports = []
+        by_name: Dict[str, Dict] = {}
+        failures: Dict[str, str] = {}
+        for output in sorted(outputs, key=lambda o: o["shard"]):
+            shard_stats = AnalysisStats.from_dict(output["stats"])
+            shard_reports.append(
+                ShardReport(
+                    shard=output["shard"],
+                    workloads=output["workloads"],
+                    stats=shard_stats,
+                    seconds=output["seconds"],
+                )
+            )
+            by_name.update(output["results"])
+            failures.update(output["failures"])
+        merged = AnalysisStats().merge(*(report.stats for report in shard_reports))
+        # Restore the input ordering the round-robin assignment scattered.
+        results = {name: by_name[name] for name, _ in self.items if name in by_name}
+        return ShardedSuiteReport(
+            results=results,
+            failures={name: failures[name] for name, _ in self.items if name in failures},
+            stats=merged,
+            shards=shard_reports,
+            seconds=seconds,
+        )

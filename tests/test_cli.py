@@ -1,0 +1,123 @@
+"""End-to-end coverage for the ``python -m repro`` batch-analysis CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sil.normalize import parse_and_normalize
+from repro.workloads import WORKLOADS
+
+
+class TestAnalyzeCommand:
+    def test_analyze_named_workloads(self, capsys):
+        assert main(["analyze", "tree_add", "list_walk"]) == 0
+        out = capsys.readouterr().out
+        assert "ok    tree_add" in out
+        assert "ok    list_walk" in out
+        assert "merged AnalysisStats" in out
+
+    def test_analyze_defaults_to_all_workloads(self, capsys):
+        assert main(["analyze", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert f"ok    {name}" in out
+
+    def test_analyze_sharded_with_generated_and_census(self, capsys):
+        assert main(
+            ["analyze", "tree_add", "--generated", "3", "--shards", "2", "--census"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallelism census" in out
+        assert "shards (2)" in out
+
+    def test_analyze_matrices_flag(self, capsys):
+        assert main(["analyze", "add_and_reverse", "--matrices"]) == 0
+        out = capsys.readouterr().out
+        # The recursive procedures' entry matrices carry the h*/h** rows.
+        assert "add_n: h* -> h" in out
+
+    def test_analyze_unknown_workload_fails(self, capsys):
+        assert main(["analyze", "nope"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_analyze_duplicate_workload_fails_cleanly(self, capsys):
+        assert main(["analyze", "tree_add", "tree_add"]) == 2
+        assert "duplicate workloads" in capsys.readouterr().err
+
+    def test_analyze_census_isolates_failures(self, capsys, monkeypatch):
+        broken = "program broken\n\nprocedure main()\n  x: int\nbegin\n  x := y\nend\n"
+        monkeypatch.setitem(WORKLOADS, "broken", broken)
+        assert main(["analyze", "broken", "tree_add", "--census"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  broken" in out
+        assert "broken" in out and "TypeCheckError" in out
+        # The census still reports the healthy workload.
+        assert "tree_add" in out.split("parallelism census")[1]
+
+    def test_analyze_list(self, capsys):
+        assert main(["analyze", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "tree_add" in out and "mixed" in out
+
+
+class TestGenerateCommand:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--count", "2", "--family", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("program tree_s") == 2
+
+    def test_generate_to_directory_parses_back(self, tmp_path):
+        out_dir = tmp_path / "scenarios"
+        assert main(["generate", "--count", "4", "--out", str(out_dir)]) == 0
+        files = sorted(out_dir.glob("*.sil"))
+        assert len(files) == 4
+        for path in files:
+            program, _ = parse_and_normalize(path.read_text())
+            assert program.name == path.stem
+
+    def test_generate_verify_cross_checks(self, capsys):
+        assert main(["generate", "--count", "2", "--depth", "2", "--verify"]) == 0
+        assert "cross-checked 2 scenarios" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_end_to_end_writes_merged_artifact(self, tmp_path, capsys):
+        artifact_path = tmp_path / "BENCH_analysis.json"
+        assert main(
+            ["bench", "--shards", "2", "--seeds", "5", "--output", str(artifact_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to single process: True" in out
+
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["verified_identical"] is True
+        assert artifact["population"]["generated_scenarios"] == 5
+        # Merged stats carry counters only — no parent-process intern sizes.
+        assert "pathsets_interned" not in artifact["sharded"]["stats"]
+        assert artifact["sharded"]["workloads_analyzed"] == len(WORKLOADS) + 5
+        shards = artifact["sharded"]["shards"]
+        assert len(shards) == 2
+        merged = artifact["sharded"]["stats"]
+        for counter in ("worklist_pops", "programs_analyzed", "statements_visited"):
+            assert merged[counter] == sum(shard["stats"][counter] for shard in shards)
+
+    def test_bench_no_verify_skips_reference_run(self, tmp_path, capsys):
+        artifact_path = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--shards", "1", "--seeds", "2", "--no-verify",
+             "--output", str(artifact_path)]
+        ) == 0
+        artifact = json.loads(artifact_path.read_text())
+        assert "verified_identical" not in artifact
+        assert "single-process reference" not in capsys.readouterr().out
+
+    def test_bench_artifact_records_effective_clamped_knobs(self, tmp_path):
+        artifact_path = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--shards", "1", "--seeds", "2", "--no-verify",
+             "--depth", "20", "--procedures", "10", "--output", str(artifact_path)]
+        ) == 0
+        generator = json.loads(artifact_path.read_text())["population"]["generator"]
+        assert generator["depth"] == 8  # clamped, not the raw CLI value
+        assert generator["procedures"] == 4

@@ -1,0 +1,162 @@
+"""Sharded suite runner: stats merging, bit-identity, failure isolation."""
+
+import pytest
+
+from repro.analysis.context import AnalysisStats
+from repro.workloads import (
+    WORKLOADS,
+    ShardedSuiteRunner,
+    analyze_suite,
+    generate_scenarios,
+    source,
+)
+from repro.workloads.suite import SuiteResult
+
+BROKEN_SOURCE = """
+program broken
+
+procedure main()
+  x: int
+begin
+  x := y + 1
+end
+"""
+
+
+def make_stats(**overrides):
+    stats = AnalysisStats(
+        worklist_pops=7,
+        entry_updates=5,
+        statements_visited=120,
+        loop_iterations=3,
+        transfer_cache_hits=40,
+        transfer_cache_misses=9,
+        matrices_allocated=64,
+        programs_analyzed=2,
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestAnalysisStatsMerge:
+    def test_as_dict_from_dict_round_trip(self):
+        stats = make_stats()
+        rebuilt = AnalysisStats.from_dict(stats.as_dict())
+        assert rebuilt == stats
+
+    def test_from_dict_ignores_derived_and_global_keys(self):
+        snapshot = make_stats().as_dict()
+        assert "transfer_cache_hit_rate" in snapshot  # derived, present in dict
+        rebuilt = AnalysisStats.from_dict(snapshot)
+        # The derived property is recomputed, not stored.
+        assert rebuilt.transfer_cache_hit_rate == pytest.approx(40 / 49)
+
+    def test_merge_sums_every_counter(self):
+        first, second = make_stats(), make_stats(worklist_pops=11, programs_analyzed=3)
+        merged = first.merge(second)
+        for name in AnalysisStats.COUNTER_FIELDS:
+            assert getattr(merged, name) == getattr(first, name) + getattr(second, name)
+        # merge() is non-destructive.
+        assert first.worklist_pops == 7 and second.worklist_pops == 11
+
+    def test_merge_split_round_trip(self):
+        """Splitting counters into shards and merging them back is lossless."""
+        whole = make_stats()
+        parts = [AnalysisStats(), AnalysisStats(), AnalysisStats()]
+        for name in AnalysisStats.COUNTER_FIELDS:
+            total = getattr(whole, name)
+            setattr(parts[0], name, total // 3)
+            setattr(parts[1], name, total // 3)
+            setattr(parts[2], name, total - 2 * (total // 3))
+        assert AnalysisStats().merge(*parts) == whole
+
+    def test_merge_identity(self):
+        assert AnalysisStats().merge() == AnalysisStats()
+
+
+class TestShardedEqualsSingleProcess:
+    def test_identical_on_every_named_workload(self):
+        """Sharded and single-process runs produce identical path matrices."""
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=3)
+        sharded = runner.run()
+        single = runner.run_single_process()
+
+        assert sharded.ok and single.ok
+        assert sorted(sharded.results) == sorted(WORKLOADS)
+        assert sharded.matches(single)
+        # Not just "matches": every per-point matrix encoding is equal.
+        for name in WORKLOADS:
+            assert sharded.results[name] == single.results[name]
+
+    def test_identical_on_generated_scenarios(self):
+        scenarios = generate_scenarios(8, base_seed=21)
+        runner = ShardedSuiteRunner.from_scenarios(scenarios, shards=4)
+        assert runner.run().matches(runner.run_single_process())
+
+    def test_merged_stats_equal_shard_sums(self):
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=3)
+        report = runner.run()
+        assert len(report.shards) == 3
+        for name in AnalysisStats.COUNTER_FIELDS:
+            assert getattr(report.stats, name) == sum(
+                getattr(shard.stats, name) for shard in report.shards
+            )
+        assert report.stats.programs_analyzed == len(WORKLOADS)
+
+    def test_round_robin_preserves_input_order_in_results(self):
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=4)
+        report = runner.run()
+        assert list(report.results) == list(WORKLOADS)
+
+    def test_single_shard_runs_inline(self):
+        runner = ShardedSuiteRunner.from_names(names=["tree_add"], depth=3, shards=1)
+        report = runner.run()
+        assert report.ok and list(report.results) == ["tree_add"]
+        assert len(report.shards) == 1
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        runner = ShardedSuiteRunner.from_names(names=["tree_add", "list_walk"], depth=3)
+        payload = runner.run().as_dict()
+        assert payload["workloads_analyzed"] == 2
+        assert len(payload["shards"]) == 2
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestFailureIsolation:
+    def test_analyze_suite_surfaces_failures(self, monkeypatch):
+        monkeypatch.setitem(WORKLOADS, "broken", BROKEN_SOURCE)
+        results = analyze_suite(["tree_add", "broken", "list_walk"], depth=3)
+        assert isinstance(results, SuiteResult)
+        assert sorted(results) == ["list_walk", "tree_add"]
+        assert set(results.failures) == {"broken"}
+        assert isinstance(results.failures["broken"], Exception)
+        # The shared stats object is reachable and covers the successes.
+        assert results.stats.programs_analyzed == 2
+        assert results["tree_add"].stats is results.stats
+
+    def test_analyze_suite_unknown_name_is_a_failure_not_an_abort(self):
+        results = analyze_suite(["tree_add", "no_such_workload"], depth=3)
+        assert "tree_add" in results
+        assert isinstance(results.failures["no_such_workload"], KeyError)
+
+    def test_sharded_runner_surfaces_failures(self):
+        items = [
+            ("good", source("tree_add", depth=3)),
+            ("broken", BROKEN_SOURCE),
+            ("also_good", source("list_walk", depth=3)),
+        ]
+        runner = ShardedSuiteRunner(items, shards=2)
+        report = runner.run()
+        assert sorted(report.results) == ["also_good", "good"]
+        assert set(report.failures) == {"broken"}
+        assert "TypeCheckError" in report.failures["broken"]
+        assert not report.ok
+        assert report.matches(runner.run_single_process())
+
+    def test_duplicate_names_rejected(self):
+        text = source("tree_add", depth=3)
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardedSuiteRunner([("same", text), ("same", text)])
