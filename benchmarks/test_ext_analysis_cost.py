@@ -155,7 +155,12 @@ def test_ext_analysis_worklist_and_cache_stats():
             "procedures": procedures,
             "rounds_times_procedures": bound,
             "rerun_hit_rate": round(hit_rate, 4),
+            # Per-workload widening telemetry (fresh stats per run, so the
+            # counters are this workload's own — and the safety net never
+            # fires at default limits).
+            "widening": first.stats.widening_counters(),
         }
+        assert first.stats.iteration_guard_trips == 0
         print(
             f"{name:16s} {pops:5d} {reference.iterations:7d} {procedures:6d} "
             f"{bound:6d} {hit_rate:10.1%}"

@@ -10,11 +10,14 @@ entry matrices (with ``h*``/``h**`` symbolic handles), procedure summaries
 from .context import AnalysisContext, AnalysisRecorder, AnalysisStats
 from .engine import (
     AnalysisResult,
+    BatchAnalyzer,
     analyze_many,
     analyze_program,
+    analyze_program_adaptive,
     analyze_program_reference,
 )
-from .limits import DEFAULT_LIMITS, AnalysisLimits
+from .limits import DEFAULT_LIMITS, AdaptiveLimits, AnalysisLimits
+from .telemetry import WideningTally, widening_scope
 from .pipeline import pass_names, run_pipeline
 from .matrix import PathMatrix, caller_symbol, is_symbolic, stacked_symbol
 from .paths import (
@@ -48,8 +51,13 @@ from .transfer import (
 
 __all__ = [
     "analyze_program",
+    "analyze_program_adaptive",
     "analyze_program_reference",
     "analyze_many",
+    "BatchAnalyzer",
+    "AdaptiveLimits",
+    "WideningTally",
+    "widening_scope",
     "AnalysisContext",
     "AnalysisRecorder",
     "AnalysisStats",

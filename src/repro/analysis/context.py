@@ -69,6 +69,17 @@ class AnalysisStats:
     matrices_allocated: int = 0
     #: Programs analyzed against this stats object (one, unless batched).
     programs_analyzed: int = 0
+    #: Paths whose tail collapsed into a ``D`` segment (``max_segments``).
+    segment_collapses: int = 0
+    #: Exact repetition counts widened to open-ended (``max_exact_count``).
+    exact_widenings: int = 0
+    #: Oversized path-matrix entries collapsed (``max_paths_per_entry``).
+    path_set_collapses: int = 0
+    #: Times a fixed-point safety net (``max_iterations`` loop bound or the
+    #: solver's pop bound) forced a cutoff instead of natural convergence.
+    iteration_guard_trips: int = 0
+    #: Times the adaptive-limits policy re-ran a program with stepped-up bounds.
+    adaptive_escalations: int = 0
 
     #: The additive counter fields, in ``as_dict`` order.  Derived values
     #: (hit rate) and the global intern-table sizes are excluded.
@@ -81,6 +92,20 @@ class AnalysisStats:
         "transfer_cache_misses",
         "matrices_allocated",
         "programs_analyzed",
+        "segment_collapses",
+        "exact_widenings",
+        "path_set_collapses",
+        "iteration_guard_trips",
+        "adaptive_escalations",
+    )
+
+    #: The widening-telemetry subset of :data:`COUNTER_FIELDS` — the
+    #: counters the adaptive-limits escalation policy reacts to.
+    WIDENING_FIELDS = (
+        "segment_collapses",
+        "exact_widenings",
+        "path_set_collapses",
+        "iteration_guard_trips",
     )
 
     @property
@@ -92,6 +117,17 @@ class AnalysisStats:
         """Fraction of transfer applications answered from the cache."""
         requests = self.transfer_cache_requests
         return self.transfer_cache_hits / requests if requests else 0.0
+
+    def widening_counters(self) -> Dict[str, int]:
+        """The widening-telemetry counters only (per-workload deltas, benches)."""
+        return {name: getattr(self, name) for name in self.WIDENING_FIELDS}
+
+    def widening_fired(self, since: Optional[Dict[str, int]] = None) -> bool:
+        """Did any widening counter advance (since a ``widening_counters`` snapshot)?"""
+        baseline = since or {}
+        return any(
+            getattr(self, name) > baseline.get(name, 0) for name in self.WIDENING_FIELDS
+        )
 
     def counters(self) -> Dict[str, int]:
         """Just the additive counters — no derived values, no global tables.

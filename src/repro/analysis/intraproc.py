@@ -160,6 +160,10 @@ class ProcedureAnalyzer:
             if new_head == head:
                 break
             head = new_head
+        else:
+            # The ``max_iterations`` safety net fired without convergence.
+            if self.context is not None:
+                self.context.stats.iteration_guard_trips += 1
         self.recorder.record_loop(stmt, history)
         # No condition-based refinement: the matrix at loop exit is the
         # fixed-point head (covers zero and any positive number of iterations).

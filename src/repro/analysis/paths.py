@@ -31,6 +31,7 @@ import re
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sil.ast import Field
+from . import telemetry
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 
 
@@ -281,22 +282,6 @@ def parse_path(text: str) -> Path:
 # ---------------------------------------------------------------------------
 
 
-#: Times the ``max_segments`` bound forced a path's tail to collapse — the
-#: one genuinely *lossy* limit (count clamping and entry collapse are the
-#: domain's intended loop-convergence widening).  Monotone per process; take
-#: deltas via :func:`segment_truncation_count`.
-_SEGMENT_TRUNCATIONS = 0
-
-
-def segment_truncation_count() -> int:
-    """How many times paths lost structure to the ``max_segments`` collapse.
-
-    The generator property tests snapshot this before/after analyzing random
-    scenarios to assert that default sizes never truncate path structure.
-    """
-    return _SEGMENT_TRUNCATIONS
-
-
 def make_path(
     segments: Iterable[PathSegment],
     definite: bool = True,
@@ -329,6 +314,7 @@ def _normalize_segments(
         count, exact = segment.count, segment.exact
         if exact and count > limits.max_exact_count:
             count, exact = limits.max_exact_count, False
+            telemetry.note_exact_widening()
         if not exact and count > limits.max_open_count:
             count = limits.max_open_count
         clamped.append(PathSegment(segment.direction, count, exact))
@@ -336,8 +322,7 @@ def _normalize_segments(
     # 3. Bound the number of segments by collapsing the tail into one
     #    open-or-exact DOWN segment (a strictly more general description).
     if len(clamped) > limits.max_segments:
-        global _SEGMENT_TRUNCATIONS
-        _SEGMENT_TRUNCATIONS += 1
+        telemetry.note_segment_collapse()
         keep = limits.max_segments - 1
         head, tail = clamped[:keep], clamped[keep:]
         total = sum(segment.count for segment in tail)

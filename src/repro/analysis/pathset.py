@@ -21,6 +21,7 @@ from __future__ import annotations
 import weakref
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
+from . import telemetry
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .paths import (
     MAYBE_SAME,
@@ -241,9 +242,15 @@ class PathSet:
         All non-``S`` paths are generalized pairwise into a single
         open-ended path; an ``S`` member is kept separately.  The result is
         a sound over-approximation of the original set.
+
+        The widening event is counted *before* the memo lookup: an
+        oversized entry fired the ``max_paths_per_entry`` bound whether or
+        not its collapsed form was computed earlier, so the counters stay
+        deterministic per call under memoization.
         """
         if len(self._paths) <= limits.max_paths_per_entry:
             return self
+        telemetry.note_path_set_collapse()
         key = (self, limits)
         cached = _COLLAPSE_CACHE.get(key)
         if cached is not None:

@@ -37,6 +37,7 @@ from .interproc import initial_entry_matrix
 from .intraproc import ProcedureAnalyzer
 from .matrix import PathMatrix
 from .summaries import compute_summaries
+from .telemetry import widening_scope
 
 #: A pass is just a named callable over the context.
 AnalysisPass = Callable[[AnalysisContext], None]
@@ -85,7 +86,10 @@ def solve_pass(context: AnalysisContext) -> None:
 
     pending = deque([entry_proc.name])
     queued = {entry_proc.name}
-    # Safety net mirroring the seed's bound: rounds x procedures.
+    # Safety net mirroring the seed's bound: rounds x procedures.  The bound
+    # is per *program*, but the stats object may be shared across a whole
+    # batch — compare against this run's pop delta, not the cumulative count.
+    pops_at_start = stats.worklist_pops
     max_pops = max(8, 4 * len(program.all_callables)) * limits.max_iterations * max(
         1, len(program.all_callables)
     )
@@ -115,7 +119,8 @@ def solve_pass(context: AnalysisContext) -> None:
                 if callee not in queued:
                     queued.add(callee)
                     pending.append(callee)
-        if stats.worklist_pops >= max_pops:  # pragma: no cover - safety net
+        if pending and stats.worklist_pops - pops_at_start >= max_pops:  # pragma: no cover - safety net
+            stats.iteration_guard_trips += 1
             break
 
     context.entry_matrices = entries
@@ -148,10 +153,20 @@ PIPELINE: Tuple[Tuple[str, AnalysisPass], ...] = (
 
 
 def run_pipeline(context: AnalysisContext) -> AnalysisContext:
-    """Run the standard pass sequence over ``context`` and return it."""
+    """Run the standard pass sequence over ``context`` and return it.
+
+    The whole run executes under a widening-telemetry scope bound to the
+    context's stats: domain widenings outside the memoized transfer layer
+    (entry-matrix projections, control-flow merges, loop fixed points)
+    land directly on ``context.stats``; widenings inside a transfer
+    computation are captured per cache entry and folded in exactly once
+    per application (see :func:`repro.analysis.transfer.
+    apply_basic_statement_cached`).
+    """
     allocated_before = PathMatrix.allocations
-    for _name, analysis_pass in PIPELINE:
-        analysis_pass(context)
+    with widening_scope(context.stats):
+        for _name, analysis_pass in PIPELINE:
+            analysis_pass(context)
     context.stats.matrices_allocated += PathMatrix.allocations - allocated_before
     return context
 

@@ -37,6 +37,7 @@ from .matrix import PathMatrix
 from .paths import Path, append_link, cancel_first, concat, starts_with_field
 from .pathset import PathSet
 from .structure import StructureDiagnostic, cycle_diagnostic, sharing_diagnostic
+from .telemetry import WideningTally, widening_scope
 
 #: Internal placeholder handle used while re-binding a target handle.
 _PLACEHOLDER = "·fresh·"
@@ -302,6 +303,12 @@ class TransferCache:
     statement applied to an identical matrix under identical limits — the
     cached result is therefore exactly what recomputation would produce.
 
+    Each entry also stores the :class:`~repro.analysis.telemetry.
+    WideningTally` captured while the transfer was computed, so a hit can
+    *replay* the widening counts into the caller's stats — the counters
+    then read exactly as if every application had been computed, which is
+    what makes them additive across shard processes.
+
     Each cache value keeps a strong reference to the statement object, so an
     ``id`` can never be recycled while any entry for it is alive (entries
     and their pins are dropped together on LRU eviction).
@@ -311,28 +318,34 @@ class TransferCache:
 
     def __init__(self, capacity: int = DEFAULT_TRANSFER_CACHE_SIZE):
         self.capacity = max(1, capacity)
-        self._entries: "OrderedDict[Tuple, Tuple[ast.BasicStmt, TransferResult]]" = (
+        self._entries: "OrderedDict[Tuple, Tuple[ast.BasicStmt, TransferResult, WideningTally]]" = (
             OrderedDict()
         )
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Tuple) -> Optional[TransferResult]:
+    def get(self, key: Tuple) -> Optional[Tuple[TransferResult, "WideningTally"]]:
         entry = self._entries.get(key)
         if entry is None:
             return None
         self._entries.move_to_end(key)
-        return entry[1]
+        return entry[1], entry[2]
 
-    def put(self, key: Tuple, stmt: ast.BasicStmt, result: TransferResult) -> None:
+    def put(
+        self,
+        key: Tuple,
+        stmt: ast.BasicStmt,
+        result: TransferResult,
+        widening: Optional["WideningTally"] = None,
+    ) -> None:
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
             return
         while len(entries) >= self.capacity:
             entries.popitem(last=False)
-        entries[key] = (stmt, result)
+        entries[key] = (stmt, result, widening if widening is not None else WideningTally())
 
     def clear(self) -> None:
         self._entries.clear()
@@ -354,8 +367,16 @@ def apply_basic_statement_cached(
     """Memoizing wrapper around :func:`apply_basic_statement`.
 
     ``stats`` may be an :class:`~repro.analysis.context.AnalysisStats` (or
-    any object with ``transfer_cache_hits``/``transfer_cache_misses``
-    counters); pass ``None`` to skip counting.
+    any object with ``transfer_cache_hits``/``transfer_cache_misses`` and
+    the widening counters); pass ``None`` to skip counting.
+
+    Widening accounting: the events of a computed transfer are captured in
+    a :class:`~repro.analysis.telemetry.WideningTally` (shadowing any
+    enclosing run-level scope) and folded into ``stats`` exactly once —
+    on a miss from the fresh capture, on a hit by replaying the tally
+    stored with the entry.  Either way the counters read as if the
+    transfer had been computed, so they are deterministic per application
+    and exactly additive across processes.
     """
     if cache is None:
         cache = GLOBAL_TRANSFER_CACHE
@@ -365,15 +386,19 @@ def apply_basic_statement_cached(
     key = (id(stmt), limits, matrix.fingerprint())
     cached = cache.get(key)
     if cached is not None:
+        result, widening = cached
         if stats is not None:
             stats.transfer_cache_hits += 1
-        return cached
-    result = apply_basic_statement(matrix, stmt, limits)
+            widening.add_into(stats)
+        return result
+    with widening_scope(WideningTally()) as widening:
+        result = apply_basic_statement(matrix, stmt, limits)
     # Entering the cache makes the result shared across program points and
     # future runs; seal it so a caller mutation fails loudly instead of
     # silently poisoning every later hit.
     result.matrix.seal()
-    cache.put(key, stmt, result)
+    cache.put(key, stmt, result, widening)
     if stats is not None:
         stats.transfer_cache_misses += 1
+        widening.add_into(stats)
     return result

@@ -27,6 +27,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .analysis.context import AnalysisStats
+from .analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike
 from .workloads.generators import (
     FAMILIES,
     GeneratorConfig,
@@ -57,6 +59,21 @@ def _add_generator_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--aliasing", type=float, default=0.3, help="handle-overlap probability in [0,1]"
     )
+
+
+def _add_limits_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive analysis limits: re-run workloads whose widening "
+        "counters fired with stepped-up domain bounds",
+    )
+
+
+def _effective_limits(args: argparse.Namespace) -> LimitsLike:
+    if getattr(args, "adaptive", False):
+        return AnalysisLimits.adaptive()
+    return DEFAULT_LIMITS
 
 
 def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
@@ -101,6 +118,25 @@ def _print_report(report: ShardedSuiteReport, matrices: bool = False) -> None:
     for key, value in report.stats.counters().items():
         print(f"  {key:28s} {value}")
     print(f"  {'transfer_cache_hit_rate':28s} {report.stats.transfer_cache_hit_rate:.4f}")
+
+    widening_counters = AnalysisStats.WIDENING_FIELDS + ("adaptive_escalations",)
+    widened = {
+        name: row
+        for name, row in report.widening.items()
+        if any(row.get(counter, 0) for counter in widening_counters)
+    }
+    print()
+    print(f"widening telemetry ({len(widened)}/{len(report.widening)} workloads widened):")
+    for name, row in widened.items():
+        parts = [
+            f"{counter}={row[counter]}"
+            for counter in widening_counters
+            if row.get(counter, 0)
+        ]
+        limits_used = row.get("final_limits", {})
+        print(f"  {name:24s} {' '.join(parts)}"
+              f"  (final max_segments={limits_used.get('max_segments')}, "
+              f"max_paths={limits_used.get('max_paths_per_entry')})")
 
 
 def _census(items: Sequence[Tuple[str, str]]) -> Dict[str, Dict[str, int]]:
@@ -155,10 +191,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.generated:
         items += [(s.name, s.source) for s in _population(args, args.generated)]
 
-    runner = ShardedSuiteRunner(items, shards=args.shards)
+    runner = ShardedSuiteRunner(items, shards=args.shards, limits=_effective_limits(args))
     report = runner.run()
     print(f"analyzed {len(report.results)}/{len(items)} workloads "
-          f"across {len(report.shards)} shard(s) in {report.seconds:.3f}s")
+          f"across {len(report.shards)} shard(s) in {report.seconds:.3f}s"
+          f"{' [adaptive limits]' if args.adaptive else ''}")
     _print_report(report, matrices=args.matrices)
 
     if args.census:
@@ -186,9 +223,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{args.family if args.family != 'all' else ', '.join(FAMILIES)})"
     )
 
-    runner = ShardedSuiteRunner(items, shards=args.shards)
+    runner = ShardedSuiteRunner(items, shards=args.shards, limits=_effective_limits(args))
     report = runner.run()
-    print(f"\nsharded run ({args.shards} shards): {report.seconds:.3f}s")
+    print(f"\nsharded run ({args.shards} shards): {report.seconds:.3f}s"
+          f"{' [adaptive limits]' if args.adaptive else ''}")
     _print_report(report)
 
     artifact: Dict[str, object] = {
@@ -196,6 +234,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "named_workloads": len(WORKLOADS),
             "generated_scenarios": len(scenarios),
             "base_seed": args.seed,
+            "adaptive_limits": bool(args.adaptive),
             "families": list(FAMILIES) if args.family == "all" else [args.family],
             # The *effective* (clamped) knobs the population was generated
             # with, not the raw CLI values.
@@ -279,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--list", action="store_true", help="list workloads and families")
     _add_generator_options(analyze)
+    _add_limits_options(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     bench = commands.add_parser(
@@ -299,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the single-process bit-identity verification run",
     )
     _add_generator_options(bench)
+    _add_limits_options(bench)
     bench.set_defaults(func=cmd_bench)
 
     generate = commands.add_parser(

@@ -136,8 +136,19 @@ def make_recursive_walker_program(depth: int, update: bool) -> Tuple[ast.Program
 # Seeded random SIL scenarios (the batch-analysis workload population)
 # ---------------------------------------------------------------------------
 
-#: The scenario families the random generator can produce.
-FAMILIES = ("list", "tree", "web", "mixed")
+#: The scenario families the random generator can produce.  ``dag`` (heavy
+#: cross-linked sharing — the paper's hardest aliasing case) and ``deep``
+#: (long recursion chains over deeper call graphs) deliberately push the
+#: path domain into its widening bounds; analyze them with
+#: :meth:`~repro.analysis.limits.AnalysisLimits.adaptive` limits to see the
+#: escalation policy at work.
+FAMILIES = ("list", "tree", "web", "mixed", "dag", "deep")
+
+#: The families whose default-config scenarios stay inside the default
+#: ``AnalysisLimits`` without ever losing path structure to the lossy
+#: ``max_segments`` collapse (asserted by the generator property tests).
+#: ``dag`` and ``deep`` are excluded on purpose: widening is their point.
+UNTRUNCATED_FAMILIES = ("list", "tree", "web", "mixed")
 
 
 @dataclass(frozen=True)
@@ -243,11 +254,15 @@ def cross_check_scenario(scenario: Scenario, limits=None) -> bool:
     generated-population analogue of the golden tests on the named
     workloads.  Intended for small sizes (the reference engine re-analyzes
     every procedure every round).
+
+    An :class:`~repro.analysis.limits.AdaptiveLimits` policy is unwrapped
+    to its base rung: the reference engine has no escalation ladder, so the
+    comparison is engine-vs-engine at one fixed set of bounds.
     """
     from ..analysis import analyze_program, analyze_program_reference
-    from ..analysis.limits import DEFAULT_LIMITS
+    from ..analysis.limits import DEFAULT_LIMITS, base_limits
 
-    limits = limits if limits is not None else DEFAULT_LIMITS
+    limits = base_limits(limits) if limits is not None else DEFAULT_LIMITS
     program, info = scenario.load()
     pipeline = analyze_program(program, info, limits=limits)
     reference_program, reference_info = scenario.load()
@@ -456,9 +471,115 @@ def _mixed_scenario(program_name: str, rng: random.Random, config: GeneratorConf
     return builder.build()
 
 
+def _dag_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """Heavy cross-linked sharing: a tree whose subtrees get linked under each
+    other — the paper's hardest aliasing case (the structure becomes a DAG).
+
+    ``main`` grabs all four grandchild handles, cross-links several sibling
+    subtrees (always "later" under "earlier" in a fixed order, so the result
+    is acyclic and executable), and then runs walkers over overlapping
+    regions.  The composite paths the destructive links create drive
+    path-matrix entries past ``max_paths_per_entry`` — the path-set-collapse
+    widening — and every link raises the expected sharing diagnostics.
+    """
+    builder = ProgramBuilder(program_name)
+    walker_names = [f"gwalk{index}" for index in range(config.procedures)]
+    grabs = ["l", "r", "ll", "lr", "rl", "rr"]
+    main = builder.procedure(
+        "main", locals=[("root", HANDLE)] + [(grab, HANDLE) for grab in grabs]
+    )
+    # Depth at least 3 so every grandchild grab is non-nil at runtime.
+    main.call_assign("root", "build", lit(max(3, config.depth)))
+    main.assign("l", field("root", "left"))
+    main.assign("r", field("root", "right"))
+    main.assign("ll", field("l", "left"))
+    main.assign("lr", field("l", "right"))
+    main.assign("rl", field("r", "left"))
+    main.assign("rr", field("r", "right"))
+
+    # Cross-link sibling subtrees below one another.  Linking only X.f := Y
+    # with X before Y in `order` keeps the structure acyclic (Y never links
+    # back under X), so the program still executes end to end.
+    order = ["ll", "lr", "rl", "rr"]
+    links = [("ll", "right", "lr"), ("lr", "left", "rl"), ("rl", "right", "rr")]
+    for upper, link, lower in links:
+        if rng.random() < max(0.5, config.aliasing):
+            main.assign((upper, link), name(lower))
+    # One guaranteed long-range share plus an optional aliased handle copy.
+    main.assign(("ll", "left"), name("rr"))
+    if rng.random() < config.aliasing:
+        first, second = rng.sample(order, 2)
+        main.assign(first, name(second))
+
+    # Walkers over overlapping regions (an ancestor and one of its shared
+    # descendants), so the interference analysis sees the sharing.
+    for walker in walker_names:
+        upper = rng.choice(("root", "l", "r"))
+        lower = rng.choice(order)
+        main.call(walker, name(upper))
+        main.call(walker, name(lower))
+    for walker in walker_names:
+        _add_tree_walker(builder, walker, rng)
+    _build_tree_function(builder)
+    return builder.build()
+
+
+def _deep_scenario(program_name: str, rng: random.Random, config: GeneratorConfig) -> ast.Program:
+    """Long recursion chains over a deeper call graph.
+
+    ``main`` enters a chain of procedures ``step0 → step1 → ...`` that each
+    descend one link before calling the next, ending in a recursive walker
+    that descends *two alternating* links (``h.left.right``) per recursive
+    call.  The alternation makes the recursive entry matrix accumulate
+    ``L1R1L1R1...`` paths whose segment count outgrows ``max_segments`` —
+    the segment-collapse widening — while the exact repetition counts
+    outgrow ``max_exact_count`` on the straight-link chain.
+    """
+    builder = ProgramBuilder(program_name)
+    chain = max(2, min(6, config.procedures + config.depth // 2))
+    main = builder.procedure("main", locals=[("root", HANDLE)])
+    # Depth at least 4 so the two-link recursive descent makes progress.
+    main.call_assign("root", "build", lit(max(4, config.depth)))
+    main.call("step0", name("root"))
+
+    # The call-graph chain: step{i} descends one (alternating) link.
+    for index in range(chain - 1):
+        step = builder.procedure(
+            f"step{index}", params=[("h", HANDLE)], locals=[("n", HANDLE)]
+        )
+        branch = step.if_(not_nil("h"))
+        link = "left" if index % 2 == 0 else "right"
+        branch.then.assign("n", field("h", link))
+        branch.then.call(f"step{index + 1}", name("n"))
+
+    # The chain's last link: a deep recursive walker descending two
+    # alternating links per call (read-only or updating, chosen by the rng).
+    updating = rng.random() < 0.5
+    locals_ = [("l", HANDLE), ("lr", HANDLE)] + ([] if updating else [("v", INT)])
+    walker = builder.procedure(
+        f"step{chain - 1}", params=[("h", HANDLE)], locals=locals_
+    )
+    branch = walker.if_(not_nil("h"))
+    if updating:
+        branch.then.assign(
+            ("h", "value"),
+            ast.BinOp("+", field("h", "value"), lit(rng.randint(1, 9))),
+        )
+    else:
+        branch.then.assign("v", field("h", "value"))
+    branch.then.assign("l", field("h", "left"))
+    inner = branch.then.if_(not_nil("l"))
+    inner.then.assign("lr", field("l", "right"))
+    inner.then.call(f"step{chain - 1}", name("lr"))
+    _build_tree_function(builder)
+    return builder.build()
+
+
 _FAMILY_BUILDERS = {
     "list": _list_scenario,
     "tree": _tree_scenario,
     "web": _web_scenario,
     "mixed": _mixed_scenario,
+    "dag": _dag_scenario,
+    "deep": _deep_scenario,
 }

@@ -36,7 +36,7 @@ from ..sil.typecheck import TypeInfo
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.context import AnalysisStats
     from ..analysis.engine import AnalysisResult
-    from ..analysis.limits import AnalysisLimits
+    from ..analysis.limits import AnalysisLimits, LimitsLike
     from .generators import Scenario
 
 #: Marker rewritten by :func:`with_depth` (a plain integer literal in the source).
@@ -586,7 +586,7 @@ def analyze_suite(
 # ---------------------------------------------------------------------------
 
 
-def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "AnalysisLimits"]) -> Dict:
+def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "LimitsLike"]) -> Dict:
     """Analyze one shard of ``(name, source)`` pairs; returns plain data.
 
     Runs in a worker process: parses each source through the real front
@@ -594,6 +594,14 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "AnalysisLimits"])
     and ships back canonical (process-independent, picklable) encodings —
     never live ``AnalysisResult`` objects, whose ``id()``-keyed recorders
     and interned domain values do not survive pickling meaningfully.
+
+    Besides the shard-wide counters, the output carries a per-workload
+    **widening telemetry** row: the widening-counter deltas attributable to
+    that workload (escalation re-runs included), the number of adaptive
+    escalations it took, and the final :class:`AnalysisLimits` rung its
+    result was produced under.  Because transfer-cache hits *replay* the
+    widening counts captured at compute time, these deltas are exact and
+    additive — sharding never loses or double-counts a widening event.
     """
     from ..analysis.engine import BatchAnalyzer
 
@@ -602,10 +610,23 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "AnalysisLimits"])
     batch = BatchAnalyzer(limits=limits)
     results: Dict[str, Dict] = {}
     failures: Dict[str, str] = {}
+    widening: Dict[str, Dict] = {}
     for name, source_text in pairs:
+        before = batch.stats.widening_counters()
+        escalations_before = batch.stats.adaptive_escalations
         try:
             program, info = parse_and_normalize(source_text)
-            results[name] = batch.analyze(program, info).canonical()
+            result = batch.analyze(program, info)
+            results[name] = result.canonical()
+            row: Dict[str, object] = {
+                counter: batch.stats.widening_counters()[counter] - before[counter]
+                for counter in before
+            }
+            row["adaptive_escalations"] = (
+                batch.stats.adaptive_escalations - escalations_before
+            )
+            row["final_limits"] = result.limits.as_dict()
+            widening[name] = row
         except Exception as error:  # noqa: BLE001 - surfaced per workload
             failures[name] = f"{type(error).__name__}: {error}"
     return {
@@ -613,6 +634,7 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "AnalysisLimits"])
         "workloads": [name for name, _ in pairs],
         "results": results,
         "failures": failures,
+        "widening": widening,
         "stats": batch.stats.counters(),
         "seconds": time.perf_counter() - started,
     }
@@ -643,13 +665,16 @@ class ShardedSuiteReport:
     ``results`` maps every workload name to its *canonical* encoding (see
     :meth:`repro.analysis.engine.AnalysisResult.canonical`) in input order;
     ``stats`` is the merge of every shard's counters, with the per-shard
-    breakdown retained in ``shards``.
+    breakdown retained in ``shards``; ``widening`` maps every analyzed
+    workload to its widening-telemetry row (counter deltas, adaptive
+    escalations, final limits rung).
     """
 
     results: Dict[str, Dict]
     failures: Dict[str, str]
     stats: "AnalysisStats"
     shards: List[ShardReport] = field(default_factory=list)
+    widening: Dict[str, Dict] = field(default_factory=dict)
     seconds: float = 0.0
 
     @property
@@ -657,12 +682,20 @@ class ShardedSuiteReport:
         return not self.failures
 
     def matches(self, other: "ShardedSuiteReport") -> bool:
-        """Bit-identical results: same encodings and same failure set."""
-        return self.results == other.results and set(self.failures) == set(other.failures)
+        """Bit-identical outcomes: same encodings and same failure *payloads*.
+
+        Failures are compared as full ``{name: message}`` mappings, not just
+        name sets — two runs that failed the same workloads for *different
+        reasons* are not identical, and the sharded==single-process check
+        must catch exactly that kind of divergence.
+        """
+        return self.results == other.results and self.failures == other.failures
 
     def as_dict(self) -> Dict:
         # Counters only: as_dict() would append *this* process's intern-table
-        # sizes, which reflect none of the shard workers' interning.
+        # sizes, which reflect none of the shard workers' interning.  The
+        # hit rate here is advisory display output — consumers rebuilding
+        # stats must recompute it from the raw hit/miss counters.
         merged_stats = dict(self.stats.counters())
         merged_stats["transfer_cache_hit_rate"] = round(self.stats.transfer_cache_hit_rate, 4)
         return {
@@ -670,6 +703,7 @@ class ShardedSuiteReport:
             "seconds": round(self.seconds, 4),
             "stats": merged_stats,
             "shards": [shard.as_dict() for shard in self.shards],
+            "widening": {name: dict(row) for name, row in self.widening.items()},
             "failures": dict(self.failures),
         }
 
@@ -685,13 +719,18 @@ class ShardedSuiteRunner:
     and keeps the per-shard breakdown.  ``shards <= 1`` runs inline in this
     process — the reference the regression tests compare against, since
     shard assignment never changes any per-program result.
+
+    ``limits`` may be a fixed :class:`AnalysisLimits` or an
+    :class:`~repro.analysis.limits.AdaptiveLimits` escalation policy; both
+    are plain frozen dataclasses and travel to the workers in the shard
+    payload.
     """
 
     def __init__(
         self,
         items: Sequence[Tuple[str, str]],
         shards: int = 2,
-        limits: Optional["AnalysisLimits"] = None,
+        limits: Optional["LimitsLike"] = None,
     ):
         from collections import Counter
 
@@ -711,7 +750,7 @@ class ShardedSuiteRunner:
         names: Optional[Sequence[str]] = None,
         depth: int = 4,
         shards: int = 2,
-        limits: Optional["AnalysisLimits"] = None,
+        limits: Optional["LimitsLike"] = None,
     ) -> "ShardedSuiteRunner":
         """A runner over named workloads from :data:`WORKLOADS`."""
         if names is None:
@@ -723,14 +762,14 @@ class ShardedSuiteRunner:
         cls,
         scenarios: Sequence["Scenario"],
         shards: int = 2,
-        limits: Optional["AnalysisLimits"] = None,
+        limits: Optional["LimitsLike"] = None,
     ) -> "ShardedSuiteRunner":
         """A runner over generated scenarios (see :mod:`.generators`)."""
         return cls([(s.name, s.source) for s in scenarios], shards, limits)
 
     # ------------------------------------------------------------------
 
-    def _payloads(self, shards: int) -> List[Tuple[int, List[Tuple[str, str]], "AnalysisLimits"]]:
+    def _payloads(self, shards: int) -> List[Tuple[int, List[Tuple[str, str]], "LimitsLike"]]:
         buckets: List[List[Tuple[str, str]]] = [[] for _ in range(shards)]
         for index, item in enumerate(self.items):
             buckets[index % shards].append(item)
@@ -765,6 +804,7 @@ class ShardedSuiteRunner:
         shard_reports = []
         by_name: Dict[str, Dict] = {}
         failures: Dict[str, str] = {}
+        widening_by_name: Dict[str, Dict] = {}
         for output in sorted(outputs, key=lambda o: o["shard"]):
             shard_stats = AnalysisStats.from_dict(output["stats"])
             shard_reports.append(
@@ -777,6 +817,7 @@ class ShardedSuiteRunner:
             )
             by_name.update(output["results"])
             failures.update(output["failures"])
+            widening_by_name.update(output.get("widening", {}))
         merged = AnalysisStats().merge(*(report.stats for report in shard_reports))
         # Restore the input ordering the round-robin assignment scattered.
         results = {name: by_name[name] for name, _ in self.items if name in by_name}
@@ -785,5 +826,10 @@ class ShardedSuiteRunner:
             failures={name: failures[name] for name, _ in self.items if name in failures},
             stats=merged,
             shards=shard_reports,
+            widening={
+                name: widening_by_name[name]
+                for name, _ in self.items
+                if name in widening_by_name
+            },
             seconds=seconds,
         )

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.analysis import analyze_program
-from repro.analysis.paths import segment_truncation_count
+from repro.analysis import AnalysisLimits, analyze_program, analyze_program_adaptive
 from repro.runtime import run_program
 from repro.sil import ast
 from repro.workloads import (
     FAMILIES,
+    UNTRUNCATED_FAMILIES,
     GeneratorConfig,
     cross_check_scenario,
     generate_scenario,
@@ -19,25 +19,74 @@ SEED_COUNT = 56
 
 
 class TestScenarioProperties:
-    def test_every_seed_parses_typechecks_and_analyzes_untruncated(self):
-        """≥50 seeds: parse + typecheck + analyze, with zero lossy truncation.
+    def test_every_seed_parses_typechecks_and_analyzes(self):
+        """≥50 seeds over every family: parse + typecheck + analyze.
 
         Loading goes through the real parser/typechecker/normalizer (a
-        front-end rejection raises here).  The truncation check asserts that
-        at default sizes no path ever loses structure to the ``max_segments``
-        collapse — the one lossy bound in ``limits.py``; loop-convergence
-        widening (count clamps, oversized-entry collapse) is the domain's
-        intended fixed-point mechanism and is exercised on purpose.
+        front-end rejection raises here).  Whatever widening the analysis
+        needed, the ``max_iterations`` safety net must never fire — the
+        finite domain converges on its own.
         """
         scenarios = generate_scenarios(SEED_COUNT, base_seed=0)
         assert len(scenarios) == SEED_COUNT
-        truncations_before = segment_truncation_count()
         for scenario in scenarios:
             program, info = scenario.load()
             assert ast.program_is_core(program)
             result = analyze_program(program, info)
             assert "main" in result.entry_matrices
-        assert segment_truncation_count() == truncations_before
+            assert result.stats.iteration_guard_trips == 0
+
+    def test_untruncated_families_never_lose_segment_structure(self):
+        """The legacy families stay inside the lossy ``max_segments`` bound.
+
+        Per-run widening counters (which replaced the old process-global
+        ``segment_truncation_count``) must show zero segment collapses at
+        default sizes for every ``UNTRUNCATED_FAMILIES`` scenario;
+        loop-convergence widening (count clamps, oversized-entry collapse)
+        is the domain's intended fixed-point mechanism and stays allowed.
+        """
+        scenarios = generate_scenarios(
+            SEED_COUNT, base_seed=0, families=UNTRUNCATED_FAMILIES
+        )
+        for scenario in scenarios:
+            result = analyze_program(*scenario.load())
+            assert result.stats.segment_collapses == 0, scenario.name
+
+    def test_dag_and_deep_families_exercise_widening(self):
+        """The new families are built to make the domain limits bite."""
+        deep_fired = dag_fired = False
+        for seed in range(6):
+            deep = analyze_program(
+                *generate_scenario(seed, GeneratorConfig(family="deep", depth=5)).load()
+            )
+            dag = analyze_program(
+                *generate_scenario(seed, GeneratorConfig(family="dag", depth=4)).load()
+            )
+            deep_fired = deep_fired or deep.stats.segment_collapses > 0
+            dag_fired = dag_fired or dag.stats.path_set_collapses > 0
+        assert deep_fired, "deep scenarios never hit the max_segments collapse"
+        assert dag_fired, "dag scenarios never hit the max_paths_per_entry collapse"
+
+    def test_dag_and_deep_analyze_under_adaptive_limits(self):
+        """Adaptive limits absorb the new families without safety-net trips.
+
+        Cross-checks against the reference engine still pass at the base
+        rung, escalation is recorded on the stats, and the final rung's
+        bounds are what the result reports.
+        """
+        for family in ("dag", "deep"):
+            for seed in range(4):
+                scenario = generate_scenario(
+                    seed, GeneratorConfig(family=family, depth=4, procedures=2)
+                )
+                assert cross_check_scenario(scenario), scenario.name
+                result = analyze_program_adaptive(
+                    *scenario.load(), policy=AnalysisLimits.adaptive()
+                )
+                assert result.stats.iteration_guard_trips == 0
+                if result.stats.adaptive_escalations:
+                    # Escalation stepped the domain bounds up from the base.
+                    assert result.limits.max_segments > AnalysisLimits().max_segments
 
     def test_every_family_is_generated_round_robin(self):
         scenarios = generate_scenarios(len(FAMILIES) * 2, base_seed=5)

@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.analysis import AnalysisLimits
 from repro.analysis.context import AnalysisStats
 from repro.workloads import (
     WORKLOADS,
+    ShardedSuiteReport,
     ShardedSuiteRunner,
     analyze_suite,
     generate_scenarios,
@@ -123,6 +125,68 @@ class TestShardedEqualsSingleProcess:
         assert payload["workloads_analyzed"] == 2
         assert len(payload["shards"]) == 2
         json.dumps(payload)  # must be JSON-serializable as-is
+        # Per-workload widening telemetry rides along in the payload.
+        assert sorted(payload["widening"]) == ["list_walk", "tree_add"]
+        for row in payload["widening"].values():
+            assert "segment_collapses" in row and "final_limits" in row
+
+
+class TestShardingSafeWideningCounts:
+    """The satellite regression: widening telemetry survives sharding exactly.
+
+    The old process-global ``segment_truncation_count`` silently lost every
+    count accumulated inside worker processes.  The per-context counters
+    are shipped back with each shard's stats, and transfer-cache hits
+    replay the counts captured at compute time — so the merged sharded
+    counters must equal the single-process run's, workload by workload.
+    """
+
+    def test_merged_sharded_widening_equals_single_process(self):
+        # Includes the dag/deep families, which widen at default limits.
+        scenarios = generate_scenarios(12, base_seed=33)
+        runner = ShardedSuiteRunner.from_scenarios(scenarios, shards=3)
+        sharded = runner.run()
+        single = runner.run_single_process()
+        assert sharded.ok and single.ok
+        for name in AnalysisStats.WIDENING_FIELDS + ("adaptive_escalations",):
+            assert getattr(sharded.stats, name) == getattr(single.stats, name), name
+        # Something must actually have widened for this test to mean anything.
+        assert any(sharded.stats.widening_counters().values())
+        # Per-workload rows agree too, not just the totals.
+        assert sharded.widening == single.widening
+
+    def test_widening_counts_shard_safe_under_adaptive_limits(self):
+        scenarios = generate_scenarios(8, base_seed=90, families=["dag", "deep"])
+        runner = ShardedSuiteRunner.from_scenarios(
+            scenarios, shards=4, limits=AnalysisLimits.adaptive()
+        )
+        sharded = runner.run()
+        single = runner.run_single_process()
+        assert sharded.matches(single)
+        assert sharded.stats.adaptive_escalations == single.stats.adaptive_escalations
+        assert sharded.widening == single.widening
+        # The escalation policy recorded a stepped-up final rung somewhere.
+        assert any(
+            row["final_limits"]["max_segments"] > AnalysisLimits().max_segments
+            for row in sharded.widening.values()
+            if row["adaptive_escalations"]
+        )
+
+
+class TestMatchesComparesFailurePayloads:
+    """Satellite regression: ``matches`` must compare failure *payloads*."""
+
+    def make_report(self, failures):
+        return ShardedSuiteReport(results={}, failures=failures, stats=AnalysisStats())
+
+    def test_same_keys_different_messages_do_not_match(self):
+        first = self.make_report({"broken": "TypeCheckError: y is undeclared"})
+        second = self.make_report({"broken": "ParseError: unexpected token"})
+        assert not first.matches(second)
+
+    def test_identical_payloads_match(self):
+        failures = {"broken": "TypeCheckError: y is undeclared"}
+        assert self.make_report(dict(failures)).matches(self.make_report(dict(failures)))
 
 
 class TestFailureIsolation:
