@@ -61,10 +61,21 @@ class AnalysisStats:
     statements_visited: int = 0
     #: Iterations spent in ``while``-loop fixed points.
     loop_iterations: int = 0
-    #: Memoized transfer applications answered from the cache.
+    #: Memoized transfer applications answered from the cache (either tier).
     transfer_cache_hits: int = 0
     #: Memoized transfer applications that had to compute.
     transfer_cache_misses: int = 0
+    #: Entries evicted from the in-memory transfer-cache layer.
+    transfer_cache_evictions: int = 0
+    #: In-memory misses answered by the persistent backend (cross-run/shard
+    #: hits; also counted in ``transfer_cache_hits``).
+    persistent_cache_hits: int = 0
+    #: In-memory misses the persistent backend could not answer either.
+    persistent_cache_misses: int = 0
+    #: Computed transfers newly admitted to the persistent store at flush.
+    persistent_cache_writes: int = 0
+    #: Entries the persistent store evicted to stay under its capacity.
+    persistent_cache_evictions: int = 0
     #: Path matrices allocated while this context was active.
     matrices_allocated: int = 0
     #: Programs analyzed against this stats object (one, unless batched).
@@ -90,6 +101,11 @@ class AnalysisStats:
         "loop_iterations",
         "transfer_cache_hits",
         "transfer_cache_misses",
+        "transfer_cache_evictions",
+        "persistent_cache_hits",
+        "persistent_cache_misses",
+        "persistent_cache_writes",
+        "persistent_cache_evictions",
         "matrices_allocated",
         "programs_analyzed",
         "segment_collapses",
@@ -118,6 +134,22 @@ class AnalysisStats:
         requests = self.transfer_cache_requests
         return self.transfer_cache_hits / requests if requests else 0.0
 
+    @property
+    def persistent_cache_requests(self) -> int:
+        """In-memory misses that consulted the persistent backend."""
+        return self.persistent_cache_hits + self.persistent_cache_misses
+
+    @property
+    def persistent_cache_hit_rate(self) -> float:
+        """Fraction of backend consultations answered from the store.
+
+        This is the warm-start signal: a cold run over an empty store reads
+        0.0, a warm rerun of the same population approaches 1.0.  Zero when
+        no persistent backend was attached.
+        """
+        requests = self.persistent_cache_requests
+        return self.persistent_cache_hits / requests if requests else 0.0
+
     def widening_counters(self) -> Dict[str, int]:
         """The widening-telemetry counters only (per-workload deltas, benches)."""
         return {name: getattr(self, name) for name in self.WIDENING_FIELDS}
@@ -142,6 +174,7 @@ class AnalysisStats:
         """A plain-JSON-able snapshot (counters plus global table sizes)."""
         snapshot: Dict[str, float] = dict(self.counters())
         snapshot["transfer_cache_hit_rate"] = round(self.transfer_cache_hit_rate, 4)
+        snapshot["persistent_cache_hit_rate"] = round(self.persistent_cache_hit_rate, 4)
         snapshot.update(intern_table_sizes())
         return snapshot
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..cache.backend import CacheConfig, open_backend
 from ..sil import ast
 from ..sil.typecheck import TypeInfo, check_program
 from .context import AnalysisContext, AnalysisRecorder, AnalysisStats
@@ -257,13 +258,50 @@ class BatchAnalyzer:
     that produced the returned result, and every escalation increments
     ``stats.adaptive_escalations``.  The transfer-cache key embeds the
     limits, so rungs never share cached transfers.
+
+    ``cache`` may name a persistent store (a :class:`~repro.cache.backend.
+    CacheConfig`): the batch's transfer cache then reads through to it —
+    transfers computed by *earlier runs or other shard processes* are
+    decoded instead of recomputed, with their captured widening counts
+    replayed exactly — and buffers its own computed transfers as deltas.
+    Call :meth:`flush` (or :meth:`close`) when the batch is done to write
+    them back; nothing is persisted implicitly.
+
+    ``policy`` selects the in-memory eviction policy on its own — it works
+    with or without a persistent tier (defaulting to the cache config's
+    policy, then ``lru``), so policy comparisons don't require a store.
     """
 
-    def __init__(self, limits: LimitsLike = DEFAULT_LIMITS, entry: str = "main"):
+    def __init__(
+        self,
+        limits: LimitsLike = DEFAULT_LIMITS,
+        entry: str = "main",
+        cache: Optional[CacheConfig] = None,
+        policy: Optional[str] = None,
+    ):
         self.limits = limits
         self.entry = entry
         self.stats = AnalysisStats()
-        self.cache = TransferCache(base_limits(limits).transfer_cache_size)
+        self.cache_config = cache.validated() if cache is not None else None
+        backend = open_backend(self.cache_config) if self.cache_config is not None else None
+        if policy is None:
+            policy = self.cache_config.policy if self.cache_config is not None else "lru"
+        self.cache = TransferCache(
+            base_limits(limits).transfer_cache_size,
+            policy=policy,
+            backend=backend,
+        )
+
+    def flush(self) -> None:
+        """Write computed transfer deltas to the persistent store (if any)."""
+        self.cache.flush(self.stats)
+
+    def close(self) -> None:
+        """Flush deltas and release the persistent backend."""
+        self.flush()
+        if self.cache.backend is not None:
+            self.cache.backend.close()
+            self.cache.backend = None
 
     def _ladder(self) -> List[AnalysisLimits]:
         if isinstance(self.limits, AdaptiveLimits):

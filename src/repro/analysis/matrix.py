@@ -220,6 +220,30 @@ class PathMatrix:
                 result.append(other)
         return result
 
+    @classmethod
+    def from_entries(
+        cls,
+        handles: Iterable[str],
+        entries: Iterable[Tuple[str, str, PathSet]],
+        limits: AnalysisLimits = DEFAULT_LIMITS,
+    ) -> "PathMatrix":
+        """Rebuild a matrix from already-canonical entries, verbatim.
+
+        The decode path of the persistent transfer cache
+        (:mod:`repro.cache.codec`): entries are installed exactly as given —
+        no :meth:`set`-style re-collapse, so no widening telemetry can fire
+        from inside a decode and the rebuilt matrix is bit-identical to the
+        one that was encoded.  Callers must pass path sets that are already
+        canonical under ``limits`` (anything produced by the analysis is).
+        """
+        matrix = cls(handles, limits)
+        for source, target, paths in entries:
+            if source == target or paths.is_empty:
+                continue
+            matrix._entries[(source, target)] = paths
+        matrix._version += 1
+        return matrix
+
     # ------------------------------------------------------------------
     # Fingerprinting
     # ------------------------------------------------------------------

@@ -26,9 +26,8 @@ diagnostics for updates) and never modify their argument.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..sil import ast
 from ..sil.printer import _format_inline as format_statement_inline
@@ -38,6 +37,13 @@ from .paths import Path, append_link, cancel_first, concat, starts_with_field
 from .pathset import PathSet
 from .structure import StructureDiagnostic, cycle_diagnostic, sharing_diagnostic
 from .telemetry import WideningTally, widening_scope
+
+# Imported after the sibling analysis modules above: repro.cache's package
+# init pulls in the codec, which reads those modules back.
+from ..cache.policy import PolicyCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.backend import CacheBackend
 
 #: Internal placeholder handle used while re-binding a target handle.
 _PLACEHOLDER = "·fresh·"
@@ -295,13 +301,16 @@ def apply_basic_statement(
 
 
 class TransferCache:
-    """A size-bounded LRU of transfer results keyed on (statement, matrix).
+    """A size-bounded, policy-governed memo of transfer results.
 
-    The key combines ``id(stmt)`` with the input matrix's exact
-    :meth:`~repro.analysis.matrix.PathMatrix.fingerprint` (which includes the
-    :class:`AnalysisLimits`), so a hit is only possible for the same
-    statement applied to an identical matrix under identical limits — the
-    cached result is therefore exactly what recomputation would produce.
+    **In-memory layer.**  Keys combine ``id(stmt)`` with the input matrix's
+    exact :meth:`~repro.analysis.matrix.PathMatrix.fingerprint` (which
+    includes the :class:`AnalysisLimits`), so a hit is only possible for
+    the same statement applied to an identical matrix under identical
+    limits — the cached result is therefore exactly what recomputation
+    would produce.  The eviction policy (``lru`` / ``lfu`` / ``fifo``, see
+    :mod:`repro.cache.policy`) is selectable; evictions are counted and
+    surfaced through :class:`~repro.analysis.context.AnalysisStats`.
 
     Each entry also stores the :class:`~repro.analysis.telemetry.
     WideningTally` captured while the transfer was computed, so a hit can
@@ -311,16 +320,39 @@ class TransferCache:
 
     Each cache value keeps a strong reference to the statement object, so an
     ``id`` can never be recycled while any entry for it is alive (entries
-    and their pins are dropped together on LRU eviction).
+    and their pins are dropped together on eviction).
+
+    **Persistent tier.**  With a ``backend`` attached (see
+    :mod:`repro.cache.backend`), in-memory misses read through to the
+    content-addressed store under canonical, process-independent keys
+    (:func:`repro.cache.codec.transfer_key`); a persistent hit is decoded,
+    sealed and promoted into the in-memory layer.  Computed results are
+    buffered as encoded deltas and written back in one batch by
+    :meth:`flush` — call it when a run or shard completes.
     """
 
-    __slots__ = ("capacity", "_entries")
+    __slots__ = ("policy", "backend", "_entries", "_pending")
 
-    def __init__(self, capacity: int = DEFAULT_TRANSFER_CACHE_SIZE):
-        self.capacity = max(1, capacity)
-        self._entries: "OrderedDict[Tuple, Tuple[ast.BasicStmt, TransferResult, WideningTally]]" = (
-            OrderedDict()
-        )
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRANSFER_CACHE_SIZE,
+        policy: str = "lru",
+        backend: Optional["CacheBackend"] = None,
+    ):
+        self._entries = PolicyCache(capacity, policy)
+        self.policy = policy
+        self.backend = backend
+        #: Encoded (key -> payload) deltas computed since the last flush.
+        self._pending: Dict[str, str] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
+
+    @property
+    def evictions(self) -> int:
+        """In-memory entries evicted over this cache's lifetime."""
+        return self._entries.evictions
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -329,7 +361,6 @@ class TransferCache:
         entry = self._entries.get(key)
         if entry is None:
             return None
-        self._entries.move_to_end(key)
         return entry[1], entry[2]
 
     def put(
@@ -338,23 +369,94 @@ class TransferCache:
         stmt: ast.BasicStmt,
         result: TransferResult,
         widening: Optional["WideningTally"] = None,
+    ) -> int:
+        """Admit an entry; returns the number of in-memory evictions."""
+        return self._entries.put(
+            key, (stmt, result, widening if widening is not None else WideningTally())
+        )
+
+    # ------------------------------------------------------------------
+    # Persistent tier
+    # ------------------------------------------------------------------
+
+    def load_persistent(
+        self, persistent_key: str, matrix_limits: AnalysisLimits
+    ) -> Optional[Tuple[TransferResult, "WideningTally"]]:
+        """Read-through lookup of a canonical key; ``None`` without a backend.
+
+        Unflushed deltas computed earlier in this run are consulted first —
+        an entry evicted from the memory layer mid-run is recovered without
+        touching the store.  A stored payload that fails to decode is
+        discarded from the backend (reclassifying the lookup as a miss) and
+        treated as a miss here, so the recomputed result re-admits the key
+        at the next flush instead of the corrupt row surviving forever.
+        """
+        if self.backend is None:
+            return None
+        from ..cache.codec import CacheDecodeError, decode_entry
+
+        pending_payload = self._pending.get(persistent_key)
+        payload = pending_payload if pending_payload is not None else self.backend.get(
+            persistent_key
+        )
+        if payload is None:
+            return None
+        try:
+            # Shield the decode behind a throwaway tally: reconstructing a
+            # result must never advance the caller's widening telemetry —
+            # only the *stored* tally is replayed, exactly once.
+            with widening_scope(WideningTally()):
+                return decode_entry(payload, matrix_limits)
+        except CacheDecodeError:
+            if pending_payload is None:
+                self.backend.discard(persistent_key)
+            else:  # pragma: no cover - pending entries are self-encoded
+                del self._pending[persistent_key]
+            return None
+
+    def record_persistent(
+        self, persistent_key: str, result: TransferResult, widening: "WideningTally"
     ) -> None:
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
+        """Buffer a computed transfer for the next :meth:`flush`."""
+        if self.backend is None or persistent_key in self._pending:
             return
-        while len(entries) >= self.capacity:
-            entries.popitem(last=False)
-        entries[key] = (stmt, result, widening if widening is not None else WideningTally())
+        from ..cache.codec import encode_entry
+
+        self._pending[persistent_key] = encode_entry(result, widening)
+
+    def flush(self, stats=None) -> Tuple[int, int]:
+        """Write buffered deltas (and read touches) to the backend.
+
+        Returns ``(written, evicted)`` and, when ``stats`` is given, folds
+        them into ``persistent_cache_writes`` / ``persistent_cache_evictions``.
+        """
+        if self.backend is None:
+            return 0, 0
+        written, evicted = self.backend.write(self._pending)
+        self._pending.clear()
+        if stats is not None:
+            _bump(stats, "persistent_cache_writes", written)
+            _bump(stats, "persistent_cache_evictions", evicted)
+        return written, evicted
 
     def clear(self) -> None:
+        """Drop the in-memory layer and unflushed deltas (not the store)."""
         self._entries.clear()
+        self._pending.clear()
 
 
 #: Process-wide default cache shared by every analysis that does not supply
 #: its own (so repeated analyses of the same program — benchmark reruns,
-#: oracle re-preparation — hit across calls).
+#: oracle re-preparation — hit across calls).  No persistent backend: the
+#: cross-run tier is opt-in per batch (see ``BatchAnalyzer``).
 GLOBAL_TRANSFER_CACHE = TransferCache()
+
+
+def _bump(stats, name: str, amount: int = 1) -> None:
+    """Add to a stats counter if the (possibly minimal) object carries it."""
+    current = getattr(stats, name, None)
+    if current is not None:
+        setattr(stats, name, current + amount)
 
 
 def apply_basic_statement_cached(
@@ -391,14 +493,40 @@ def apply_basic_statement_cached(
             stats.transfer_cache_hits += 1
             widening.add_into(stats)
         return result
+
+    # In-memory miss: consult the persistent tier under the canonical key.
+    persistent_key: Optional[str] = None
+    if cache.backend is not None:
+        from ..cache.codec import transfer_key
+
+        persistent_key = transfer_key(stmt, limits, matrix)
+        loaded = cache.load_persistent(persistent_key, matrix.limits)
+        if loaded is not None:
+            result, widening = loaded
+            evicted = cache.put(key, stmt, result, widening)
+            if stats is not None:
+                stats.transfer_cache_hits += 1
+                _bump(stats, "persistent_cache_hits")
+                _bump(stats, "transfer_cache_evictions", evicted)
+                # Replay the tally captured when the entry was computed —
+                # possibly in another process or another run — so the
+                # telemetry reads exactly as if this application computed.
+                widening.add_into(stats)
+            return result
+
     with widening_scope(WideningTally()) as widening:
         result = apply_basic_statement(matrix, stmt, limits)
     # Entering the cache makes the result shared across program points and
     # future runs; seal it so a caller mutation fails loudly instead of
     # silently poisoning every later hit.
     result.matrix.seal()
-    cache.put(key, stmt, result, widening)
+    evicted = cache.put(key, stmt, result, widening)
+    if persistent_key is not None:
+        cache.record_persistent(persistent_key, result, widening)
     if stats is not None:
         stats.transfer_cache_misses += 1
+        _bump(stats, "transfer_cache_evictions", evicted)
+        if persistent_key is not None:
+            _bump(stats, "persistent_cache_misses")
         widening.add_into(stats)
     return result

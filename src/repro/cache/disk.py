@@ -1,0 +1,251 @@
+"""The disk-backed persistent transfer-cache store (SQLite).
+
+One SQLite file per cache directory, holding content-addressed canonical
+payloads (see :mod:`repro.cache.codec`) plus the access metadata the
+eviction policies rank by and a cumulative-counter table the ``repro cache
+stats`` subcommand reads:
+
+* ``entries(key, payload, created, last_used, hits)`` — ``key`` is the
+  SHA-256 transfer key; ``created``/``last_used`` are ticks of a store-wide
+  logical clock (one tick per flush), so recency survives across runs
+  without wall-clock dependence;
+* ``meta(key, value)`` — the logical clock and lifetime ``hits`` /
+  ``misses`` / ``writes`` / ``evictions`` totals.
+
+Write discipline: reads during analysis are plain ``SELECT``s (hit/miss
+and touch bookkeeping is buffered in memory); all mutation happens in one
+``BEGIN IMMEDIATE`` transaction per :meth:`DiskBackend.write` call — the
+end-of-run/shard flush.  Shard workers therefore share a store with at
+most one short write transaction per shard, and WAL mode keeps concurrent
+readers unblocked while one writes.  ``INSERT OR IGNORE`` makes concurrent
+flushes of the same computed transfer idempotent: the store is
+content-addressed, so equal keys always carry equal payloads and the race
+winner is irrelevant.
+
+Capacity is enforced inside the same transaction: when the entry count
+exceeds the configured cap the policy picks victims —
+
+* ``lru``: smallest ``last_used`` tick first,
+* ``lfu``: fewest ``hits`` first (ties: least recently used),
+* ``fifo``: smallest ``created`` tick first.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from .backend import DEFAULT_STORE_CAPACITY
+
+#: File name inside the cache directory.
+STORE_FILENAME = "transfer-cache.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key       TEXT PRIMARY KEY,
+    payload   TEXT NOT NULL,
+    created   INTEGER NOT NULL,
+    last_used INTEGER NOT NULL,
+    hits      INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+_COUNTERS = ("hits", "misses", "writes", "evictions")
+
+_EVICTION_ORDER = {
+    "lru": "last_used ASC, key ASC",
+    "lfu": "hits ASC, last_used ASC, key ASC",
+    "fifo": "created ASC, key ASC",
+}
+
+
+class DiskBackend:
+    """A content-addressed SQLite store shared by shards and by runs."""
+
+    kind = "disk"
+
+    def __init__(
+        self,
+        directory: str,
+        policy: str = "lru",
+        capacity: int = DEFAULT_STORE_CAPACITY,
+        timeout: float = 60.0,
+    ):
+        if policy not in _EVICTION_ORDER:
+            raise ValueError(f"unknown cache policy {policy!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / STORE_FILENAME
+        self.policy = policy
+        self.capacity = max(1, int(capacity))
+        # Autocommit connection: transactions are managed explicitly with
+        # BEGIN IMMEDIATE, so pysqlite's implicit-transaction machinery can
+        # never collide with ours.
+        self._connection = sqlite3.connect(
+            str(self.path), timeout=timeout, isolation_level=None
+        )
+        self._connection.executescript(_SCHEMA)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.commit()
+        # Session-local bookkeeping, folded into the store at write() time.
+        self._session_hits = 0
+        self._session_misses = 0
+        self._touched: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        return int(row[0])
+
+    def get(self, key: str) -> Optional[str]:
+        row = self._connection.execute(
+            "SELECT payload FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self._session_misses += 1
+            return None
+        self._session_hits += 1
+        self._touched[key] = self._touched.get(key, 0) + 1
+        return row[0]
+
+    def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+        connection = self._connection
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            # Record which policy ranked this store's evictions (last writer
+            # wins) so `repro cache stats` — which opens with the default
+            # policy — reports the policy the data was actually shaped by.
+            connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('policy', ?)",
+                (self.policy,),
+            )
+            clock = self._bump_meta_locked("clock", 1)
+            written = 0
+            for key, payload in pending.items():
+                cursor = connection.execute(
+                    "INSERT OR IGNORE INTO entries (key, payload, created, last_used, hits) "
+                    "VALUES (?, ?, ?, ?, 0)",
+                    (key, payload, clock, clock),
+                )
+                written += cursor.rowcount
+            for key, touches in self._touched.items():
+                connection.execute(
+                    "UPDATE entries SET hits = hits + ?, last_used = ? WHERE key = ?",
+                    (touches, clock, key),
+                )
+            evicted = self._enforce_capacity_locked()
+            self._bump_meta_locked("hits", self._session_hits)
+            self._bump_meta_locked("misses", self._session_misses)
+            self._bump_meta_locked("writes", written)
+            self._bump_meta_locked("evictions", evicted)
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        self._session_hits = 0
+        self._session_misses = 0
+        self._touched.clear()
+        return written, evicted
+
+    def discard(self, key: str) -> None:
+        """Delete an entry whose payload proved unusable (self-healing).
+
+        Performed immediately (single autocommit statement, not deferred to
+        flush) so the recomputed replacement — which ``write`` only admits
+        for keys absent from the store — actually lands.  The touch and hit
+        recorded by the failed ``get`` are reclassified as a miss so the
+        bad row neither inflates the store's hit totals nor gets its
+        recency refreshed on the way out.
+        """
+        self._connection.execute("DELETE FROM entries WHERE key = ?", (key,))
+        touches = self._touched.pop(key, 0)
+        if touches:
+            self._session_hits -= touches
+            self._session_misses += touches
+
+    # ------------------------------------------------------------------
+    # Management surface
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        counters = {name: self._read_meta(name) for name in _COUNTERS}
+        requests = counters["hits"] + counters["misses"]
+        try:
+            size_bytes = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - racing deletion
+            size_bytes = 0
+        # Report the policy the store was last *written* under, not this
+        # connection's configuration — the eviction counters were ranked by
+        # the former.
+        policy_row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'policy'"
+        ).fetchone()
+        return {
+            "backend": self.kind,
+            "path": str(self.path),
+            "policy": str(policy_row[0]) if policy_row is not None else self.policy,
+            "entries": len(self),
+            "capacity": self.capacity,
+            "size_bytes": size_bytes,
+            "hit_rate": round(counters["hits"] / requests, 4) if requests else 0.0,
+            **counters,
+        }
+
+    def clear(self) -> int:
+        connection = self._connection
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            dropped = int(connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+            connection.execute("DELETE FROM entries")
+            connection.execute("DELETE FROM meta")
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        self._session_hits = 0
+        self._session_misses = 0
+        self._touched.clear()
+        return dropped
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+
+    def _read_meta(self, key: str) -> int:
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def _bump_meta_locked(self, key: str, amount: int) -> int:
+        """Add ``amount`` to a meta counter inside the open transaction."""
+        self._connection.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = value + excluded.value",
+            (key, amount),
+        )
+        return self._read_meta(key)
+
+    def _enforce_capacity_locked(self) -> int:
+        count = int(self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+        excess = count - self.capacity
+        if excess <= 0:
+            return 0
+        order = _EVICTION_ORDER[self.policy]
+        self._connection.execute(
+            f"DELETE FROM entries WHERE key IN "
+            f"(SELECT key FROM entries ORDER BY {order} LIMIT ?)",
+            (excess,),
+        )
+        return excess

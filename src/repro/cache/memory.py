@@ -1,0 +1,123 @@
+"""The in-memory persistent-cache backend.
+
+Wraps the same bounded :class:`~repro.cache.policy.PolicyCache` the
+per-run transfer LRU uses, but stores *canonical payload strings* (see
+:mod:`repro.cache.codec`) instead of live objects — so every lookup served
+from it exercises the exact encode/decode path the disk store uses.  That
+makes it two things at once:
+
+* a **process-wide warm-start tier**: successive
+  :class:`~repro.analysis.engine.BatchAnalyzer` runs in one process (bench
+  reruns, notebook sessions) share transfers even though each run builds a
+  private in-memory ``TransferCache``;
+* the **reference implementation** of the backend protocol — cheap enough
+  for tests to hammer, byte-compatible with :class:`~repro.cache.disk.
+  DiskBackend`.
+
+Stores live in a module-level registry keyed by namespace, so two configs
+naming the same namespace share one store.  The registry is per process:
+under the sharded runner each worker gets its own copy (a fork inherits a
+snapshot; a spawn starts empty) and flushed deltas die with the worker —
+cross-process and cross-run persistence is what the disk backend is for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from .backend import DEFAULT_STORE_CAPACITY
+from .policy import PolicyCache
+
+
+class MemoryBackend:
+    """A process-local, policy-bounded store of canonical payloads."""
+
+    kind = "memory"
+
+    def __init__(self, policy: str = "lru", capacity: int = DEFAULT_STORE_CAPACITY):
+        self._store = PolicyCache(capacity, policy)
+        self.policy = policy
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> Optional[str]:
+        payload = self._store.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload  # type: ignore[return-value]
+
+    def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+        written = 0
+        evictions_before = self._store.evictions
+        for key, payload in pending.items():
+            if key not in self._store:
+                written += 1
+            self._store.put(key, payload)
+        self.writes += written
+        return written, self._store.evictions - evictions_before
+
+    def discard(self, key: str) -> None:
+        if self._store.remove(key):
+            # The lookup that surfaced the bad payload counted as a hit
+            # and refreshed the entry; reclassify it as a miss.
+            self.hits -= 1
+            self.misses += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.kind,
+            "policy": self.policy,
+            "entries": len(self._store),
+            "capacity": self._store.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self._store.evictions,
+        }
+
+    def clear(self) -> int:
+        dropped = len(self._store)
+        self._store.clear()
+        self.hits = self.misses = self.writes = 0
+        self._store.evictions = 0
+        return dropped
+
+    def close(self) -> None:
+        """Nothing to release; the store stays registered for later opens."""
+
+
+#: Namespace -> shared store (process-wide).
+_STORES: Dict[str, MemoryBackend] = {}
+
+
+def shared_memory_backend(
+    namespace: str = "default",
+    policy: str = "lru",
+    capacity: int = DEFAULT_STORE_CAPACITY,
+) -> MemoryBackend:
+    """The process-wide store for ``namespace``, created on first open.
+
+    The first open fixes the policy and capacity; later opens with a
+    different policy raise rather than silently re-ranking the store.
+    """
+    store = _STORES.get(namespace)
+    if store is None:
+        store = MemoryBackend(policy=policy, capacity=capacity)
+        _STORES[namespace] = store
+    elif store.policy != policy:
+        raise ValueError(
+            f"memory cache namespace {namespace!r} is already open with policy "
+            f"{store.policy!r} (requested {policy!r})"
+        )
+    return store
+
+
+def reset_memory_backends() -> None:
+    """Drop every registered store (test isolation)."""
+    _STORES.clear()

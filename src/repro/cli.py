@@ -1,10 +1,11 @@
 """The batch-analysis command line: ``python -m repro <command>``.
 
-Three subcommands turn the reproduction into a workload-serving frontend:
+Four subcommands turn the reproduction into a workload-serving frontend:
 
 * ``analyze`` — analyze named workloads and/or generated scenarios,
-  optionally sharded across worker processes, and print per-workload
-  outcomes plus the merged :class:`~repro.analysis.context.AnalysisStats`.
+  optionally sharded across worker processes, streaming per-workload
+  outcomes as shards finish, plus the merged
+  :class:`~repro.analysis.context.AnalysisStats`.
 * ``bench`` — run a whole population (every named workload + a seeded
   random scenario population) through the sharded suite runner, verify the
   sharded results are bit-identical to a single-process run, and write the
@@ -12,6 +13,13 @@ Three subcommands turn the reproduction into a workload-serving frontend:
 * ``generate`` — emit seeded random SIL scenario sources (stdout or
   ``--out`` directory), optionally cross-checked against the reference
   engine.
+* ``cache`` — inspect (``stats``) or empty (``clear``) a persistent
+  transfer-cache store created with ``--cache-dir``.
+
+``analyze`` and ``bench`` accept the persistent-cache knobs: ``--cache-dir``
+(a disk store shards and *runs* share — rerunning against the same
+directory serves transfers from the store instead of recomputing them),
+``--cache-backend``, ``--cache-policy`` and ``--cache-size``.
 
 Everything is built on the PR-1 architecture: scenarios travel as source
 text, every analysis goes through ``AnalysisContext`` and the pass
@@ -24,11 +32,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.context import AnalysisStats
-from .analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike
+from .analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike, base_limits
+from .cache import BACKENDS, POLICIES, STORE_FILENAME, CacheConfig, DiskBackend
 from .workloads.generators import (
     FAMILIES,
     GeneratorConfig,
@@ -70,10 +80,77 @@ def _add_limits_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent transfer-cache directory shared across shards and "
+        "runs (enables the disk backend; rerunning against the same "
+        "directory serves cached transfers instead of recomputing)",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=BACKENDS,
+        default=None,
+        help="persistent store kind (default: disk when --cache-dir is "
+        "given, otherwise no persistent tier)",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        choices=POLICIES,
+        default="lru",
+        help="eviction policy of the transfer-cache layers (default: lru)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-memory transfer-cache capacity in entries "
+        f"(default: {DEFAULT_LIMITS.transfer_cache_size})",
+    )
+
+
 def _effective_limits(args: argparse.Namespace) -> LimitsLike:
+    base = DEFAULT_LIMITS
+    size = getattr(args, "cache_size", None)
+    if size is not None:
+        base = replace(base, transfer_cache_size=max(1, size))
     if getattr(args, "adaptive", False):
-        return AnalysisLimits.adaptive()
-    return DEFAULT_LIMITS
+        return AnalysisLimits.adaptive(base)
+    return base
+
+
+def _cache_config(args: argparse.Namespace) -> Optional[CacheConfig]:
+    """The persistent-store config the CLI flags describe (None: no tier).
+
+    Raises ``ValueError`` on inconsistent flags (e.g. ``--cache-backend
+    disk`` without ``--cache-dir``).
+    """
+    backend = getattr(args, "cache_backend", None)
+    directory = getattr(args, "cache_dir", None)
+    if backend is None and directory:
+        backend = "disk"
+    if backend is None:
+        return None
+    return CacheConfig(
+        backend=backend, directory=directory, policy=args.cache_policy
+    ).validated()
+
+
+def _warn_if_memory_backend_sharded(
+    cache: Optional[CacheConfig], shards: int, item_count: int
+) -> None:
+    """The memory backend is process-local: flushed deltas die with forked
+    shard workers, so a multi-shard run gains nothing across runs.  Warn
+    rather than fail — single-shard (inline) use is the supported case."""
+    if cache is not None and cache.backend == "memory" and min(shards, item_count) > 1:
+        print(
+            "warning: --cache-backend memory is process-local; shard workers "
+            "discard their flushed deltas at exit. Use --cache-dir (disk) for "
+            "a store that outlives worker processes.",
+            file=sys.stderr,
+        )
 
 
 def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
@@ -90,8 +167,11 @@ def _population(args: argparse.Namespace, count: int) -> List[Scenario]:
     )
 
 
-def _print_report(report: ShardedSuiteReport, matrices: bool = False) -> None:
-    for name, canonical in report.results.items():
+def _print_workload_rows(
+    results: Dict[str, Dict], failures: Dict[str, str], matrices: bool = False
+) -> None:
+    """Per-workload ``ok``/``FAIL`` rows (used streaming and post-merge)."""
+    for name, canonical in results.items():
         procedures = len(canonical["entry_matrices"])
         diagnostics = len(canonical["diagnostics"])
         print(f"  ok    {name:24s} procs={procedures:<3d} diagnostics={diagnostics}")
@@ -99,9 +179,21 @@ def _print_report(report: ShardedSuiteReport, matrices: bool = False) -> None:
             for procedure, matrix in canonical["entry_matrices"].items():
                 for source_handle, target_handle, paths in matrix["entries"]:
                     print(f"          {procedure}: {source_handle} -> {target_handle} : {paths}")
-    for name, error in report.failures.items():
+    for name, error in failures.items():
         print(f"  FAIL  {name:24s} {error}")
-    print()
+
+
+def _print_report(
+    report: ShardedSuiteReport,
+    matrices: bool = False,
+    rows: bool = True,
+    cache: Optional[CacheConfig] = None,
+    cache_size: Optional[int] = None,
+    cache_policy: Optional[str] = None,
+) -> None:
+    if rows:
+        _print_workload_rows(report.results, report.failures, matrices)
+        print()
     print(f"shards ({len(report.shards)}):")
     header = f"  {'shard':>5s} {'n':>4s} {'pops':>6s} {'hits':>7s} {'misses':>7s} {'seconds':>8s}"
     print(header)
@@ -111,6 +203,27 @@ def _print_report(report: ShardedSuiteReport, matrices: bool = False) -> None:
             f"  {shard.shard:5d} {len(shard.workloads):4d} {stats.worklist_pops:6d} "
             f"{stats.transfer_cache_hits:7d} {stats.transfer_cache_misses:7d} "
             f"{shard.seconds:8.3f}"
+        )
+    print()
+    stats = report.stats
+    size = cache_size if cache_size is not None else DEFAULT_LIMITS.transfer_cache_size
+    if cache_policy is not None:
+        policy = cache_policy
+    else:
+        policy = cache.policy if cache is not None else "lru"
+    if cache is None:
+        tier = "none (in-process only)"
+    else:
+        where = f" @ {cache.directory}" if cache.directory else ""
+        tier = f"{cache.backend}{where}"
+    print(f"transfer cache: size={size} policy={policy} persistent={tier}")
+    if stats.persistent_cache_requests:
+        print(
+            f"  persistent: hits={stats.persistent_cache_hits} "
+            f"misses={stats.persistent_cache_misses} "
+            f"hit_rate={stats.persistent_cache_hit_rate:.4f} "
+            f"writes={stats.persistent_cache_writes} "
+            f"evictions={stats.persistent_cache_evictions}"
         )
     print()
     print("merged AnalysisStats:")
@@ -191,12 +304,37 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.generated:
         items += [(s.name, s.source) for s in _population(args, args.generated)]
 
-    runner = ShardedSuiteRunner(items, shards=args.shards, limits=_effective_limits(args))
-    report = runner.run()
+    try:
+        cache = _cache_config(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    _warn_if_memory_backend_sharded(cache, args.shards, len(items))
+    limits = _effective_limits(args)
+    runner = ShardedSuiteRunner(
+        items, shards=args.shards, limits=limits, cache=cache, policy=args.cache_policy
+    )
+
+    # Streaming collection: rows appear as each shard finishes, not behind
+    # the final barrier.
+    def stream(output: Dict) -> None:
+        _print_workload_rows(output["results"], output["failures"], matrices=args.matrices)
+        sys.stdout.flush()
+
+    print(f"analyzing {len(items)} workloads across {min(args.shards, len(items))} "
+          f"shard(s), streaming:")
+    report = runner.run(progress=stream)
+    print()
     print(f"analyzed {len(report.results)}/{len(items)} workloads "
           f"across {len(report.shards)} shard(s) in {report.seconds:.3f}s"
           f"{' [adaptive limits]' if args.adaptive else ''}")
-    _print_report(report, matrices=args.matrices)
+    _print_report(
+        report,
+        rows=False,
+        cache=cache,
+        cache_size=base_limits(limits).transfer_cache_size,
+        cache_policy=args.cache_policy,
+    )
 
     if args.census:
         print("\nparallelism census (path-matrix oracle):")
@@ -223,11 +361,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{args.family if args.family != 'all' else ', '.join(FAMILIES)})"
     )
 
-    runner = ShardedSuiteRunner(items, shards=args.shards, limits=_effective_limits(args))
-    report = runner.run()
+    try:
+        cache = _cache_config(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    _warn_if_memory_backend_sharded(cache, args.shards, len(items))
+    limits = _effective_limits(args)
+    runner = ShardedSuiteRunner(
+        items, shards=args.shards, limits=limits, cache=cache, policy=args.cache_policy
+    )
+
+    def stream(output: Dict) -> None:
+        print(
+            f"  shard {output['shard']} finished: {len(output['workloads'])} workloads "
+            f"({len(output['failures'])} failed) in {output['seconds']:.3f}s",
+            flush=True,
+        )
+
+    report = runner.run(progress=stream)
     print(f"\nsharded run ({args.shards} shards): {report.seconds:.3f}s"
           f"{' [adaptive limits]' if args.adaptive else ''}")
-    _print_report(report)
+    _print_report(
+        report,
+        cache=cache,
+        cache_size=base_limits(limits).transfer_cache_size,
+        cache_policy=args.cache_policy,
+    )
 
     artifact: Dict[str, object] = {
         "population": {
@@ -242,6 +402,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "procedures": config.procedures,
                 "depth": config.depth,
                 "aliasing": config.aliasing,
+            },
+        },
+        # The persistent-cache configuration and outcome of this run.  The
+        # persistent hit rate is the cold-vs-warm signal: ~0 against a fresh
+        # --cache-dir, approaching 1 when rerun against a populated one —
+        # while "results_digest" (under "sharded") must not move at all.
+        "cache": {
+            "backend": cache.backend if cache is not None else None,
+            "directory": cache.directory if cache is not None else None,
+            "policy": args.cache_policy,
+            "transfer_cache_size": base_limits(limits).transfer_cache_size,
+            "persistent": {
+                "hits": report.stats.persistent_cache_hits,
+                "misses": report.stats.persistent_cache_misses,
+                "hit_rate": round(report.stats.persistent_cache_hit_rate, 4),
+                "writes": report.stats.persistent_cache_writes,
+                "evictions": report.stats.persistent_cache_evictions,
             },
         },
         "sharded": report.as_dict(),
@@ -291,6 +468,49 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace) -> Optional[DiskBackend]:
+    """Open the disk store under ``--cache-dir``; None if never created."""
+    store_path = Path(args.cache_dir) / STORE_FILENAME
+    if not store_path.exists():
+        return None
+    return DiskBackend(args.cache_dir, policy=args.cache_policy)
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    backend = _open_store(args)
+    if backend is None:
+        message = f"no transfer-cache store under {args.cache_dir} (nothing written yet)"
+        if args.json:
+            print(json.dumps({"path": str(Path(args.cache_dir) / STORE_FILENAME),
+                              "entries": 0, "exists": False}, indent=2, sort_keys=True))
+        else:
+            print(message)
+        return 0
+    try:
+        stats = backend.stats()
+    finally:
+        backend.close()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        for key in sorted(stats):
+            print(f"  {key:12s} {stats[key]}")
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    backend = _open_store(args)
+    if backend is None:
+        print(f"no transfer-cache store under {args.cache_dir}; nothing to clear")
+        return 0
+    try:
+        dropped = backend.clear()
+    finally:
+        backend.close()
+    print(f"cleared {dropped} entries from {args.cache_dir}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -319,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--list", action="store_true", help="list workloads and families")
     _add_generator_options(analyze)
     _add_limits_options(analyze)
+    _add_cache_options(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     bench = commands.add_parser(
@@ -340,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_generator_options(bench)
     _add_limits_options(bench)
+    _add_cache_options(bench)
     bench.set_defaults(func=cmd_bench)
 
     generate = commands.add_parser(
@@ -354,6 +576,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_generator_options(generate)
     generate.set_defaults(func=cmd_generate)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear a persistent transfer-cache store"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry count, size and lifetime hit/miss/write/eviction totals"
+    )
+    cache_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    cache_stats.set_defaults(func=cmd_cache_stats)
+    cache_clear = cache_commands.add_parser("clear", help="drop every stored entry")
+    cache_clear.set_defaults(func=cmd_cache_clear)
+    for sub in (cache_stats, cache_clear):
+        sub.add_argument("--cache-dir", required=True, metavar="DIR", help="store directory")
+        sub.add_argument(
+            "--cache-policy", choices=POLICIES, default="lru", help=argparse.SUPPRESS
+        )
 
     return parser
 

@@ -37,7 +37,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.context import AnalysisStats
     from ..analysis.engine import AnalysisResult
     from ..analysis.limits import AnalysisLimits, LimitsLike
+    from ..cache.backend import CacheConfig
     from .generators import Scenario
+
+#: One shard's work order:
+#: (index, (name, source) pairs, limits, cache config, eviction policy).
+ShardPayload = Tuple[
+    int, List[Tuple[str, str]], "LimitsLike", Optional["CacheConfig"], Optional[str]
+]
 
 #: Marker rewritten by :func:`with_depth` (a plain integer literal in the source).
 _DEPTH_PATTERN = re.compile(r"\{DEPTH\}")
@@ -586,7 +593,7 @@ def analyze_suite(
 # ---------------------------------------------------------------------------
 
 
-def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "LimitsLike"]) -> Dict:
+def _analyze_shard(payload: ShardPayload) -> Dict:
     """Analyze one shard of ``(name, source)`` pairs; returns plain data.
 
     Runs in a worker process: parses each source through the real front
@@ -594,6 +601,12 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "LimitsLike"]) -> 
     and ships back canonical (process-independent, picklable) encodings —
     never live ``AnalysisResult`` objects, whose ``id()``-keyed recorders
     and interned domain values do not survive pickling meaningfully.
+
+    With a :class:`~repro.cache.backend.CacheConfig` in the payload the
+    shard opens the shared persistent store itself (backends never cross
+    process boundaries) and reads through to it — a warm store means the
+    shard decodes transfers other runs or other shards already computed —
+    then flushes its computed deltas in one batch when the shard completes.
 
     Besides the shard-wide counters, the output carries a per-workload
     **widening telemetry** row: the widening-counter deltas attributable to
@@ -605,9 +618,9 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "LimitsLike"]) -> 
     """
     from ..analysis.engine import BatchAnalyzer
 
-    shard_index, pairs, limits = payload
+    shard_index, pairs, limits, cache, policy = payload
     started = time.perf_counter()
-    batch = BatchAnalyzer(limits=limits)
+    batch = BatchAnalyzer(limits=limits, cache=cache, policy=policy)
     results: Dict[str, Dict] = {}
     failures: Dict[str, str] = {}
     widening: Dict[str, Dict] = {}
@@ -629,6 +642,10 @@ def _analyze_shard(payload: Tuple[int, List[Tuple[str, str]], "LimitsLike"]) -> 
             widening[name] = row
         except Exception as error:  # noqa: BLE001 - surfaced per workload
             failures[name] = f"{type(error).__name__}: {error}"
+    # Flush computed transfer deltas to the shared store (one write batch
+    # per shard) *before* snapshotting the counters, so the write/eviction
+    # totals merge with the rest of the stats.
+    batch.close()
     return {
         "shard": shard_index,
         "workloads": [name for name, _ in pairs],
@@ -691,6 +708,24 @@ class ShardedSuiteReport:
         """
         return self.results == other.results and self.failures == other.failures
 
+    def results_digest(self) -> str:
+        """SHA-256 over the canonical results + failure payloads.
+
+        Equal digests ⇔ :meth:`matches` would be true — a compact identity
+        that artifacts can carry, so *separate processes* (e.g. the CI's
+        cold and warm bench runs against one cache directory) can assert
+        bit-identical outcomes without shipping the full encodings.
+        """
+        import hashlib
+        import json as json_module
+
+        document = json_module.dumps(
+            {"results": self.results, "failures": self.failures},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
     def as_dict(self) -> Dict:
         # Counters only: as_dict() would append *this* process's intern-table
         # sizes, which reflect none of the shard workers' interning.  The
@@ -698,8 +733,12 @@ class ShardedSuiteReport:
         # stats must recompute it from the raw hit/miss counters.
         merged_stats = dict(self.stats.counters())
         merged_stats["transfer_cache_hit_rate"] = round(self.stats.transfer_cache_hit_rate, 4)
+        merged_stats["persistent_cache_hit_rate"] = round(
+            self.stats.persistent_cache_hit_rate, 4
+        )
         return {
             "workloads_analyzed": len(self.results),
+            "results_digest": self.results_digest(),
             "seconds": round(self.seconds, 4),
             "stats": merged_stats,
             "shards": [shard.as_dict() for shard in self.shards],
@@ -723,7 +762,10 @@ class ShardedSuiteRunner:
     ``limits`` may be a fixed :class:`AnalysisLimits` or an
     :class:`~repro.analysis.limits.AdaptiveLimits` escalation policy; both
     are plain frozen dataclasses and travel to the workers in the shard
-    payload.
+    payload — as does ``cache``, an optional :class:`~repro.cache.backend.
+    CacheConfig` naming a persistent transfer store every shard opens
+    read-through and flushes its computed deltas into on completion (the
+    cross-run warm-start path).
     """
 
     def __init__(
@@ -731,6 +773,8 @@ class ShardedSuiteRunner:
         items: Sequence[Tuple[str, str]],
         shards: int = 2,
         limits: Optional["LimitsLike"] = None,
+        cache: Optional["CacheConfig"] = None,
+        policy: Optional[str] = None,
     ):
         from collections import Counter
 
@@ -743,6 +787,9 @@ class ShardedSuiteRunner:
         self.items = list(items)
         self.shards = max(1, int(shards))
         self.limits = limits if limits is not None else DEFAULT_LIMITS
+        self.cache = cache.validated() if cache is not None else None
+        #: In-memory eviction policy; meaningful with or without a store.
+        self.policy = policy
 
     @classmethod
     def from_names(
@@ -751,11 +798,19 @@ class ShardedSuiteRunner:
         depth: int = 4,
         shards: int = 2,
         limits: Optional["LimitsLike"] = None,
+        cache: Optional["CacheConfig"] = None,
+        policy: Optional[str] = None,
     ) -> "ShardedSuiteRunner":
         """A runner over named workloads from :data:`WORKLOADS`."""
         if names is None:
             names = list(WORKLOADS)
-        return cls([(name, source(name, depth=depth)) for name in names], shards, limits)
+        return cls(
+            [(name, source(name, depth=depth)) for name in names],
+            shards,
+            limits,
+            cache,
+            policy,
+        )
 
     @classmethod
     def from_scenarios(
@@ -763,38 +818,60 @@ class ShardedSuiteRunner:
         scenarios: Sequence["Scenario"],
         shards: int = 2,
         limits: Optional["LimitsLike"] = None,
+        cache: Optional["CacheConfig"] = None,
+        policy: Optional[str] = None,
     ) -> "ShardedSuiteRunner":
         """A runner over generated scenarios (see :mod:`.generators`)."""
-        return cls([(s.name, s.source) for s in scenarios], shards, limits)
+        return cls([(s.name, s.source) for s in scenarios], shards, limits, cache, policy)
 
     # ------------------------------------------------------------------
 
-    def _payloads(self, shards: int) -> List[Tuple[int, List[Tuple[str, str]], "LimitsLike"]]:
+    def _payloads(self, shards: int) -> List[ShardPayload]:
         buckets: List[List[Tuple[str, str]]] = [[] for _ in range(shards)]
         for index, item in enumerate(self.items):
             buckets[index % shards].append(item)
         return [
-            (index, bucket, self.limits) for index, bucket in enumerate(buckets) if bucket
+            (index, bucket, self.limits, self.cache, self.policy)
+            for index, bucket in enumerate(buckets)
+            if bucket
         ]
 
-    def run(self) -> ShardedSuiteReport:
-        """Run the suite across ``self.shards`` worker processes."""
+    def run(self, progress=None) -> ShardedSuiteReport:
+        """Run the suite across ``self.shards`` worker processes.
+
+        Collection is **streaming**: shard outputs are consumed through
+        ``imap_unordered`` in completion order, so per-workload results and
+        failures surface (via the optional ``progress`` callback, which
+        receives each raw shard output dict) as soon as each shard
+        finishes, not behind a final all-shards barrier.  The merged report
+        is identical either way — ``_merge`` orders by shard index.
+        """
         started = time.perf_counter()
         payloads = self._payloads(self.shards)
+        outputs: List[Dict] = []
         if self.shards <= 1 or len(payloads) <= 1:
-            outputs = [_analyze_shard(payload) for payload in payloads]
+            for payload in payloads:
+                output = _analyze_shard(payload)
+                outputs.append(output)
+                if progress is not None:
+                    progress(output)
         else:
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
             with context.Pool(processes=len(payloads)) as pool:
-                outputs = pool.map(_analyze_shard, payloads)
+                for output in pool.imap_unordered(_analyze_shard, payloads):
+                    outputs.append(output)
+                    if progress is not None:
+                        progress(output)
         return self._merge(outputs, time.perf_counter() - started)
 
-    def run_single_process(self) -> ShardedSuiteReport:
+    def run_single_process(self, progress=None) -> ShardedSuiteReport:
         """The same suite, analyzed inline as one shard (the reference run)."""
         started = time.perf_counter()
-        outputs = [_analyze_shard((0, list(self.items), self.limits))]
-        return self._merge(outputs, time.perf_counter() - started)
+        output = _analyze_shard((0, list(self.items), self.limits, self.cache, self.policy))
+        if progress is not None:
+            progress(output)
+        return self._merge([output], time.perf_counter() - started)
 
     # ------------------------------------------------------------------
 

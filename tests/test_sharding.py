@@ -1,9 +1,11 @@
-"""Sharded suite runner: stats merging, bit-identity, failure isolation."""
+"""Sharded suite runner: stats merging, bit-identity, failure isolation,
+streaming collection and persistent warm starts."""
 
 import pytest
 
 from repro.analysis import AnalysisLimits
 from repro.analysis.context import AnalysisStats
+from repro.cache import CacheConfig
 from repro.workloads import (
     WORKLOADS,
     ShardedSuiteReport,
@@ -171,6 +173,97 @@ class TestShardingSafeWideningCounts:
             for row in sharded.widening.values()
             if row["adaptive_escalations"]
         )
+
+
+class TestStreamingCollection:
+    """run() consumes shard outputs as they finish (imap_unordered)."""
+
+    def test_progress_receives_every_shard_output(self):
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=3)
+        seen = []
+        report = runner.run(progress=seen.append)
+        assert sorted(output["shard"] for output in seen) == [0, 1, 2]
+        # Each streamed output already carries that shard's per-workload
+        # results and failures — nothing waits for the final barrier.
+        streamed = {name for output in seen for name in output["results"]}
+        assert streamed == set(report.results) == set(WORKLOADS)
+        for output in seen:
+            assert set(output["workloads"]) >= set(output["results"])
+
+    def test_streaming_does_not_change_the_merged_report(self):
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=2)
+        with_progress = runner.run(progress=lambda output: None)
+        without_progress = runner.run()
+        assert with_progress.matches(without_progress)
+
+    def test_results_digest_tracks_matches(self):
+        runner = ShardedSuiteRunner.from_names(names=["tree_add", "list_walk"], depth=3)
+        first, second = runner.run(), runner.run_single_process()
+        assert first.matches(second)
+        assert first.results_digest() == second.results_digest()
+        assert first.as_dict()["results_digest"] == first.results_digest()
+
+
+class TestPersistentWarmStart:
+    """Acceptance: a sharded warm run against a populated store is
+    bit-identical to a cold single-process run, with the persistent
+    counters merged per shard."""
+
+    def test_sharded_warm_run_bit_identical_to_cold_single_process(self, tmp_path):
+        scenarios = generate_scenarios(6, base_seed=5)
+        config = CacheConfig(backend="disk", directory=str(tmp_path))
+
+        # Cold single-process run populates the store.
+        cold_runner = ShardedSuiteRunner.from_scenarios(scenarios, shards=1, cache=config)
+        cold = cold_runner.run_single_process()
+        assert cold.ok and cold.stats.persistent_cache_writes > 0
+
+        # Sharded warm run against the populated store.
+        warm_runner = ShardedSuiteRunner.from_scenarios(scenarios, shards=3, cache=config)
+        warm = warm_runner.run()
+        assert warm.matches(cold)
+        assert warm.results_digest() == cold.results_digest()
+        assert warm.stats.persistent_cache_hits > 0
+        assert warm.stats.transfer_cache_misses == 0  # nothing recomputed
+        assert warm.stats.persistent_cache_hit_rate == pytest.approx(1.0)
+        # Widening telemetry replays exactly from the stored tallies.
+        assert warm.stats.widening_counters() == cold.stats.widening_counters()
+        assert warm.widening == cold.widening
+
+    def test_persistent_counters_merge_per_shard(self, tmp_path):
+        config = CacheConfig(backend="disk", directory=str(tmp_path))
+        runner = ShardedSuiteRunner.from_names(depth=3, shards=3, cache=config)
+        report = runner.run()
+        persistent_fields = (
+            "persistent_cache_hits",
+            "persistent_cache_misses",
+            "persistent_cache_writes",
+            "persistent_cache_evictions",
+            "transfer_cache_evictions",
+        )
+        for name in persistent_fields:
+            assert getattr(report.stats, name) == sum(
+                getattr(shard.stats, name) for shard in report.shards
+            ), name
+        assert report.stats.persistent_cache_misses > 0
+        payload = report.as_dict()
+        assert payload["stats"]["persistent_cache_writes"] > 0
+        assert "persistent_cache_hit_rate" in payload["stats"]
+
+    def test_warm_run_with_adaptive_limits_matches(self, tmp_path):
+        scenarios = generate_scenarios(4, base_seed=90, families=["dag", "deep"])
+        config = CacheConfig(backend="disk", directory=str(tmp_path))
+        limits = AnalysisLimits.adaptive()
+        cold = ShardedSuiteRunner.from_scenarios(
+            scenarios, shards=1, limits=limits, cache=config
+        ).run_single_process()
+        warm = ShardedSuiteRunner.from_scenarios(
+            scenarios, shards=2, limits=limits, cache=config
+        ).run()
+        assert warm.matches(cold)
+        assert warm.stats.adaptive_escalations == cold.stats.adaptive_escalations
+        assert warm.widening == cold.widening
+        assert warm.stats.transfer_cache_misses == 0
 
 
 class TestMatchesComparesFailurePayloads:
