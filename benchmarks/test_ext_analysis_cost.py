@@ -28,6 +28,8 @@ from repro.workloads import (
     load,
     make_handle_web_program,
     make_independent_loads_program,
+    source,
+    time_items,
 )
 
 #: Stats artifact consumed by the CI bench-smoke job (repo root).
@@ -187,9 +189,21 @@ def test_ext_analysis_worklist_and_cache_stats():
     print(suite_stats.format())
     assert suite_stats.programs_analyzed == len(names)
 
+    # Wall-clock axis: per-workload median analysis time + peak interning
+    # tables (the same harness `python -m repro bench --time` drives).
+    timing = time_items([(name, source(name, depth=3)) for name in names], reps=5)
+    print("\nper-workload median wall time (5 reps, fresh cache per rep):")
+    for name, row in timing["workloads"].items():
+        print(f"  {name:16s} {row['median_seconds']:.6f}s")
+    assert not timing["failures"]
+    assert len(timing["workloads"]) == len(names)
+    assert all(row["median_seconds"] > 0 for row in timing["workloads"].values())
+    assert timing["intern_tables_peak"].get("matrix_rows_interned", 0) > 0
+
     artifact = {
         "suite": suite_stats.as_dict(),
         "per_workload": per_workload,
+        "timing": timing,
     }
     STATS_ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {STATS_ARTIFACT}")

@@ -19,7 +19,7 @@ from .engine import (
 from .limits import DEFAULT_LIMITS, AdaptiveLimits, AnalysisLimits
 from .telemetry import WideningTally, widening_scope
 from .pipeline import pass_names, run_pipeline
-from .matrix import PathMatrix, caller_symbol, is_symbolic, stacked_symbol
+from .matrix import MatrixRow, PathMatrix, caller_symbol, is_symbolic, row_delta, stacked_symbol
 from .paths import (
     Direction,
     Path,
@@ -70,6 +70,8 @@ __all__ = [
     "AnalysisLimits",
     "DEFAULT_LIMITS",
     "PathMatrix",
+    "MatrixRow",
+    "row_delta",
     "PathSet",
     "Path",
     "PathSegment",

@@ -78,6 +78,24 @@ class AnalysisStats:
     persistent_cache_evictions: int = 0
     #: Path matrices allocated while this context was active.
     matrices_allocated: int = 0
+    #: :meth:`PathMatrix.interned` lookups answered from the intern table —
+    #: a previously-seen matrix was recognised by a pointer check.
+    matrix_intern_hits: int = 0
+    #: Rows whose contents actually changed across transfer applications
+    #: and entry-matrix absorptions — the row writes any engine must
+    #: perform no matter how it is implemented.
+    delta_rows_propagated: int = 0
+    #: Rows a full re-propagation rewrites at the same program points (the
+    #: whole matrix dimension per operation).  The gap between ``delta``
+    #: and ``full`` is what the row-reuse/interning layer turns into
+    #: pointer copies; the CI bench requires a *strict* gap on the
+    #: widening-heavy dag/deep families, which fails if the delta path
+    #: ever degenerates into every row changing at every operation.
+    full_rows_propagated: int = 0
+    #: Whole-matrix joins the solver skipped because the projected call-site
+    #: matrix was *identical* (same interned object) to one already absorbed
+    #: into the callee's entry matrix.
+    full_joins_avoided: int = 0
     #: Programs analyzed against this stats object (one, unless batched).
     programs_analyzed: int = 0
     #: Paths whose tail collapsed into a ``D`` segment (``max_segments``).
@@ -107,6 +125,10 @@ class AnalysisStats:
         "persistent_cache_writes",
         "persistent_cache_evictions",
         "matrices_allocated",
+        "matrix_intern_hits",
+        "delta_rows_propagated",
+        "full_rows_propagated",
+        "full_joins_avoided",
         "programs_analyzed",
         "segment_collapses",
         "exact_widenings",
@@ -225,6 +247,10 @@ class AnalysisRecorder:
     call_sites: List[Tuple[str, PathMatrix]] = field(default_factory=list)
     #: Iteration history of each while loop, keyed by ``id(stmt)``.
     loop_histories: Dict[int, List[PathMatrix]] = field(default_factory=dict)
+    #: For per-visit recorders of the incremental solver: the entry rows
+    #: that changed since this procedure's previous worklist visit (``None``
+    #: outside the solver; everything on the first visit).
+    entry_delta: Optional[frozenset] = None
 
     def record_point(
         self, proc_name: str, stmt: ast.Stmt, before: PathMatrix, after: PathMatrix

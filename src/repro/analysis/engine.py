@@ -36,7 +36,7 @@ from .context import AnalysisContext, AnalysisRecorder, AnalysisStats
 from .interproc import initial_entry_matrix
 from .intraproc import ProcedureAnalyzer
 from .limits import DEFAULT_LIMITS, AdaptiveLimits, AnalysisLimits, LimitsLike, base_limits
-from .matrix import PathMatrix
+from .matrix import PathMatrix, canonical_document
 from .pipeline import run_pipeline
 from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary, compute_summaries
@@ -187,14 +187,11 @@ def canonical_matrix(matrix: PathMatrix) -> Dict[str, object]:
     Captures exactly what :meth:`PathMatrix.__eq__` compares — the tracked
     handles (in insertion order) and every non-empty entry, with path sets
     rendered via their exact textual form.  Equal encodings ⇔ equal
-    matrices, across process boundaries.
+    matrices, across process boundaries.  A thin alias of
+    :func:`repro.analysis.matrix.canonical_document`, the one definition
+    of the layout this and the persistent cache codec share.
     """
-    return {
-        "handles": matrix.handles,
-        "entries": sorted(
-            [source, target, paths.format()] for source, target, paths in matrix.entries()
-        ),
-    }
+    return canonical_document(matrix)
 
 
 def analyze_program(

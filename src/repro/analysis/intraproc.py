@@ -26,7 +26,13 @@ from .interproc import (
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .matrix import PathMatrix
 from .summaries import ProcedureSummary
-from .transfer import apply_basic_statement, apply_basic_statement_cached
+from .telemetry import WideningTally, widening_scope
+from .transfer import (
+    _count_rows,
+    apply_basic_statement,
+    apply_basic_statement_cached,
+    merge_matrices_cached,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .context import AnalysisContext
@@ -108,7 +114,7 @@ class ProcedureAnalyzer:
                 else_out = self.analyze_stmt(stmt.else_branch, matrix, proc)
             else:
                 else_out = matrix
-            return then_out.merge(else_out)
+            return self._join(then_out, else_out)
 
         if isinstance(stmt, ast.WhileStmt):
             return self._analyze_while(stmt, matrix, proc)
@@ -146,6 +152,21 @@ class ProcedureAnalyzer:
     # Loops — the iterative approximation of Figure 3
     # ------------------------------------------------------------------
 
+    def _join(self, first: PathMatrix, second: PathMatrix) -> PathMatrix:
+        """Control-flow join; memoized over interned matrices in pipeline mode.
+
+        The reference engine (no context) keeps the plain, unmemoized
+        merge; the pipeline engine joins through the shared transfer cache
+        so re-iterations and re-analyses that join the same (hash-consed)
+        matrices are pointer lookups with exact widening replay.
+        """
+        context = self.context
+        if context is None:
+            return first.merge(second)
+        return merge_matrices_cached(
+            first, second, cache=context.transfer_cache, stats=context.stats
+        )
+
     def _analyze_while(
         self, stmt: ast.WhileStmt, matrix: PathMatrix, proc: ast.Procedure
     ) -> PathMatrix:
@@ -155,7 +176,11 @@ class ProcedureAnalyzer:
             if self.context is not None:
                 self.context.stats.loop_iterations += 1
             body_out = self.analyze_stmt(stmt.body, head, proc)
-            new_head = head.merge(body_out)
+            # Pipeline engine: joins are memoized and loop heads are
+            # hash-consed, so the fixed-point test below is a pointer check
+            # once the head stabilizes (the reference engine keeps plain
+            # matrices).
+            new_head = self._join(head, body_out)
             history.append(new_head)
             if new_head == head:
                 break
@@ -182,21 +207,74 @@ class ProcedureAnalyzer:
 
         callee = self.program.callable(name)
         summary = self.summaries[name]
+        result_is_handle = False
+        if result_target is not None:
+            result_is_handle = self.info.for_procedure(proc.name).is_handle(result_target)
 
-        # Report the projected entry matrix for the interprocedural fixed point.
+        context = self.context
+        if context is None:
+            projected, effect_matrix = self._call_outcome(
+                matrix, args, proc, callee, summary, result_target, result_is_handle
+            )
+            if projected is not None:
+                self.recorder.record_call_site(callee.name, projected)
+            return effect_matrix
+
+        # Pipeline engine: the projection and caller-side effect are pure in
+        # (statement, input matrix), so they memoize over the interned input
+        # exactly like the basic-statement transfers — with the statement
+        # object pinned in the value and the widening events captured on the
+        # miss and replayed on every hit.  The *recording* of the projection
+        # still happens per visit; only its computation is shared.
+        source = matrix.interned()
+        key = ("call", id(stmt), self.limits, source)
+        cached = context.transfer_cache.get_join(key)
+        if cached is not None:
+            _stmt, projected, effect_matrix, widening = cached
+        else:
+            with widening_scope(WideningTally()) as widening:
+                projected, effect_matrix = self._call_outcome(
+                    source, args, proc, callee, summary, result_target, result_is_handle
+                )
+                if projected is not None:
+                    projected = projected.interned()
+                effect_matrix = effect_matrix.interned()
+            context.transfer_cache.put_join(
+                key, (stmt, projected, effect_matrix, widening)
+            )
+        widening.add_into(context.stats)
+        _count_rows(context.stats, source, effect_matrix)
+        if projected is not None:
+            self.recorder.record_call_site(callee.name, projected)
+        return effect_matrix
+
+    def _call_outcome(
+        self,
+        matrix: PathMatrix,
+        args,
+        proc: ast.Procedure,
+        callee: ast.Procedure,
+        summary: ProcedureSummary,
+        result_target: Optional[str],
+        result_is_handle: bool,
+    ):
+        """``(projected entry matrix or None, caller matrix after the call)``.
+
+        The projection reported for the interprocedural fixed point: the
+        real projected matrix for callees with handle formals, an empty
+        reachability marker for parameterless external callees, ``None``
+        (nothing to report) for parameterless self-recursion.
+        """
         if callee.handle_params:
             if callee.name == proc.name:
                 projected = project_recursive_call(matrix, args, callee, self.limits)
             else:
                 projected = project_external_call(matrix, args, callee, self.limits)
-            self.recorder.record_call_site(callee.name, projected)
         elif callee.name != proc.name:
             # Parameterless callees still need to be marked reachable.
-            self.recorder.record_call_site(callee.name, PathMatrix(limits=self.limits))
-
-        result_is_handle = False
-        if result_target is not None:
-            result_is_handle = self.info.for_procedure(proc.name).is_handle(result_target)
+            projected = PathMatrix(limits=self.limits)
+        else:
+            projected = None
 
         effect = apply_call_effect(
             matrix,
@@ -207,4 +285,4 @@ class ProcedureAnalyzer:
             result_is_handle=result_is_handle,
             limits=self.limits,
         )
-        return effect.matrix
+        return projected, effect.matrix

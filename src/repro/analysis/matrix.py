@@ -11,15 +11,28 @@ interprocedural analysis introduces *symbolic* handles — ``h*`` (the
 calling procedure's argument bound to formal ``h``) and ``h**`` (the
 arguments of all stacked recursive invocations); see
 :mod:`repro.analysis.interproc`.
+
+**Representation.**  A matrix stores its non-empty entries *row-wise*: one
+:class:`MatrixRow` per source handle, mapping target handles to interned
+path sets.  Rows are immutable and hash-consed exactly like
+:class:`~repro.analysis.pathset.PathSet` — identical row contents always
+yield the same object — so an unchanged row survives any number of copies,
+transfers and control-flow joins *by reference*, and "did this row change?"
+is a pointer comparison.  On top of the rows, whole matrices can be
+interned too (:meth:`PathMatrix.interned`): interned matrices are sealed,
+carry a precomputed hash and fingerprint, and obey the identity law, which
+turns matrix equality, transfer-cache keying and entry-matrix convergence
+checks into O(1) pointer checks.  The incremental solver
+(:mod:`repro.analysis.pipeline`) builds directly on both layers.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .pathset import PathSet
-from .paths import Path
 
 
 def caller_symbol(formal: str) -> str:
@@ -37,44 +50,187 @@ def is_symbolic(handle: str) -> bool:
     return handle.endswith("*")
 
 
+class MatrixRow:
+    """One immutable, hash-consed row of a path matrix.
+
+    A row holds the non-empty entries out of one source handle:
+    ``{target: PathSet}``.  Like path sets, rows are interned in a weak
+    table — constructing the same contents twice yields the **same**
+    object — so row equality is an identity check with a precomputed hash,
+    and any operation that rebuilds a row without changing its contents
+    (a transfer copying a matrix, a join reusing one side) automatically
+    recovers the original object.  Empty cells are dropped at construction.
+    """
+
+    __slots__ = ("_cells", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary[frozenset, MatrixRow]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, cells: Mapping[str, PathSet] = {}) -> "MatrixRow":
+        table = {target: paths for target, paths in cells.items() if not paths.is_empty}
+        return cls._of(table)
+
+    @classmethod
+    def _of(cls, table: Dict[str, PathSet]) -> "MatrixRow":
+        """Intern a table already known to contain no empty cells.
+
+        The fast path the matrix's copy-on-write freeze uses: scratch rows
+        are mutated as plain dicts and interned exactly once here.  The
+        table is adopted as-is — callers hand over ownership.
+        """
+        key = frozenset(table.items())
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self._cells = table
+        self._hash = hash(key)
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (_row_from_items, (tuple(self._cells.items()),))
+
+    def get(self, target: str) -> Optional[PathSet]:
+        """The cell for ``target``, or ``None`` when the row has no entry."""
+        return self._cells.get(target)
+
+    def cells(self) -> Iterator[Tuple[str, PathSet]]:
+        return iter(self._cells.items())
+
+    def with_cell(self, target: str, paths: PathSet) -> "MatrixRow":
+        """A row with the ``target`` cell replaced (``paths`` must be non-empty)."""
+        if self._cells.get(target) is paths:
+            return self
+        cells = dict(self._cells)
+        cells[target] = paths
+        return MatrixRow(cells)
+
+    def without(self, target: str) -> "MatrixRow":
+        """A row with the ``target`` cell dropped (self when absent)."""
+        if target not in self._cells:
+            return self
+        cells = dict(self._cells)
+        del cells[target]
+        return MatrixRow(cells)
+
+    def __contains__(self, target: str) -> bool:
+        return target in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __bool__(self) -> bool:
+        return bool(self._cells)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, MatrixRow):
+            return NotImplemented
+        # Interned: distinct live instances have distinct contents; this
+        # fallback covers exotic copies only (mirrors PathSegment).
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MatrixRow({ {t: ps.format() for t, ps in self._cells.items()} !r})"
+
+
+def _row_from_items(items: Tuple[Tuple[str, PathSet], ...]) -> MatrixRow:
+    """Pickle support: rebuild (and re-intern) a row from its cells."""
+    return MatrixRow(dict(items))
+
+
+def _cells_of(row) -> Dict[str, PathSet]:
+    """The cell dict behind a row — interned :class:`MatrixRow` or private dict."""
+    return row._cells if type(row) is MatrixRow else row
+
+
+#: Interned whole matrices, keyed by their exact fingerprint.
+_MATRIX_INTERN: "weakref.WeakValueDictionary[Tuple, PathMatrix]" = (
+    weakref.WeakValueDictionary()
+)
+
+
 class PathMatrix:
-    """A mutable square matrix of :class:`PathSet` entries keyed by handle name.
+    """A square matrix of :class:`PathSet` entries keyed by handle name.
 
     Handles are stored in an insertion-ordered dict, so membership tests,
-    additions and removals are O(1) instead of scanning a list.  The matrix
-    also maintains a cheap mutation ``version`` from which an exact
-    :meth:`fingerprint` is derived lazily — the key the memoized transfer
-    functions use to recognise a previously-seen input.
+    additions and removals are O(1) instead of scanning a list.  Entries
+    live row-wise, **copy-on-write**: a row is either an interned
+    :class:`MatrixRow` (immutable, possibly shared with other matrices) or
+    a plain private dict while this matrix is mutating it — the first
+    mutation of a shared row unshares it, later mutations are cheap
+    in-place dict stores, and :meth:`_freeze` interns every private row
+    exactly once at the points where rows are shared or compared
+    (:meth:`copy`, :meth:`fingerprint`, :meth:`merge`, :meth:`interned`,
+    :meth:`seal`).  A matrix produced by copying therefore shares every
+    unchanged row of its original by reference, and row change detection
+    is a pointer check.  The matrix maintains a cheap mutation ``version``
+    from which an exact :meth:`fingerprint` is derived lazily, and
+    :meth:`interned` maps any matrix to the canonical sealed instance for
+    its contents — the key the memoized transfer functions and the
+    incremental solver use to recognise previously-seen inputs with a
+    pointer check.
     """
 
     __slots__ = (
         "_handles",
-        "_entries",
+        "_rows",
         "limits",
         "_version",
         "_fingerprint",
         "_fingerprint_version",
         "_sealed",
+        "_interned",
+        "_thawed",
+        "_hash",
+        "_canonical",
+        "__weakref__",
     )
 
     #: Total number of matrices constructed (snapshot-diffed by AnalysisStats).
     allocations: int = 0
+    #: Times :meth:`interned` found the canonical instance already in the
+    #: table (snapshot-diffed into ``AnalysisStats.matrix_intern_hits``).
+    intern_hits: int = 0
 
     def __init__(
         self,
         handles: Iterable[str] = (),
         limits: AnalysisLimits = DEFAULT_LIMITS,
     ):
-        self._handles: Dict[str, None] = {}
-        self._entries: Dict[Tuple[str, str], PathSet] = {}
+        # fromkeys dedups while keeping first-occurrence order, matching a
+        # setdefault loop at a fraction of the cost.
+        self._handles: Dict[str, None] = dict.fromkeys(handles)
+        self._rows: Dict[str, MatrixRow] = {}
         self.limits = limits
         self._version = 0
         self._fingerprint: Optional[Tuple] = None
         self._fingerprint_version = -1
         self._sealed = False
+        self._interned = False
+        self._thawed = False  # True while any row is a private (dict) row
+        self._hash: Optional[int] = None
+        self._canonical: Optional[Tuple] = None
         PathMatrix.allocations += 1
-        for handle in handles:
-            self._handles.setdefault(handle, None)
+
+    def __reduce__(self):
+        return (
+            _matrix_from_state,
+            (
+                tuple(self._handles),
+                tuple((s, t, ps) for s, t, ps in self.entries()),
+                self.limits,
+                self._sealed,
+                self._interned,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Handles
@@ -100,8 +256,29 @@ class PathMatrix:
         a silent mutation would poison every later cache hit.  ``copy()``
         returns an unsealed clone.
         """
+        self._freeze()
         self._sealed = True
         return self
+
+    def _freeze(self) -> None:
+        """Intern every copy-on-write (plain dict) row.
+
+        Idempotent and content-preserving: after freezing, all rows are
+        canonical :class:`MatrixRow` objects, so they can be shared across
+        matrices and compared by pointer.  Called wherever rows escape
+        this matrix or feed an identity comparison.
+        """
+        if not self._thawed:
+            return
+        for source, row in self._rows.items():
+            if type(row) is not MatrixRow:
+                self._rows[source] = MatrixRow._of(row)
+        self._thawed = False
+
+    @property
+    def is_interned(self) -> bool:
+        """True for the canonical (sealed, hashable) instance of these contents."""
+        return self._interned
 
     def _mutating(self) -> None:
         if self._sealed:
@@ -130,11 +307,25 @@ class PathMatrix:
         self._drop_entries_of(handle)
 
     def _drop_entries_of(self, handle: str) -> None:
-        stale = [key for key in self._entries if key[0] == handle or key[1] == handle]
-        if stale:
+        changed = False
+        if handle in self._rows:
             self._mutating()
-            for key in stale:
-                del self._entries[key]
+            del self._rows[handle]
+            changed = True
+        for source, row in list(self._rows.items()):
+            cells = _cells_of(row)
+            if handle in cells:
+                self._mutating()
+                if type(row) is MatrixRow:
+                    cells = dict(cells)  # unshare before mutating
+                del cells[handle]
+                if cells:
+                    self._rows[source] = cells
+                    self._thawed = True
+                else:
+                    del self._rows[source]
+                changed = True
+        if changed:
             self._version += 1
 
     # ------------------------------------------------------------------
@@ -147,7 +338,13 @@ class PathMatrix:
             if source in self._handles:
                 return PathSet.same()
             return PathSet.empty()
-        return self._entries.get((source, target), PathSet.empty())
+        row = self._rows.get(source)
+        if row is None:
+            return PathSet.empty()
+        if type(row) is MatrixRow:
+            row = row._cells
+        paths = row.get(target)
+        return paths if paths is not None else PathSet.empty()
 
     def __getitem__(self, key: Tuple[str, str]) -> PathSet:
         return self.get(*key)
@@ -159,17 +356,32 @@ class PathMatrix:
         self.add_handle(source)
         self.add_handle(target)
         paths = paths.collapse(self.limits)
+        row = self._rows.get(source)
         if paths.is_empty:
-            if (source, target) in self._entries:
+            if row is not None and target in (cells := _cells_of(row)):
                 self._mutating()
-                del self._entries[(source, target)]
+                if type(row) is MatrixRow:
+                    cells = dict(cells)  # unshare before mutating
+                del cells[target]
+                if cells:
+                    self._rows[source] = cells
+                    self._thawed = True
+                else:
+                    del self._rows[source]
                 self._version += 1
-        else:
-            key = (source, target)
-            if self._entries.get(key) is not paths:
-                self._mutating()
-                self._entries[key] = paths
-                self._version += 1
+        elif row is None:
+            self._mutating()
+            self._rows[source] = {target: paths}
+            self._thawed = True
+            self._version += 1
+        elif (cells := _cells_of(row)).get(target) is not paths:
+            self._mutating()
+            if type(row) is MatrixRow:
+                cells = dict(cells)  # unshare before mutating
+                self._rows[source] = cells
+            cells[target] = paths
+            self._thawed = True
+            self._version += 1
 
     def __setitem__(self, key: Tuple[str, str], paths: PathSet) -> None:
         self.set(key[0], key[1], paths)
@@ -181,9 +393,15 @@ class PathMatrix:
         self.set(source, target, self.get(source, target).union(paths))
 
     def entries(self) -> Iterator[Tuple[str, str, PathSet]]:
-        """Iterate over the non-empty off-diagonal entries."""
-        for (source, target), paths in self._entries.items():
-            yield source, target, paths
+        """Iterate over the non-empty off-diagonal entries, row by row."""
+        for source, row in self._rows.items():
+            for target, paths in _cells_of(row).items():
+                yield source, target, paths
+
+    def row(self, source: str) -> Optional[MatrixRow]:
+        """The interned row of ``source`` (``None`` when it has no entries)."""
+        self._freeze()
+        return self._rows.get(source)
 
     def related(self, first: str, second: str) -> bool:
         """True if the two handles may be related in either direction (§5.2).
@@ -227,7 +445,7 @@ class PathMatrix:
         entries: Iterable[Tuple[str, str, PathSet]],
         limits: AnalysisLimits = DEFAULT_LIMITS,
     ) -> "PathMatrix":
-        """Rebuild a matrix from already-canonical entries, verbatim.
+        """Rebuild the canonical interned matrix for already-canonical entries.
 
         The decode path of the persistent transfer cache
         (:mod:`repro.cache.codec`): entries are installed exactly as given —
@@ -235,17 +453,22 @@ class PathMatrix:
         from inside a decode and the rebuilt matrix is bit-identical to the
         one that was encoded.  Callers must pass path sets that are already
         canonical under ``limits`` (anything produced by the analysis is).
+        The result is interned: decoding the same contents twice — or
+        decoding contents this process already produced — returns the
+        **same** (sealed) object.
         """
         matrix = cls(handles, limits)
+        grouped: Dict[str, Dict[str, PathSet]] = {}
         for source, target, paths in entries:
             if source == target or paths.is_empty:
                 continue
-            matrix._entries[(source, target)] = paths
+            grouped.setdefault(source, {})[target] = paths
+        matrix._rows = {source: MatrixRow._of(cells) for source, cells in grouped.items()}
         matrix._version += 1
-        return matrix
+        return matrix.interned()
 
     # ------------------------------------------------------------------
-    # Fingerprinting
+    # Fingerprinting and interning
     # ------------------------------------------------------------------
 
     def fingerprint(self) -> Tuple:
@@ -253,37 +476,103 @@ class PathMatrix:
 
         Two matrices with equal fingerprints have the same handles (in the
         same insertion order) and the same entries, so a transfer function
-        applied to either produces equal results — this is the cache key of
-        the memoized transfer application.  With interned path sets the
-        frozenset hashes from precomputed per-entry hashes, and the result
-        is cached against a mutation counter so repeated lookups are cheap.
+        applied to either produces equal results.  With interned rows the
+        frozenset hashes from precomputed per-row hashes, and the result
+        is cached against a mutation counter so repeated lookups are cheap
+        (and free for interned matrices, whose contents can never change).
         """
         if self._fingerprint_version != self._version:
+            self._freeze()
             self._fingerprint = (
                 tuple(self._handles),
-                frozenset(self._entries.items()),
+                frozenset(self._rows.items()),
                 self.limits,
             )
             self._fingerprint_version = self._version
         return self._fingerprint
+
+    def interned(self) -> "PathMatrix":
+        """The canonical (sealed, hashable) instance for these contents.
+
+        Matrices are hash-consed on demand rather than at construction —
+        transfer functions mutate scratch copies freely, and only the
+        values that outlive a single operation (entry matrices, cached
+        transfer inputs/results) are interned.  For all interned matrices
+        the identity law holds: equal contents ⇔ the same object, so
+        equality, set membership and cache keying are pointer checks.
+        Like path sets, the table holds its values weakly.
+        """
+        if self._interned:
+            return self
+        key = self.fingerprint()
+        cached = _MATRIX_INTERN.get(key)
+        if cached is not None:
+            PathMatrix.intern_hits += 1
+            return cached
+        canonical = PathMatrix(self._handles, self.limits)
+        canonical._rows = dict(self._rows)
+        canonical._version = 1
+        canonical._fingerprint = key
+        canonical._fingerprint_version = 1
+        canonical._hash = hash(key)
+        canonical._sealed = True
+        canonical._interned = True
+        _MATRIX_INTERN[key] = canonical
+        return canonical
+
+    def canonical_form(self) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str, str], ...]]:
+        """``(handles, sorted (source, target, rendered-path-set) triples)``.
+
+        The process-independent textual identity shared by the sharded
+        suite runner and the persistent cache codec.  Sealed matrices
+        (including every interned one) compute it once and cache it — the
+        codec fast path — while mutable matrices recompute per call.
+        """
+        if self._canonical is not None:
+            return self._canonical
+        form = (
+            tuple(self._handles),
+            tuple(sorted((s, t, ps.format()) for s, t, ps in self.entries())),
+        )
+        if self._sealed:
+            self._canonical = form
+        return form
 
     # ------------------------------------------------------------------
     # Whole-matrix operations
     # ------------------------------------------------------------------
 
     def copy(self) -> "PathMatrix":
+        self._freeze()
         clone = PathMatrix(self._handles, self.limits)
-        clone._entries = dict(self._entries)
+        clone._rows = dict(self._rows)  # frozen rows are immutable: shared
         return clone
 
     def restricted(self, handles: Sequence[str]) -> "PathMatrix":
-        """A copy keeping only the given handles (project away the rest)."""
+        """A copy keeping only the given handles (project away the rest).
+
+        Frozen rows that survive intact carry over by reference; rebuilt
+        subsets stay copy-on-write (projections are usually consumed once,
+        so eagerly interning their rows would be wasted work).
+        """
         keep_set = set(handles)
         keep = [h for h in self._handles if h in keep_set]
         clone = PathMatrix(keep, self.limits)
-        for (source, target), paths in self._entries.items():
-            if source in keep_set and target in keep_set:
-                clone._entries[(source, target)] = paths
+        for source, row in self._rows.items():
+            if source not in keep_set:
+                continue
+            cells = _cells_of(row)
+            if all(target in keep_set for target in cells):
+                if type(row) is MatrixRow:
+                    clone._rows[source] = row
+                else:
+                    clone._rows[source] = dict(cells)
+                    clone._thawed = True
+                continue
+            subset = {t: ps for t, ps in cells.items() if t in keep_set}
+            if subset:
+                clone._rows[source] = subset
+                clone._thawed = True
         return clone
 
     def renamed(self, mapping: Mapping[str, str]) -> "PathMatrix":
@@ -291,11 +580,31 @@ class PathMatrix:
 
         If two old handles map to the same new name their relationships are
         unioned (used when folding the current handle into ``h**``).
+        Collision-free renames — the common case, e.g. rebinding the
+        placeholder handle of a field load — relabel rows in place: cell
+        values are already canonical, so rows whose source and targets are
+        all unmapped carry over by reference.
         """
+        new_names = [mapping.get(handle, handle) for handle in self._handles]
+        if len(set(new_names)) == len(new_names):
+            clone = PathMatrix(new_names, self.limits)
+            for source, row in self._rows.items():
+                cells = _cells_of(row)
+                if source in mapping or any(target in mapping for target in cells):
+                    renamed_cells = {mapping.get(t, t): ps for t, ps in cells.items()}
+                    clone._rows[mapping.get(source, source)] = renamed_cells
+                    clone._thawed = True
+                elif type(row) is MatrixRow:
+                    clone._rows[source] = row
+                else:
+                    clone._rows[source] = dict(cells)
+                    clone._thawed = True
+            clone._version += 1
+            return clone
         clone = PathMatrix(limits=self.limits)
         for handle in self._handles:
             clone.add_handle(mapping.get(handle, handle))
-        for (source, target), paths in self._entries.items():
+        for source, target, paths in self.entries():
             new_source = mapping.get(source, source)
             new_target = mapping.get(target, target)
             if new_source == new_target:
@@ -310,42 +619,100 @@ class PathMatrix:
         where definite on both).  Handles tracked by only one side are kept
         with their relationships unchanged — the other control path does not
         know the handle at all, which only happens for dead or out-of-scope
-        names.
+        names.  A row that is *identical* on both sides (the common case on
+        loop re-iterations) is reused by reference without any path-set work.
         """
-        result = PathMatrix(limits=self.limits)
-        for handle in self._handles:
-            result.add_handle(handle)
+        return self._merge_rows(other)[0]
+
+    def merge_delta(self, other: "PathMatrix") -> Tuple["PathMatrix", Tuple[str, ...]]:
+        """:meth:`merge`, plus the source handles whose rows changed vs ``self``.
+
+        The delta names every handle that is newly tracked or whose row
+        object differs from ``self``'s — exactly the rows an incremental
+        consumer must re-propagate.  An empty delta means the merged
+        matrix has the same contents as ``self``.
+        """
+        return self._merge_rows(other)
+
+    def _merge_rows(self, other: "PathMatrix") -> Tuple["PathMatrix", Tuple[str, ...]]:
+        self._freeze()
+        other._freeze()
+        result = PathMatrix(self._handles, self.limits)
         for handle in other._handles:
-            result.add_handle(handle)
-        keys = set(self._entries) | set(other._entries)
-        for source, target in keys:
-            in_self = source in self._handles and target in self._handles
-            in_other = source in other._handles and target in other._handles
-            mine = self.get(source, target) if in_self else None
-            theirs = other.get(source, target) if in_other else None
-            if mine is not None and theirs is not None:
-                merged = mine.merge(theirs)
-            elif mine is not None:
-                merged = mine.weakened() if in_other else mine
-            elif theirs is not None:
-                merged = theirs.weakened() if in_self else theirs
-            else:  # pragma: no cover - unreachable
-                merged = PathSet.empty()
-            result.set(source, target, merged)
-        return result
+            result._handles.setdefault(handle, None)
+        empty = PathSet.empty()
+        for source in result._handles:
+            mine_row = self._rows.get(source)
+            their_row = other._rows.get(source)
+            if mine_row is their_row:
+                # Identical rows merge to themselves (pathset merge is
+                # idempotent), so the join is a pointer copy.
+                if mine_row is not None:
+                    result._rows[source] = mine_row
+                continue
+            targets: Dict[str, None] = {}
+            if mine_row is not None:
+                for target in mine_row._cells:
+                    targets[target] = None
+            if their_row is not None:
+                for target in their_row._cells:
+                    targets.setdefault(target, None)
+            cells: Dict[str, PathSet] = {}
+            for target in targets:
+                in_self = source in self._handles and target in self._handles
+                in_other = source in other._handles and target in other._handles
+                mine = (
+                    ((mine_row.get(target) if mine_row is not None else None) or empty)
+                    if in_self
+                    else None
+                )
+                theirs = (
+                    ((their_row.get(target) if their_row is not None else None) or empty)
+                    if in_other
+                    else None
+                )
+                if mine is not None and theirs is not None:
+                    merged = mine.merge(theirs)
+                elif mine is not None:
+                    merged = mine
+                elif theirs is not None:
+                    merged = theirs
+                else:  # pragma: no cover - unreachable (targets come from a row)
+                    merged = empty
+                merged = merged.collapse(self.limits)
+                if not merged.is_empty:
+                    cells[target] = merged
+            if cells:
+                result._rows[source] = MatrixRow._of(cells)
+        result._version += 1
+        changed = tuple(
+            handle
+            for handle in result._handles
+            if handle not in self._handles
+            or result._rows.get(handle) is not self._rows.get(handle)
+        )
+        return result, changed
 
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, PathMatrix):
             return NotImplemented
+        # Interned instances with equal contents *and* equal limits are the
+        # same object (caught above); content comparison still runs for
+        # mixed pairs, and per-row it is an identity check thanks to the
+        # interned rows.
+        self._freeze()
+        other._freeze()
         return (
             self._handles.keys() == other._handles.keys()
-            and self._entries == other._entries
+            and self._rows == other._rows
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - matrices are mutable
-        raise TypeError("PathMatrix is not hashable")
+    def __hash__(self) -> int:
+        if self._interned:
+            return self._hash  # type: ignore[return-value]
+        raise TypeError("PathMatrix is not hashable (intern it first)")
 
     # ------------------------------------------------------------------
     # Rendering
@@ -377,4 +744,72 @@ class PathMatrix:
         return self.format()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"PathMatrix(handles={list(self._handles)!r}, entries={len(self._entries)})"
+        entry_count = sum(len(row) for row in self._rows.values())
+        return f"PathMatrix(handles={list(self._handles)!r}, entries={entry_count})"
+
+
+def _matrix_from_state(
+    handles: Tuple[str, ...],
+    entries: Tuple[Tuple[str, str, PathSet], ...],
+    limits: AnalysisLimits,
+    sealed: bool,
+    interned: bool,
+) -> PathMatrix:
+    """Pickle support: rebuild a matrix, re-interning the canonical ones."""
+    matrix = PathMatrix(handles, limits)
+    grouped: Dict[str, Dict[str, PathSet]] = {}
+    for source, target, paths in entries:
+        grouped.setdefault(source, {})[target] = paths
+    matrix._rows = {source: MatrixRow(cells) for source, cells in grouped.items()}
+    matrix._version += 1
+    if interned:
+        return matrix.interned()
+    if sealed:
+        matrix.seal()
+    return matrix
+
+
+def row_delta(before: PathMatrix, after: PathMatrix) -> Tuple[int, int]:
+    """``(changed_rows, full_rows)`` between two matrices of one operation.
+
+    ``full_rows`` is the matrix dimension a non-incremental engine rewrites
+    for the operation (every handle row of the result); ``changed_rows``
+    counts only the rows whose contents actually differ — handles added or
+    removed, or rows whose interned object changed.  Because rows are
+    hash-consed, the comparison is a pointer check per handle, and
+    ``changed_rows <= full_rows + removed-handles`` always holds.
+    """
+    full = len(after._handles)
+    if before is after:
+        return 0, full
+    before._freeze()
+    after._freeze()
+    changed = 0
+    for handle in after._handles:
+        if handle not in before._handles or after._rows.get(handle) is not before._rows.get(handle):
+            changed += 1
+    for handle in before._handles:
+        if handle not in after._handles:
+            changed += 1
+    return changed, full
+
+
+def canonical_document(matrix: PathMatrix) -> Dict[str, object]:
+    """The ``{"handles": [...], "entries": [[s, t, paths], ...]}`` JSON shape.
+
+    The **single** source of the canonical matrix layout: the sharded
+    bit-identity encodings (:func:`repro.analysis.engine.canonical_matrix`)
+    and the persistent cache keys/payloads (:mod:`repro.cache.codec`) are
+    thin wrappers over this, so the byte layouts cannot drift apart.
+    Sealed matrices serve the underlying form from their per-object cache.
+    """
+    handles, entries = matrix.canonical_form()
+    return {"handles": list(handles), "entries": [list(entry) for entry in entries]}
+
+
+def matrix_intern_table_sizes() -> Dict[str, int]:
+    """Sizes of the matrix-layer hash-consing tables (stats and benches)."""
+    return {
+        "matrix_rows_interned": len(MatrixRow._intern),
+        "matrices_interned": len(_MATRIX_INTERN),
+    }

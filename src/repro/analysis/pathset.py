@@ -51,7 +51,7 @@ class PathSet:
     every control-flow join are memoized over object pairs.
     """
 
-    __slots__ = ("_paths", "_hash", "__weakref__")
+    __slots__ = ("_paths", "_hash", "_format", "__weakref__")
 
     # Unlike the (small, finite) Path/PathSegment tables, distinct path-set
     # contents are combinatorial, so the intern table holds its values
@@ -78,6 +78,7 @@ class PathSet:
         self = object.__new__(cls)
         self._paths = table
         self._hash = hash(key)
+        self._format: Optional[str] = None
         cls._intern[key] = self
         return self
 
@@ -294,9 +295,16 @@ class PathSet:
     # ------------------------------------------------------------------
 
     def format(self) -> str:
-        """Comma-separated rendering, e.g. ``"S?, D+?"``; empty set is ``""``."""
-        ordered = sorted(self, key=lambda p: (p.min_length, format_path(p)))
-        return ", ".join(format_path(path) for path in ordered)
+        """Comma-separated rendering, e.g. ``"S?, D+?"``; empty set is ``""``.
+
+        Interned sets are immutable, so the rendering is computed once and
+        cached — it is the textual identity the canonical matrix encodings
+        (sharded bit-identity checks, persistent cache keys) are built from.
+        """
+        if self._format is None:
+            ordered = sorted(self, key=lambda p: (p.min_length, format_path(p)))
+            self._format = ", ".join(format_path(path) for path in ordered)
+        return self._format
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.format() or "{}"
@@ -354,11 +362,13 @@ def _cache_put(cache: Dict, key, value) -> None:
 def intern_table_sizes() -> Dict[str, int]:
     """Sizes of the global hash-consing/memo tables (for stats and docs)."""
     from .paths import _INTERSECT_CACHE, _SUBSUMES_CACHE, Path as _Path, PathSegment as _Segment
+    from .matrix import matrix_intern_table_sizes
 
     return {
         "segments_interned": len(_Segment._intern),
         "paths_interned": len(_Path._intern),
         "pathsets_interned": len(PathSet._intern),
+        **matrix_intern_table_sizes(),
         "union_memo": len(_UNION_CACHE),
         "merge_memo": len(_MERGE_CACHE),
         "weakened_memo": len(_WEAKENED_CACHE),

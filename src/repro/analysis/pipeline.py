@@ -23,12 +23,28 @@ the final one, and no extra recording pass is needed.  Entry matrices grow
 by the same commutative/associative merge the seed used, so the solved
 fixed point is identical (the golden tests compare against the retained
 reference engine).
+
+**Incremental, delta-driven propagation.**  Entry matrices and call-site
+projections are hash-consed (:meth:`~repro.analysis.matrix.PathMatrix.
+interned`), which makes three things pointer checks instead of
+canonical-encoding walks:
+
+* a projection *identical* to one this callee already absorbed is skipped
+  outright (``full_joins_avoided``) — merging it again is a no-op because
+  the entry merge is idempotent;
+* a genuinely new projection is absorbed row-wise via
+  :meth:`~repro.analysis.matrix.PathMatrix.merge_delta`: unchanged rows
+  are reused by reference, and the worklist carries only the *delta* —
+  the set of entry rows changed since the callee's last visit
+  (``delta_rows_propagated``, vs the ``full_rows_propagated`` a
+  non-incremental engine would rewrite);
+* "did the entry matrix change?" is ``merged is not current``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 from ..sil import ast
 from ..sil.typecheck import check_program
@@ -70,22 +86,36 @@ def solve_pass(context: AnalysisContext) -> None:
     Invariants:
 
     * ``entries[p]`` only ever changes by merging in a call-site projection
-      (monotone accumulation, exactly as the seed's rounds did);
+      (monotone accumulation, exactly as the seed's rounds did), and is
+      always the canonical *interned* instance of its contents, so the
+      convergence test is a pointer check;
     * a procedure is queued whenever its entry matrix changes, so the last
       ``ProcedureAnalyzer`` visit of every procedure used its final entry
-      matrix — its recording *is* the fixed-point recording.
+      matrix — its recording *is* the fixed-point recording;
+    * the merge is idempotent, so a projection identical (by interned
+      object) to one already absorbed by the callee can be skipped without
+      touching the entry matrix — the frequent case once the recursive
+      projections stabilize;
+    * ``pending_rows[p]`` is the delta this visit of ``p`` propagates: the
+      union of the entry rows changed since ``p``'s previous visit.
     """
     program = context.program
     limits = context.limits
     stats = context.stats
 
     entry_proc = program.callable(context.entry_name)
-    entries = {entry_proc.name: initial_entry_matrix(entry_proc, limits)}
+    entries = {entry_proc.name: initial_entry_matrix(entry_proc, limits).interned()}
     last_visit = context.procedure_recorders
     last_visit.clear()
 
     pending = deque([entry_proc.name])
     queued = {entry_proc.name}
+    #: Interned projections each callee's entry matrix has already absorbed.
+    absorbed: Dict[str, Set[PathMatrix]] = {}
+    #: Entry rows changed since each queued procedure's last visit.
+    pending_rows: Dict[str, Set[str]] = {
+        entry_proc.name: set(entries[entry_proc.name].iter_handles())
+    }
     # Safety net mirroring the seed's bound: rounds x procedures.  The bound
     # is per *program*, but the stats object may be shared across a whole
     # batch — compare against this run's pop delta, not the cumulative count.
@@ -97,9 +127,11 @@ def solve_pass(context: AnalysisContext) -> None:
     while pending:
         name = pending.popleft()
         queued.discard(name)
+        delta = pending_rows.pop(name, None)
         stats.worklist_pops += 1
 
         visit = AnalysisRecorder()
+        visit.entry_delta = frozenset(delta) if delta is not None else None
         analyzer = ProcedureAnalyzer(
             program, context.info, context.summaries, limits, visit, context=context
         )
@@ -107,15 +139,29 @@ def solve_pass(context: AnalysisContext) -> None:
         last_visit[name] = visit
 
         for callee, projected in visit.call_sites:
+            projected = projected.interned()
+            seen = absorbed.setdefault(callee, set())
+            if projected in seen:
+                # Pointer-identical to an already-absorbed projection: the
+                # idempotent entry merge would change nothing.
+                stats.full_joins_avoided += 1
+                continue
             current = entries.get(callee)
             if current is None:
                 base = initial_entry_matrix(program.callable(callee), limits)
-                merged = base.merge(projected)
+                merged, changed = base.merge_delta(projected)
+                # A freshly-discovered procedure propagates its whole entry.
+                changed = tuple(merged.iter_handles())
             else:
-                merged = current.merge(projected)
-            if current is None or merged != current:
+                merged, changed = current.merge_delta(projected)
+            merged = merged.interned()
+            seen.add(projected)
+            if current is None or merged is not current:
                 entries[callee] = merged
                 stats.entry_updates += 1
+                stats.delta_rows_propagated += len(changed)
+                stats.full_rows_propagated += len(merged.iter_handles())
+                pending_rows.setdefault(callee, set()).update(changed)
                 if callee not in queued:
                     queued.add(callee)
                     pending.append(callee)
@@ -164,10 +210,12 @@ def run_pipeline(context: AnalysisContext) -> AnalysisContext:
     apply_basic_statement_cached`).
     """
     allocated_before = PathMatrix.allocations
+    intern_hits_before = PathMatrix.intern_hits
     with widening_scope(context.stats):
         for _name, analysis_pass in PIPELINE:
             analysis_pass(context)
     context.stats.matrices_allocated += PathMatrix.allocations - allocated_before
+    context.stats.matrix_intern_hits += PathMatrix.intern_hits - intern_hits_before
     return context
 
 

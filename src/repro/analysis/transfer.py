@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from ..sil import ast
 from ..sil.printer import _format_inline as format_statement_inline
 from .limits import DEFAULT_LIMITS, DEFAULT_TRANSFER_CACHE_SIZE, AnalysisLimits
-from .matrix import PathMatrix
+from .matrix import PathMatrix, row_delta
 from .paths import Path, append_link, cancel_first, concat, starts_with_field
 from .pathset import PathSet
 from .structure import StructureDiagnostic, cycle_diagnostic, sharing_diagnostic
@@ -331,7 +331,7 @@ class TransferCache:
     :meth:`flush` — call it when a run or shard completes.
     """
 
-    __slots__ = ("policy", "backend", "_entries", "_pending")
+    __slots__ = ("policy", "backend", "_entries", "_joins", "_pending")
 
     def __init__(
         self,
@@ -340,6 +340,12 @@ class TransferCache:
         backend: Optional["CacheBackend"] = None,
     ):
         self._entries = PolicyCache(capacity, policy)
+        #: Second memo space for the *derived* pure operations over interned
+        #: matrices — control-flow joins and call-site projections/effects —
+        #: which are keyed by matrix identity and are in-memory only (they
+        #: recompute cheaply from persistent transfer hits, so they are not
+        #: worth codec space).
+        self._joins = PolicyCache(capacity, policy)
         self.policy = policy
         self.backend = backend
         #: Encoded (key -> payload) deltas computed since the last flush.
@@ -374,6 +380,13 @@ class TransferCache:
         return self._entries.put(
             key, (stmt, result, widening if widening is not None else WideningTally())
         )
+
+    def get_join(self, key: Tuple):
+        """Look up a memoized join/projection entry (see :data:`_joins`)."""
+        return self._joins.get(key)
+
+    def put_join(self, key: Tuple, value: Tuple) -> None:
+        self._joins.put(key, value)
 
     # ------------------------------------------------------------------
     # Persistent tier
@@ -442,6 +455,7 @@ class TransferCache:
     def clear(self) -> None:
         """Drop the in-memory layer and unflushed deltas (not the store)."""
         self._entries.clear()
+        self._joins.clear()
         self._pending.clear()
 
 
@@ -472,6 +486,16 @@ def apply_basic_statement_cached(
     any object with ``transfer_cache_hits``/``transfer_cache_misses`` and
     the widening counters); pass ``None`` to skip counting.
 
+    The input matrix is hash-consed first, so the cache key is
+    ``(id(stmt), limits, interned-input)`` — hashing uses the interned
+    matrix's precomputed hash and a hit is recognised by a pointer check.
+    (The interned input also shares its rows with the original, so the
+    incremental row accounting below is exact either way.)  Computed
+    result matrices are interned too: identical outputs reached through
+    different statements or control paths collapse to one object, which is
+    what lets every later equality, join and encode of that matrix
+    short-circuit.
+
     Widening accounting: the events of a computed transfer are captured in
     a :class:`~repro.analysis.telemetry.WideningTally` (shadowing any
     enclosing run-level scope) and folded into ``stats`` exactly once —
@@ -479,19 +503,29 @@ def apply_basic_statement_cached(
     stored with the entry.  Either way the counters read as if the
     transfer had been computed, so they are deterministic per application
     and exactly additive across processes.
+
+    Row accounting: every application — hit or miss — adds the number of
+    rows the statement actually changed to ``delta_rows_propagated`` and
+    the full result dimension to ``full_rows_propagated``.  Because rows
+    are interned, the changed-row count is a pointer scan, and it is what
+    a row-incremental engine must write no matter how the result was
+    obtained; the ``full`` column is what a non-incremental engine
+    rewrites.  The incremental bench asserts ``delta < full``.
     """
     if cache is None:
         cache = GLOBAL_TRANSFER_CACHE
+    source = matrix.interned()
     # The fingerprint embeds matrix.limits, but the transfer is computed with
     # the separate ``limits`` argument — key on it too so a caller passing
     # mismatched limits can never be served another configuration's result.
-    key = (id(stmt), limits, matrix.fingerprint())
+    key = (id(stmt), limits, source)
     cached = cache.get(key)
     if cached is not None:
         result, widening = cached
         if stats is not None:
             stats.transfer_cache_hits += 1
             widening.add_into(stats)
+            _count_rows(stats, source, result.matrix)
         return result
 
     # In-memory miss: consult the persistent tier under the canonical key.
@@ -499,8 +533,8 @@ def apply_basic_statement_cached(
     if cache.backend is not None:
         from ..cache.codec import transfer_key
 
-        persistent_key = transfer_key(stmt, limits, matrix)
-        loaded = cache.load_persistent(persistent_key, matrix.limits)
+        persistent_key = transfer_key(stmt, limits, source)
+        loaded = cache.load_persistent(persistent_key, source.limits)
         if loaded is not None:
             result, widening = loaded
             evicted = cache.put(key, stmt, result, widening)
@@ -512,14 +546,16 @@ def apply_basic_statement_cached(
                 # possibly in another process or another run — so the
                 # telemetry reads exactly as if this application computed.
                 widening.add_into(stats)
+                _count_rows(stats, source, result.matrix)
             return result
 
     with widening_scope(WideningTally()) as widening:
-        result = apply_basic_statement(matrix, stmt, limits)
+        result = apply_basic_statement(source, stmt, limits)
     # Entering the cache makes the result shared across program points and
-    # future runs; seal it so a caller mutation fails loudly instead of
-    # silently poisoning every later hit.
-    result.matrix.seal()
+    # future runs; interning seals it (a caller mutation fails loudly
+    # instead of silently poisoning every later hit) and gives identical
+    # outputs one canonical object.
+    result.matrix = result.matrix.interned()
     evicted = cache.put(key, stmt, result, widening)
     if persistent_key is not None:
         cache.record_persistent(persistent_key, result, widening)
@@ -528,5 +564,49 @@ def apply_basic_statement_cached(
         _bump(stats, "transfer_cache_evictions", evicted)
         if persistent_key is not None:
             _bump(stats, "persistent_cache_misses")
+        widening.add_into(stats)
+        _count_rows(stats, source, result.matrix)
+    return result
+
+
+def _count_rows(stats, before: PathMatrix, after: PathMatrix) -> None:
+    """Fold one application's (changed, full) row counts into ``stats``."""
+    changed, full = row_delta(before, after)
+    _bump(stats, "delta_rows_propagated", changed)
+    _bump(stats, "full_rows_propagated", full)
+
+
+def merge_matrices_cached(
+    first: PathMatrix,
+    second: PathMatrix,
+    cache: Optional[TransferCache] = None,
+    stats=None,
+) -> PathMatrix:
+    """Memoized control-flow join of two (hash-consed) matrices.
+
+    The join is a pure function of its operands, so with interned inputs
+    it memoizes over an identity pair exactly like the statement
+    transfers: loop re-iterations and re-analyses that join the same
+    matrices get the previously computed (interned) result back with a
+    pointer lookup.  Widening events fired inside the join (oversized
+    entries collapsing) are captured on the miss and replayed on every
+    hit, keeping the telemetry deterministic per application.  In-memory
+    only — joins are cheap to recompute relative to codec space.
+    """
+    if cache is None:
+        cache = GLOBAL_TRANSFER_CACHE
+    left = first.interned()
+    right = second.interned()
+    key = ("join", left, right)
+    cached = cache.get_join(key)
+    if cached is not None:
+        result, widening = cached
+        if stats is not None:
+            widening.add_into(stats)
+        return result
+    with widening_scope(WideningTally()) as widening:
+        result = left.merge(right).interned()
+    cache.put_join(key, (result, widening))
+    if stats is not None:
         widening.add_into(stats)
     return result

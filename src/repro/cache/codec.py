@@ -45,7 +45,7 @@ from typing import Dict, List, Tuple
 from typing import TYPE_CHECKING
 
 from ..analysis.limits import AnalysisLimits
-from ..analysis.matrix import PathMatrix
+from ..analysis.matrix import PathMatrix, canonical_document
 from ..analysis.paths import Direction, Path, PathSegment
 from ..analysis.pathset import PathSet
 from ..analysis.structure import Certainty, DiagnosticKind, StructureDiagnostic
@@ -94,14 +94,14 @@ def canonical_matrix(matrix: PathMatrix) -> Dict[str, object]:
     Captures exactly what :meth:`PathMatrix.fingerprint` distinguishes:
     equal fingerprints give equal canonical encodings and vice versa
     (modulo ``transfer_cache_size``, which cannot affect a transfer).
+    The ``{handles, entries}`` core comes from the one shared layout
+    definition (:func:`repro.analysis.matrix.canonical_document`, cached
+    per sealed matrix), so the persistent-key bytes can never drift from
+    the sharded bit-identity encodings.
     """
-    return {
-        "handles": matrix.handles,
-        "entries": sorted(
-            [source, target, paths.format()] for source, target, paths in matrix.entries()
-        ),
-        "limits": canonical_limits(matrix.limits),
-    }
+    document = canonical_document(matrix)
+    document["limits"] = canonical_limits(matrix.limits)
+    return document
 
 
 def transfer_key(stmt: ast.BasicStmt, limits: AnalysisLimits, matrix: PathMatrix) -> str:
@@ -125,13 +125,7 @@ def encode_entry(result: "TransferResult", widening: WideningTally) -> str:
     return _canonical_json(
         {
             "v": CODEC_VERSION,
-            "matrix": {
-                "handles": result.matrix.handles,
-                "entries": sorted(
-                    [source, target, paths.format()]
-                    for source, target, paths in result.matrix.entries()
-                ),
-            },
+            "matrix": canonical_document(result.matrix),
             "diagnostics": [
                 [diag.kind.name, diag.certainty.name, diag.statement, diag.detail]
                 for diag in result.diagnostics

@@ -115,6 +115,12 @@ def shared_memory_backend(
             f"memory cache namespace {namespace!r} is already open with policy "
             f"{store.policy!r} (requested {policy!r})"
         )
+    elif store._store.capacity != capacity:
+        raise ValueError(
+            f"memory cache namespace {namespace!r} is already open with capacity "
+            f"{store._store.capacity} (requested {capacity}); a later open cannot "
+            f"re-bound the shared store"
+        )
     return store
 
 

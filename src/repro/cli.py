@@ -9,7 +9,10 @@ Four subcommands turn the reproduction into a workload-serving frontend:
 * ``bench`` — run a whole population (every named workload + a seeded
   random scenario population) through the sharded suite runner, verify the
   sharded results are bit-identical to a single-process run, and write the
-  merged per-shard stats artifact (``BENCH_analysis.json``).
+  merged per-shard stats artifact (``BENCH_analysis.json``).  ``--time``
+  adds the wall-clock harness (per-workload median analysis time + peak
+  interning-table sizes in a ``timing`` section); ``--profile`` dumps a
+  cProfile top-20 per workload to an artifact directory.
 * ``generate`` — emit seeded random SIL scenario sources (stdout or
   ``--out`` directory), optionally cross-checked against the reference
   engine.
@@ -231,6 +234,11 @@ def _print_report(
     for key, value in report.stats.counters().items():
         print(f"  {key:28s} {value}")
     print(f"  {'transfer_cache_hit_rate':28s} {report.stats.transfer_cache_hit_rate:.4f}")
+    if report.intern_tables:
+        print()
+        print("interning-table growth (summed across shard workers):")
+        for table in sorted(report.intern_tables):
+            print(f"  {table:28s} {report.intern_tables[table]}")
 
     widening_counters = AnalysisStats.WIDENING_FIELDS + ("adaptive_escalations",)
     widened = {
@@ -424,6 +432,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "sharded": report.as_dict(),
     }
 
+    if args.time or args.profile:
+        from .workloads.timing import PROFILE_TOP, format_timing, time_items
+
+        # --profile alone only needs the profiled run per workload, not the
+        # full timing medians — drop to a single rep in that case.
+        reps = args.time_reps if args.time else 1
+        print(f"\nwall-clock timing ({reps} reps per workload"
+              f"{', profiling' if args.profile else ''}):")
+        timing = time_items(
+            items,
+            limits=limits,
+            reps=reps,
+            profile_dir=args.profile_dir if args.profile else None,
+        )
+        print(format_timing(timing))
+        if args.profile:
+            print(f"cProfile top-{PROFILE_TOP} tables written to {args.profile_dir}/")
+        if args.time:
+            artifact["timing"] = timing
+
     verified: Optional[bool] = None
     if not args.no_verify:
         single = runner.run_single_process()
@@ -558,6 +586,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the single-process bit-identity verification run",
+    )
+    bench.add_argument(
+        "--time",
+        action="store_true",
+        help="wall-clock harness: record per-workload median analysis time "
+        "and peak interning-table sizes into the artifact's timing section",
+    )
+    bench.add_argument(
+        "--time-reps",
+        type=int,
+        default=5,
+        metavar="N",
+        help="analyses per workload for the timing median (default: 5)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="dump a cProfile top-20 per workload to the --profile-dir "
+        "artifact directory (off by default)",
+    )
+    bench.add_argument(
+        "--profile-dir",
+        default="BENCH_profiles",
+        metavar="DIR",
+        help="artifact directory for --profile output (default: BENCH_profiles)",
     )
     _add_generator_options(bench)
     _add_limits_options(bench)

@@ -615,11 +615,19 @@ def _analyze_shard(payload: ShardPayload) -> Dict:
     result was produced under.  Because transfer-cache hits *replay* the
     widening counts captured at compute time, these deltas are exact and
     additive — sharding never loses or double-counts a widening event.
+
+    The output also reports the **interning-table growth** of this worker:
+    the hash-consing tables are process-global, so the parent's own table
+    sizes say nothing about what forked/spawned workers interned — each
+    shard snapshots the sizes before and after its work and ships the
+    delta, which the merged report sums across shards.
     """
     from ..analysis.engine import BatchAnalyzer
+    from ..analysis.pathset import intern_table_sizes
 
     shard_index, pairs, limits, cache, policy = payload
     started = time.perf_counter()
+    tables_before = intern_table_sizes()
     batch = BatchAnalyzer(limits=limits, cache=cache, policy=policy)
     results: Dict[str, Dict] = {}
     failures: Dict[str, str] = {}
@@ -653,6 +661,13 @@ def _analyze_shard(payload: ShardPayload) -> Dict:
         "failures": failures,
         "widening": widening,
         "stats": batch.stats.counters(),
+        # Growth of this worker's process-global interning tables while the
+        # shard ran (fork workers inherit the parent's tables pre-populated,
+        # so absolute sizes would double-count the parent's interning).
+        "intern_tables": {
+            table: max(0, size - tables_before.get(table, 0))
+            for table, size in intern_table_sizes().items()
+        },
         "seconds": time.perf_counter() - started,
     }
 
@@ -665,6 +680,9 @@ class ShardReport:
     workloads: List[str]
     stats: "AnalysisStats"
     seconds: float
+    #: Growth of the worker's process-global interning tables during the
+    #: shard (see ``_analyze_shard``); empty for legacy outputs.
+    intern_tables: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {
@@ -672,6 +690,7 @@ class ShardReport:
             "workloads": self.workloads,
             "seconds": round(self.seconds, 4),
             "stats": self.stats.counters(),
+            "intern_tables": dict(self.intern_tables),
         }
 
 
@@ -692,6 +711,11 @@ class ShardedSuiteReport:
     stats: "AnalysisStats"
     shards: List[ShardReport] = field(default_factory=list)
     widening: Dict[str, Dict] = field(default_factory=dict)
+    #: Interning-table growth summed across every worker process.  The
+    #: per-worker sizing is what makes this meaningful under sharding:
+    #: reading the parent's process-global tables would silently reflect
+    #: only the parent's own interning.
+    intern_tables: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
 
     @property
@@ -743,6 +767,7 @@ class ShardedSuiteReport:
             "stats": merged_stats,
             "shards": [shard.as_dict() for shard in self.shards],
             "widening": {name: dict(row) for name, row in self.widening.items()},
+            "intern_tables": dict(self.intern_tables),
             "failures": dict(self.failures),
         }
 
@@ -890,12 +915,17 @@ class ShardedSuiteRunner:
                     workloads=output["workloads"],
                     stats=shard_stats,
                     seconds=output["seconds"],
+                    intern_tables=dict(output.get("intern_tables", {})),
                 )
             )
             by_name.update(output["results"])
             failures.update(output["failures"])
             widening_by_name.update(output.get("widening", {}))
         merged = AnalysisStats().merge(*(report.stats for report in shard_reports))
+        summed_tables: Dict[str, int] = {}
+        for report in shard_reports:
+            for table, size in report.intern_tables.items():
+                summed_tables[table] = summed_tables.get(table, 0) + size
         # Restore the input ordering the round-robin assignment scattered.
         results = {name: by_name[name] for name, _ in self.items if name in by_name}
         return ShardedSuiteReport(
@@ -908,5 +938,6 @@ class ShardedSuiteRunner:
                 for name, _ in self.items
                 if name in widening_by_name
             },
+            intern_tables=summed_tables,
             seconds=seconds,
         )

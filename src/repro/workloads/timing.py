@@ -1,0 +1,138 @@
+"""Wall-clock timing and profiling harness for workload analyses.
+
+The op-count trajectory in ``BENCH_analysis.json`` (worklist pops, cache
+hits, row deltas) says *how much* work the engine did, but not where the
+time goes — and representation changes like the hash-consed matrix layer
+can shift cost between counters without the counters noticing.  This
+module adds the missing wall-clock axis:
+
+* :func:`time_items` — analyze each ``(name, source)`` workload ``reps``
+  times against a fresh :class:`~repro.analysis.engine.BatchAnalyzer`
+  (cold per-rep transfer cache; the process-global interned path/matrix
+  domain stays warm, as it does in production) and record the **median**
+  wall time per workload, plus the **peak interning-table sizes** observed
+  across the run — the memory-side cost of hash-consing.
+* an optional cProfile pass per workload (``profile_dir``): one extra
+  analysis run under the profiler, with the top-20 cumulative-time rows
+  written to ``<profile_dir>/<workload>.txt``.
+
+``python -m repro bench --time [--profile]`` drives this and folds the
+result into the ``timing`` section of the bench artifact; the pytest bench
+(``benchmarks/test_ext_analysis_cost.py``) does the same for the committed
+``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.limits import DEFAULT_LIMITS, LimitsLike
+from ..analysis.pathset import intern_table_sizes
+from ..sil.normalize import parse_and_normalize
+
+#: Default analyses per workload for the median (odd, so the median is a
+#: real sample).
+DEFAULT_REPS = 5
+
+#: Rows printed to a profile artifact (cumulative-time order).
+PROFILE_TOP = 20
+
+
+def time_items(
+    items: Sequence[Tuple[str, str]],
+    limits: LimitsLike = DEFAULT_LIMITS,
+    reps: int = DEFAULT_REPS,
+    profile_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure per-workload analysis wall time over ``(name, source)`` items.
+
+    Parsing and type checking happen once per workload, *outside* the
+    timed region — the harness measures the analysis engine, not the front
+    end.  Each rep runs against a fresh ``BatchAnalyzer`` so the in-memory
+    transfer cache is cold (medians reflect computation, not replay);
+    interning tables are process-global and sampled after every workload
+    for their peak sizes.  Workloads that fail to load are reported under
+    ``failures`` instead of aborting the harness.
+    """
+    from ..analysis.engine import BatchAnalyzer
+
+    reps = max(1, int(reps))
+    workloads: Dict[str, Dict[str, object]] = {}
+    failures: Dict[str, str] = {}
+    peaks: Dict[str, int] = {}
+    started = time.perf_counter()
+    for name, text in items:
+        try:
+            program, info = parse_and_normalize(text)
+        except Exception as error:  # noqa: BLE001 - surfaced per workload
+            failures[name] = f"{type(error).__name__}: {error}"
+            continue
+        samples = []
+        for _ in range(reps):
+            batch = BatchAnalyzer(limits=limits)
+            rep_started = time.perf_counter()
+            batch.analyze(program, info)
+            samples.append(time.perf_counter() - rep_started)
+        for table, size in intern_table_sizes().items():
+            peaks[table] = max(peaks.get(table, 0), size)
+        workloads[name] = {
+            "reps": reps,
+            "median_seconds": round(statistics.median(samples), 6),
+            "min_seconds": round(min(samples), 6),
+            "max_seconds": round(max(samples), 6),
+        }
+        if profile_dir is not None:
+            _profile_workload(name, program, info, limits, profile_dir)
+    return {
+        "reps": reps,
+        "seconds": round(time.perf_counter() - started, 4),
+        "workloads": workloads,
+        "failures": failures,
+        "intern_tables_peak": peaks,
+        "profile_dir": profile_dir,
+    }
+
+
+def _profile_workload(name: str, program, info, limits: LimitsLike, profile_dir: str) -> Path:
+    """One profiled analysis run; writes the top-20 table to the artifact dir."""
+    from ..analysis.engine import BatchAnalyzer
+
+    batch = BatchAnalyzer(limits=limits)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        batch.analyze(program, info)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(PROFILE_TOP)
+    directory = Path(profile_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    artifact = directory / f"{name}.txt"
+    artifact.write_text(buffer.getvalue())
+    return artifact
+
+
+def format_timing(timing: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`time_items` result."""
+    lines = [f"{'workload':24s} {'median':>10s} {'min':>10s} {'max':>10s}"]
+    for name, row in timing["workloads"].items():
+        lines.append(
+            f"{name:24s} {row['median_seconds']:10.6f} "
+            f"{row['min_seconds']:10.6f} {row['max_seconds']:10.6f}"
+        )
+    for name, error in timing["failures"].items():
+        lines.append(f"{name:24s} FAIL {error}")
+    peaks = timing["intern_tables_peak"]
+    if peaks:
+        lines.append(
+            "peak interning tables: "
+            + " ".join(f"{table}={size}" for table, size in sorted(peaks.items()))
+        )
+    return "\n".join(lines)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis import AnalysisLimits
 from repro.analysis.context import AnalysisStats
+from repro.analysis.pathset import intern_table_sizes
 from repro.cache import CacheConfig
 from repro.workloads import (
     WORKLOADS,
@@ -107,6 +108,34 @@ class TestShardedEqualsSingleProcess:
                 getattr(shard.stats, name) for shard in report.shards
             )
         assert report.stats.programs_analyzed == len(WORKLOADS)
+
+    def test_intern_tables_sized_per_worker_and_summed(self):
+        """Interning tables are reported as per-worker growth and sum exactly.
+
+        The hash-consing tables are process-global: absolute sizes read in
+        the parent would silently reflect only the parent's own interning
+        (fork workers inherit them pre-populated, spawn workers start
+        empty).  Each shard therefore ships its before/after *delta*, and
+        the merged report sums the deltas across workers.
+        """
+        scenarios = generate_scenarios(6, base_seed=97)
+        runner = ShardedSuiteRunner.from_scenarios(scenarios, shards=3)
+        report = runner.run()
+        assert report.ok
+        expected_tables = set(intern_table_sizes())
+        for shard in report.shards:
+            assert set(shard.intern_tables) == expected_tables
+            assert all(size >= 0 for size in shard.intern_tables.values())
+        for table in expected_tables:
+            assert report.intern_tables[table] == sum(
+                shard.intern_tables[table] for shard in report.shards
+            )
+        # Fresh scenario content interns fresh domain values in the workers,
+        # which only per-worker sizing can observe.
+        assert sum(report.intern_tables.values()) > 0
+        payload = report.as_dict()
+        assert payload["intern_tables"] == report.intern_tables
+        assert all("intern_tables" in shard for shard in payload["shards"])
 
     def test_round_robin_preserves_input_order_in_results(self):
         runner = ShardedSuiteRunner.from_names(depth=3, shards=4)
