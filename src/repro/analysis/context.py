@@ -34,6 +34,7 @@ from ..sil.typecheck import TypeInfo
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .matrix import PathMatrix
 from .pathset import intern_table_sizes
+from .symbols import GLOBAL_SYMBOLS, SymbolTable
 from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary
 from .transfer import GLOBAL_TRANSFER_CACHE, TransferCache
@@ -109,6 +110,16 @@ class AnalysisStats:
     iteration_guard_trips: int = 0
     #: Times the adaptive-limits policy re-ran a program with stepped-up bounds.
     adaptive_escalations: int = 0
+    #: Computed transfer/join results kept in scratch (sealed-not-interned)
+    #: form instead of being eagerly hash-consed — the lazy-interning win.
+    scratch_matrices_elided: int = 0
+    #: Memoized-transfer lookups keyed by fingerprint on a matrix that was
+    #: *not* interned — each one is an intern the eager scheme would have
+    #: paid on the cold path and the lazy scheme deferred.
+    lazy_intern_deferrals: int = 0
+    #: Packed-segment integer operations executed by the path kernels
+    #: (normalization, concat, cancellation) while this context was active.
+    packed_segment_ops: int = 0
 
     #: The additive counter fields, in ``as_dict`` order.  Derived values
     #: (hit rate) and the global intern-table sizes are excluded.
@@ -135,6 +146,9 @@ class AnalysisStats:
         "path_set_collapses",
         "iteration_guard_trips",
         "adaptive_escalations",
+        "scratch_matrices_elided",
+        "lazy_intern_deferrals",
+        "packed_segment_ops",
     )
 
     #: The widening-telemetry subset of :data:`COUNTER_FIELDS` — the
@@ -315,6 +329,12 @@ class AnalysisContext:
     entry_name: str = "main"
     stats: AnalysisStats = field(default_factory=AnalysisStats)
     transfer_cache: Optional[TransferCache] = None
+    #: The handle symbol table behind the packed matrix layer.  Defaults to
+    #: (and in practice always is) the process-wide table — interned rows
+    #: carry masks built from its ids and are shared across contexts, so
+    #: every context must agree on id assignment.  Exposed here so analysis
+    #: layers can reach it without importing :mod:`repro.analysis.symbols`.
+    symbols: SymbolTable = field(default_factory=lambda: GLOBAL_SYMBOLS)
 
     # Filled by the pipeline passes.
     summaries: Optional[Dict[str, ProcedureSummary]] = None

@@ -28,6 +28,7 @@ from .matrix import PathMatrix
 from .summaries import ProcedureSummary
 from .telemetry import WideningTally, widening_scope
 from .transfer import (
+    _bump,
     _count_rows,
     apply_basic_statement,
     apply_basic_statement_cached,
@@ -76,6 +77,12 @@ class ProcedureAnalyzer:
         for local in proc.locals:
             if local.type is ast.SilType.HANDLE:
                 matrix.add_handle(local.name)
+        if self.context is not None:
+            # Pipeline mode: every matrix that flows between statements is
+            # immutable (transfers copy before mutating), and sealing here
+            # makes all of them hashable — the memoized transfer/join/call
+            # layers then key on the matrix objects with cached hashes.
+            matrix.seal()
         return self.analyze_stmt(proc.body, matrix, proc)
 
     # ------------------------------------------------------------------
@@ -221,29 +228,39 @@ class ProcedureAnalyzer:
             return effect_matrix
 
         # Pipeline engine: the projection and caller-side effect are pure in
-        # (statement, input matrix), so they memoize over the interned input
-        # exactly like the basic-statement transfers — with the statement
-        # object pinned in the value and the widening events captured on the
-        # miss and replayed on every hit.  The *recording* of the projection
-        # still happens per visit; only its computation is shared.
-        source = matrix.interned()
-        key = ("call", id(stmt), self.limits, source)
+        # (statement, input matrix), so they memoize over the input's exact
+        # content fingerprint like the basic-statement transfers — with the
+        # statement object pinned in the value and the widening events
+        # captured on the miss and replayed on every hit.  Results are
+        # sealed, not interned: the solver interns the projection itself at
+        # the entry-matrix escape point, and the effect matrix is ordinary
+        # downstream dataflow.  The *recording* of the projection still
+        # happens per visit; only its computation is shared.
+        if not matrix.is_interned:
+            _bump(context.stats, "lazy_intern_deferrals")
+        key = (
+            "call",
+            id(stmt),
+            self.limits,
+            matrix if matrix.is_sealed else matrix.fingerprint(),
+        )
         cached = context.transfer_cache.get_join(key)
         if cached is not None:
             _stmt, projected, effect_matrix, widening = cached
         else:
             with widening_scope(WideningTally()) as widening:
                 projected, effect_matrix = self._call_outcome(
-                    source, args, proc, callee, summary, result_target, result_is_handle
+                    matrix, args, proc, callee, summary, result_target, result_is_handle
                 )
                 if projected is not None:
-                    projected = projected.interned()
-                effect_matrix = effect_matrix.interned()
+                    projected = projected.seal()
+                effect_matrix = effect_matrix.seal()
+            _bump(context.stats, "scratch_matrices_elided")
             context.transfer_cache.put_join(
                 key, (stmt, projected, effect_matrix, widening)
             )
         widening.add_into(context.stats)
-        _count_rows(context.stats, source, effect_matrix)
+        _count_rows(context.stats, matrix, effect_matrix)
         if projected is not None:
             self.recorder.record_call_site(callee.name, projected)
         return effect_matrix

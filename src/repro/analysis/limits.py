@@ -55,6 +55,27 @@ class AnalysisLimits:
     #: uses :data:`DEFAULT_TRANSFER_CACHE_SIZE`.
     transfer_cache_size: int = 4096
 
+    def __hash__(self) -> int:
+        # Limits appear in every memoized-transfer key; the generated
+        # dataclass hash re-hashes all six fields per lookup.  Cache it —
+        # instances are frozen, so the value can never go stale.  (Pure
+        # ints, so the cached value is PYTHONHASHSEED-independent, like
+        # the generated hash it replaces.)
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.max_exact_count,
+                    self.max_open_count,
+                    self.max_segments,
+                    self.max_paths_per_entry,
+                    self.max_iterations,
+                    self.transfer_cache_size,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     def as_dict(self) -> Dict[str, int]:
         """The domain bounds as a plain JSON-able dict (telemetry artifacts)."""
         return {

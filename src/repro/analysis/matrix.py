@@ -12,27 +12,39 @@ calling procedure's argument bound to formal ``h``) and ``h**`` (the
 arguments of all stacked recursive invocations); see
 :mod:`repro.analysis.interproc`.
 
-**Representation.**  A matrix stores its non-empty entries *row-wise*: one
-:class:`MatrixRow` per source handle, mapping target handles to interned
-path sets.  Rows are immutable and hash-consed exactly like
-:class:`~repro.analysis.pathset.PathSet` — identical row contents always
-yield the same object — so an unchanged row survives any number of copies,
-transfers and control-flow joins *by reference*, and "did this row change?"
-is a pointer comparison.  On top of the rows, whole matrices can be
-interned too (:meth:`PathMatrix.interned`): interned matrices are sealed,
-carry a precomputed hash and fingerprint, and obey the identity law, which
-turns matrix equality, transfer-cache keying and entry-matrix convergence
-checks into O(1) pointer checks.  The incremental solver
-(:mod:`repro.analysis.pipeline`) builds directly on both layers.
+**Representation.**  A matrix stores its non-empty entries *row-wise*, in
+one of two forms per row:
+
+* a **sealed** :class:`MatrixRow` — immutable, hash-consed, cells keyed by
+  handle *name* (the form every canonical encoding, codec key and pickle
+  is built from, unchanged by the packed-kernel work);
+* a **scratch** :class:`ScratchRow` — the private copy-on-write form a
+  matrix mutates: cells keyed by small integer handle ids from the
+  process-wide :class:`~repro.analysis.symbols.SymbolTable`, plus a
+  presence bitmask (``1 << id`` per occupied cell).  Empty-cell checks,
+  "does this row mention any renamed handle?" and "do all cells survive
+  this projection?" are single integer ANDs against that mask.
+
+Rows are interned exactly like :class:`~repro.analysis.pathset.PathSet` —
+identical row contents always yield the same object — so an unchanged row
+survives any number of copies, transfers and control-flow joins *by
+reference*, and "did this row change?" is a pointer comparison.  On top of
+the rows, whole matrices can be interned too (:meth:`PathMatrix.interned`):
+interned matrices are sealed, carry a precomputed hash and fingerprint, and
+obey the identity law, which turns matrix equality, transfer-cache keying
+and entry-matrix convergence checks into O(1) pointer checks.  The
+incremental solver (:mod:`repro.analysis.pipeline`) builds directly on both
+layers.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .pathset import PathSet
+from .symbols import GLOBAL_SYMBOLS
 
 
 def caller_symbol(formal: str) -> str:
@@ -60,9 +72,13 @@ class MatrixRow:
     and any operation that rebuilds a row without changing its contents
     (a transfer copying a matrix, a join reusing one side) automatically
     recovers the original object.  Empty cells are dropped at construction.
+
+    Every interned row also carries the presence ``mask`` of its targets'
+    symbol ids, computed once at interning — shared scratch conversions and
+    the mask prefilters read it for free.
     """
 
-    __slots__ = ("_cells", "_hash", "__weakref__")
+    __slots__ = ("_cells", "mask", "_hash", "__weakref__")
 
     _intern: "weakref.WeakValueDictionary[frozenset, MatrixRow]" = (
         weakref.WeakValueDictionary()
@@ -73,19 +89,28 @@ class MatrixRow:
         return cls._of(table)
 
     @classmethod
-    def _of(cls, table: Dict[str, PathSet]) -> "MatrixRow":
+    def _of(cls, table: Dict[str, PathSet], mask: Optional[int] = None) -> "MatrixRow":
         """Intern a table already known to contain no empty cells.
 
         The fast path the matrix's copy-on-write freeze uses: scratch rows
-        are mutated as plain dicts and interned exactly once here.  The
-        table is adopted as-is — callers hand over ownership.
+        are mutated privately and interned exactly once here.  The table is
+        adopted as-is — callers hand over ownership.  ``mask`` may be
+        passed when the caller already maintains the presence mask (the
+        scratch row did); otherwise it is computed from the symbol table on
+        an intern miss.
         """
         key = frozenset(table.items())
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
+        if mask is None:
+            id_of = GLOBAL_SYMBOLS.id_of
+            mask = 0
+            for target in table:
+                mask |= 1 << id_of(target)
         self = object.__new__(cls)
         self._cells = table
+        self.mask = mask
         self._hash = hash(key)
         cls._intern[key] = self
         return self
@@ -146,9 +171,34 @@ def _row_from_items(items: Tuple[Tuple[str, PathSet], ...]) -> MatrixRow:
     return MatrixRow(dict(items))
 
 
-def _cells_of(row) -> Dict[str, PathSet]:
-    """The cell dict behind a row — interned :class:`MatrixRow` or private dict."""
-    return row._cells if type(row) is MatrixRow else row
+class ScratchRow:
+    """The private, mutable form of a row while its matrix is writing it.
+
+    ``cells`` maps symbol ids (``SymbolTable.id_of(target)``) to path sets;
+    ``mask`` is the OR of ``1 << id`` over the occupied cells, maintained
+    exactly (ids are unique per name, so the mask is a precise presence
+    set, not a Bloom filter).  Scratch rows never leave their matrix:
+    :meth:`PathMatrix._freeze` converts them back to name-keyed interned
+    :class:`MatrixRow` objects at every sharing/comparison point, so
+    nothing downstream (codec, pickle, canonical encodings) ever sees an
+    id.
+    """
+
+    __slots__ = ("cells", "mask")
+
+    def __init__(self, cells: Dict[int, PathSet], mask: int) -> None:
+        self.cells = cells
+        self.mask = mask
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __bool__(self) -> bool:
+        return bool(self.cells)
+
+
+#: Either row form, as stored in ``PathMatrix._rows``.
+Row = Union[MatrixRow, ScratchRow]
 
 
 #: Interned whole matrices, keyed by their exact fingerprint.
@@ -160,13 +210,15 @@ _MATRIX_INTERN: "weakref.WeakValueDictionary[Tuple, PathMatrix]" = (
 class PathMatrix:
     """A square matrix of :class:`PathSet` entries keyed by handle name.
 
-    Handles are stored in an insertion-ordered dict, so membership tests,
-    additions and removals are O(1) instead of scanning a list.  Entries
-    live row-wise, **copy-on-write**: a row is either an interned
-    :class:`MatrixRow` (immutable, possibly shared with other matrices) or
-    a plain private dict while this matrix is mutating it — the first
-    mutation of a shared row unshares it, later mutations are cheap
-    in-place dict stores, and :meth:`_freeze` interns every private row
+    Handles are stored in an insertion-ordered dict mapping each name to
+    its :class:`~repro.analysis.symbols.SymbolTable` id, so membership
+    tests, additions, removals *and* name→id resolution are one O(1) dict
+    probe.  Entries live row-wise, **copy-on-write**: a row is either an
+    interned :class:`MatrixRow` (immutable, possibly shared with other
+    matrices) or a private :class:`ScratchRow` while this matrix is
+    mutating it — the first mutation of a shared row unshares it into the
+    id-keyed scratch form, later mutations are cheap int-keyed dict stores
+    with a mask update, and :meth:`_freeze` interns every scratch row
     exactly once at the points where rows are shared or compared
     (:meth:`copy`, :meth:`fingerprint`, :meth:`merge`, :meth:`interned`,
     :meth:`seal`).  A matrix produced by copying therefore shares every
@@ -205,17 +257,22 @@ class PathMatrix:
         handles: Iterable[str] = (),
         limits: AnalysisLimits = DEFAULT_LIMITS,
     ):
-        # fromkeys dedups while keeping first-occurrence order, matching a
-        # setdefault loop at a fraction of the cost.
-        self._handles: Dict[str, None] = dict.fromkeys(handles)
-        self._rows: Dict[str, MatrixRow] = {}
+        if type(handles) is dict:
+            # Internal fast path: another matrix's name→id dict (copy,
+            # merge, restrict, intern) — ids are already resolved.
+            self._handles: Dict[str, int] = dict(handles)
+        else:
+            id_of = GLOBAL_SYMBOLS.id_of
+            # Dict insertion dedups while keeping first-occurrence order.
+            self._handles = {handle: id_of(handle) for handle in handles}
+        self._rows: Dict[str, Row] = {}
         self.limits = limits
         self._version = 0
         self._fingerprint: Optional[Tuple] = None
         self._fingerprint_version = -1
         self._sealed = False
         self._interned = False
-        self._thawed = False  # True while any row is a private (dict) row
+        self._thawed = False  # True while any row is a private ScratchRow
         self._hash: Optional[int] = None
         self._canonical: Optional[Tuple] = None
         PathMatrix.allocations += 1
@@ -256,29 +313,45 @@ class PathMatrix:
         a silent mutation would poison every later cache hit.  ``copy()``
         returns an unsealed clone.
         """
-        self._freeze()
+        if self._thawed:
+            self._freeze()
         self._sealed = True
         return self
 
     def _freeze(self) -> None:
-        """Intern every copy-on-write (plain dict) row.
+        """Intern every copy-on-write (scratch) row.
 
         Idempotent and content-preserving: after freezing, all rows are
-        canonical :class:`MatrixRow` objects, so they can be shared across
-        matrices and compared by pointer.  Called wherever rows escape
-        this matrix or feed an identity comparison.
+        canonical name-keyed :class:`MatrixRow` objects, so they can be
+        shared across matrices and compared by pointer.  Called wherever
+        rows escape this matrix or feed an identity comparison.
         """
-        if not self._thawed:
-            return
+        name_of = GLOBAL_SYMBOLS.name_of
         for source, row in self._rows.items():
-            if type(row) is not MatrixRow:
-                self._rows[source] = MatrixRow._of(row)
+            if type(row) is ScratchRow:
+                table = {name_of(target_id): ps for target_id, ps in row.cells.items()}
+                self._rows[source] = MatrixRow._of(table, row.mask)
         self._thawed = False
+
+    def _unshare(self, source: str, row: MatrixRow) -> ScratchRow:
+        """Convert a shared interned row into this matrix's private scratch form."""
+        id_of = GLOBAL_SYMBOLS.id_of
+        scratch = ScratchRow(
+            {id_of(target): ps for target, ps in row._cells.items()}, row.mask
+        )
+        self._rows[source] = scratch
+        self._thawed = True
+        return scratch
 
     @property
     def is_interned(self) -> bool:
         """True for the canonical (sealed, hashable) instance of these contents."""
         return self._interned
+
+    @property
+    def is_sealed(self) -> bool:
+        """True once the matrix is immutable (and therefore hashable)."""
+        return self._sealed
 
     def _mutating(self) -> None:
         if self._sealed:
@@ -291,7 +364,7 @@ class PathMatrix:
         """Add a handle unrelated to everything already tracked (idempotent)."""
         if handle not in self._handles:
             self._mutating()
-            self._handles[handle] = None
+            self._handles[handle] = GLOBAL_SYMBOLS.id_of(handle)
             self._version += 1
 
     def remove_handle(self, handle: str) -> None:
@@ -312,19 +385,24 @@ class PathMatrix:
             self._mutating()
             del self._rows[handle]
             changed = True
-        for source, row in list(self._rows.items()):
-            cells = _cells_of(row)
-            if handle in cells:
-                self._mutating()
-                if type(row) is MatrixRow:
-                    cells = dict(cells)  # unshare before mutating
-                del cells[handle]
-                if cells:
-                    self._rows[source] = cells
-                    self._thawed = True
-                else:
-                    del self._rows[source]
-                changed = True
+        bit = 1 << GLOBAL_SYMBOLS.id_of(handle)
+        target_id = None
+        for source in list(self._rows):
+            row = self._rows[source]
+            if not (row.mask & bit):
+                # The presence mask proves the row has no cell for this
+                # handle — the common case, one AND instead of a dict probe.
+                continue
+            self._mutating()
+            if type(row) is MatrixRow:
+                row = self._unshare(source, row)
+            if target_id is None:
+                target_id = GLOBAL_SYMBOLS.id_of(handle)
+            del row.cells[target_id]
+            row.mask &= ~bit
+            if not row.cells:
+                del self._rows[source]
+            changed = True
         if changed:
             self._version += 1
 
@@ -342,8 +420,10 @@ class PathMatrix:
         if row is None:
             return PathSet.empty()
         if type(row) is MatrixRow:
-            row = row._cells
-        paths = row.get(target)
+            paths = row._cells.get(target)
+        else:
+            target_id = self._handles.get(target)
+            paths = row.cells.get(target_id) if target_id is not None else None
         return paths if paths is not None else PathSet.empty()
 
     def __getitem__(self, key: Tuple[str, str]) -> PathSet:
@@ -353,34 +433,42 @@ class PathMatrix:
         """Set ``p[source, target]``; empty sets erase the entry."""
         if source == target:
             return
-        self.add_handle(source)
-        self.add_handle(target)
+        handles = self._handles
+        if source not in handles:
+            self.add_handle(source)
+        if target not in handles:
+            self.add_handle(target)
         paths = paths.collapse(self.limits)
         row = self._rows.get(source)
+        target_id = handles[target]
+        bit = 1 << target_id
         if paths.is_empty:
-            if row is not None and target in (cells := _cells_of(row)):
+            if row is not None and (row.mask & bit):
                 self._mutating()
                 if type(row) is MatrixRow:
-                    cells = dict(cells)  # unshare before mutating
-                del cells[target]
-                if cells:
-                    self._rows[source] = cells
-                    self._thawed = True
-                else:
+                    row = self._unshare(source, row)
+                del row.cells[target_id]
+                row.mask &= ~bit
+                if not row.cells:
                     del self._rows[source]
                 self._version += 1
         elif row is None:
             self._mutating()
-            self._rows[source] = {target: paths}
+            self._rows[source] = ScratchRow({target_id: paths}, bit)
             self._thawed = True
             self._version += 1
-        elif (cells := _cells_of(row)).get(target) is not paths:
-            self._mutating()
+        else:
             if type(row) is MatrixRow:
-                cells = dict(cells)  # unshare before mutating
-                self._rows[source] = cells
-            cells[target] = paths
-            self._thawed = True
+                if row._cells.get(target) is paths:
+                    return
+                self._mutating()
+                row = self._unshare(source, row)
+            elif row.cells.get(target_id) is paths:
+                return
+            else:
+                self._mutating()
+            row.cells[target_id] = paths
+            row.mask |= bit
             self._version += 1
 
     def __setitem__(self, key: Tuple[str, str], paths: PathSet) -> None:
@@ -393,14 +481,22 @@ class PathMatrix:
         self.set(source, target, self.get(source, target).union(paths))
 
     def entries(self) -> Iterator[Tuple[str, str, PathSet]]:
-        """Iterate over the non-empty off-diagonal entries, row by row."""
+        """Iterate over the non-empty off-diagonal entries, row by row.
+
+        Enumerating every entry is a sharing/encoding point, so scratch
+        rows are interned first — the iteration then reads name-keyed
+        cells only.
+        """
+        if self._thawed:
+            self._freeze()
         for source, row in self._rows.items():
-            for target, paths in _cells_of(row).items():
+            for target, paths in row._cells.items():
                 yield source, target, paths
 
     def row(self, source: str) -> Optional[MatrixRow]:
         """The interned row of ``source`` (``None`` when it has no entries)."""
-        self._freeze()
+        if self._thawed:
+            self._freeze()
         return self._rows.get(source)
 
     def related(self, first: str, second: str) -> bool:
@@ -482,7 +578,8 @@ class PathMatrix:
         (and free for interned matrices, whose contents can never change).
         """
         if self._fingerprint_version != self._version:
-            self._freeze()
+            if self._thawed:
+                self._freeze()
             self._fingerprint = (
                 tuple(self._handles),
                 frozenset(self._rows.items()),
@@ -543,7 +640,8 @@ class PathMatrix:
     # ------------------------------------------------------------------
 
     def copy(self) -> "PathMatrix":
-        self._freeze()
+        if self._thawed:
+            self._freeze()
         clone = PathMatrix(self._handles, self.limits)
         clone._rows = dict(self._rows)  # frozen rows are immutable: shared
         return clone
@@ -551,27 +649,44 @@ class PathMatrix:
     def restricted(self, handles: Sequence[str]) -> "PathMatrix":
         """A copy keeping only the given handles (project away the rest).
 
-        Frozen rows that survive intact carry over by reference; rebuilt
+        The presence mask decides each row's fate in one AND: rows whose
+        targets all survive carry over (frozen rows by reference); rebuilt
         subsets stay copy-on-write (projections are usually consumed once,
         so eagerly interning their rows would be wasted work).
         """
         keep_set = set(handles)
-        keep = [h for h in self._handles if h in keep_set]
+        keep = {h: sid for h, sid in self._handles.items() if h in keep_set}
+        keep_mask = 0
+        for sid in keep.values():
+            keep_mask |= 1 << sid
         clone = PathMatrix(keep, self.limits)
+        drop_mask = ~keep_mask
         for source, row in self._rows.items():
-            if source not in keep_set:
+            if source not in keep:
                 continue
-            cells = _cells_of(row)
-            if all(target in keep_set for target in cells):
+            if not (row.mask & drop_mask):
+                # Every target cell survives the projection: share.
                 if type(row) is MatrixRow:
                     clone._rows[source] = row
                 else:
-                    clone._rows[source] = dict(cells)
+                    clone._rows[source] = ScratchRow(dict(row.cells), row.mask)
                     clone._thawed = True
                 continue
-            subset = {t: ps for t, ps in cells.items() if t in keep_set}
-            if subset:
-                clone._rows[source] = subset
+            cells: Dict[int, PathSet] = {}
+            mask = 0
+            if type(row) is MatrixRow:
+                for target, paths in row._cells.items():
+                    if target in keep_set:
+                        sid = self._handles[target]
+                        cells[sid] = paths
+                        mask |= 1 << sid
+            else:
+                for sid, paths in row.cells.items():
+                    if (keep_mask >> sid) & 1:
+                        cells[sid] = paths
+                        mask |= 1 << sid
+            if cells:
+                clone._rows[source] = ScratchRow(cells, mask)
                 clone._thawed = True
         return clone
 
@@ -582,22 +697,38 @@ class PathMatrix:
         unioned (used when folding the current handle into ``h**``).
         Collision-free renames — the common case, e.g. rebinding the
         placeholder handle of a field load — relabel rows in place: cell
-        values are already canonical, so rows whose source and targets are
-        all unmapped carry over by reference.
+        values are already canonical, and a row whose source and targets
+        are all unmapped (one mask AND) carries over by reference.
         """
         new_names = [mapping.get(handle, handle) for handle in self._handles]
         if len(set(new_names)) == len(new_names):
             clone = PathMatrix(new_names, self.limits)
+            rename_mask = 0
+            for handle, sid in self._handles.items():
+                if handle in mapping:
+                    rename_mask |= 1 << sid
+            id_of = GLOBAL_SYMBOLS.id_of
+            name_of = GLOBAL_SYMBOLS.name_of
             for source, row in self._rows.items():
-                cells = _cells_of(row)
-                if source in mapping or any(target in mapping for target in cells):
-                    renamed_cells = {mapping.get(t, t): ps for t, ps in cells.items()}
-                    clone._rows[mapping.get(source, source)] = renamed_cells
+                if source in mapping or (row.mask & rename_mask):
+                    if type(row) is MatrixRow:
+                        items = row._cells.items()
+                    else:
+                        items = [
+                            (name_of(sid), paths) for sid, paths in row.cells.items()
+                        ]
+                    cells: Dict[int, PathSet] = {}
+                    mask = 0
+                    for target, paths in items:
+                        sid = id_of(mapping.get(target, target))
+                        cells[sid] = paths
+                        mask |= 1 << sid
+                    clone._rows[mapping.get(source, source)] = ScratchRow(cells, mask)
                     clone._thawed = True
                 elif type(row) is MatrixRow:
                     clone._rows[source] = row
                 else:
-                    clone._rows[source] = dict(cells)
+                    clone._rows[source] = ScratchRow(dict(row.cells), row.mask)
                     clone._thawed = True
             clone._version += 1
             return clone
@@ -635,11 +766,13 @@ class PathMatrix:
         return self._merge_rows(other)
 
     def _merge_rows(self, other: "PathMatrix") -> Tuple["PathMatrix", Tuple[str, ...]]:
-        self._freeze()
-        other._freeze()
+        if self._thawed:
+            self._freeze()
+        if other._thawed:
+            other._freeze()
         result = PathMatrix(self._handles, self.limits)
-        for handle in other._handles:
-            result._handles.setdefault(handle, None)
+        for handle, sid in other._handles.items():
+            result._handles.setdefault(handle, sid)
         empty = PathSet.empty()
         for source in result._handles:
             mine_row = self._rows.get(source)
@@ -702,17 +835,26 @@ class PathMatrix:
         # same object (caught above); content comparison still runs for
         # mixed pairs, and per-row it is an identity check thanks to the
         # interned rows.
-        self._freeze()
-        other._freeze()
+        if self._thawed:
+            self._freeze()
+        if other._thawed:
+            other._freeze()
         return (
             self._handles.keys() == other._handles.keys()
             and self._rows == other._rows
         )
 
     def __hash__(self) -> int:
-        if self._interned:
-            return self._hash  # type: ignore[return-value]
-        raise TypeError("PathMatrix is not hashable (intern it first)")
+        cached = self._hash
+        if cached is None:
+            if not self._sealed:
+                raise TypeError("PathMatrix is not hashable (seal or intern it first)")
+            # Sealed contents can never change, so the fingerprint hash is
+            # computed once and cached — memo probes keyed on the matrix
+            # object then hash in O(1) instead of re-hashing the snapshot
+            # tuple on every lookup.
+            cached = self._hash = hash(self.fingerprint())
+        return cached
 
     # ------------------------------------------------------------------
     # Rendering
@@ -782,8 +924,10 @@ def row_delta(before: PathMatrix, after: PathMatrix) -> Tuple[int, int]:
     full = len(after._handles)
     if before is after:
         return 0, full
-    before._freeze()
-    after._freeze()
+    if before._thawed:
+        before._freeze()
+    if after._thawed:
+        after._freeze()
     changed = 0
     for handle in after._handles:
         if handle not in before._handles or after._rows.get(handle) is not before._rows.get(handle):

@@ -22,6 +22,19 @@ AnalysisLimits`) and implements the algebra the transfer functions need:
   path (used for ``a := b.f``: a path b→x whose first edge *is* the ``f``
   edge leaves a remainder a→x; uncertain first edges yield possible paths);
 * :func:`generalize_pair` — the widening used when path sets grow.
+
+**Packed representation.**  Every segment also carries a *packed* integer
+encoding — direction code in bits 0–1, the exact flag in bit 2, the edge
+count from bit 3 up (:func:`pack_segment` / :func:`unpack_segment`) — and
+every path carries the tuple of its segments' packed values plus the
+definite flag folded into a precomputed intern tag.  The hot-loop kernels
+(normalization, :func:`concat`, :func:`append_link`, :func:`cancel_first`,
+:func:`subsumes`) run entirely on those integers: merging two adjacent
+segments, clamping a count or comparing directions are shifts and masks,
+interning probes hash machine ints instead of enum/tuple objects, and no
+intermediate :class:`PathSegment` objects are allocated.  The segment
+objects themselves are materialized lazily, only for paths that actually
+get interned.
 """
 
 from __future__ import annotations
@@ -70,23 +83,71 @@ class Direction(enum.Enum):
         return Direction.DOWN
 
 
+# ---------------------------------------------------------------------------
+# Packed segment encoding
+# ---------------------------------------------------------------------------
+
+#: Direction codes for the packed encoding (bits 0–1 of a packed segment).
+DIR_CODES: Dict[Direction, int] = {Direction.LEFT: 0, Direction.RIGHT: 1, Direction.DOWN: 2}
+#: Inverse of :data:`DIR_CODES`, indexed by code.
+DIR_BY_CODE: Tuple[Direction, ...] = (Direction.LEFT, Direction.RIGHT, Direction.DOWN)
+
+_DIR_MASK = 0b11
+_DOWN_CODE = 2
+_EXACT = 0b100
+_COUNT_SHIFT = 3
+
+#: Packed codes for the concrete link fields (used by the transfer kernels).
+_FIELD_CODE: Dict[Field, int] = {Field.LEFT: 0, Field.RIGHT: 1}
+
+#: Count of packed-segment kernel operations performed process-wide
+#: (normalizations count one op per segment handled; ``cancel_first`` counts
+#: one per invocation).  Snapshot-diffed into ``AnalysisStats.
+#: packed_segment_ops`` by the pipeline, mirroring ``PathMatrix.allocations``.
+_PACKED_OPS = 0
+
+
+def packed_segment_ops() -> int:
+    """The process-wide packed-kernel operation counter (monotone)."""
+    return _PACKED_OPS
+
+
+def pack_segment(direction: Direction, count: int, exact: bool) -> int:
+    """Encode ``(direction, count, exact)`` as one integer.
+
+    Layout: bits 0–1 the direction code (L=0, R=1, D=2), bit 2 the exact
+    flag, bits 3+ the count.  Every valid segment (``count >= 1``) packs to
+    an integer ``>= 8``, so packed values can double as collision-free
+    intern keys and hashes.
+    """
+    return DIR_CODES[direction] | (_EXACT if exact else 0) | (count << _COUNT_SHIFT)
+
+
+def unpack_segment(packed: int) -> Tuple[Direction, int, bool]:
+    """Decode a packed segment back to ``(direction, count, exact)``."""
+    return DIR_BY_CODE[packed & _DIR_MASK], packed >> _COUNT_SHIFT, bool(packed & _EXACT)
+
+
 class PathSegment:
     """``count`` edges in ``direction``; exactly ``count`` if ``exact`` else at least.
 
     Instances are *hash-consed*: constructing the same (direction, count,
     exact) triple twice yields the **same** object, so equality is an identity
-    check and the hash is precomputed once.  Interned instances are immutable
-    and live for the lifetime of the process; the whole abstract domain is
-    finite (see :mod:`repro.analysis.limits`), so the table stays small.
+    check and the hash is precomputed.  The intern table is keyed by the
+    packed integer encoding (:func:`pack_segment`), which is also the
+    object's hash — probing the table hashes one machine int rather than an
+    ``(enum, int, bool)`` tuple.  Interned instances are immutable and live
+    for the lifetime of the process; the whole abstract domain is finite
+    (see :mod:`repro.analysis.limits`), so the table stays small.
     """
 
-    __slots__ = ("direction", "count", "exact", "_hash")
+    __slots__ = ("direction", "count", "exact", "packed")
 
-    _intern: Dict[Tuple[Direction, int, bool], "PathSegment"] = {}
+    _intern: Dict[int, "PathSegment"] = {}
 
     def __new__(cls, direction: Direction, count: int, exact: bool) -> "PathSegment":
-        key = (direction, count, exact)
-        cached = cls._intern.get(key)
+        packed = DIR_CODES[direction] | (_EXACT if exact else 0) | (count << _COUNT_SHIFT)
+        cached = cls._intern.get(packed)
         if cached is not None:
             return cached
         if count < 1:
@@ -94,9 +155,9 @@ class PathSegment:
         self = object.__new__(cls)
         object.__setattr__(self, "direction", direction)
         object.__setattr__(self, "count", count)
-        object.__setattr__(self, "exact", exact)
-        object.__setattr__(self, "_hash", hash(key))
-        cls._intern[key] = self
+        object.__setattr__(self, "exact", bool(exact))
+        object.__setattr__(self, "packed", packed)
+        cls._intern[packed] = self
         return self
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -113,14 +174,10 @@ class PathSegment:
         # Interning makes distinct instances unequal by construction; this
         # fallback only matters for exotic cases (e.g. unpickled copies from
         # another process image, which __reduce__ re-interns anyway).
-        return (
-            self.direction is other.direction
-            and self.count == other.count
-            and self.exact == other.exact
-        )
+        return self.packed == other.packed
 
     def __hash__(self) -> int:
-        return self._hash
+        return self.packed
 
     def __reduce__(self):
         return (PathSegment, (self.direction, self.count, self.exact))
@@ -134,6 +191,16 @@ class PathSegment:
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return format_segment(self)
+
+
+def _segment_of_packed(packed: int) -> PathSegment:
+    """The interned segment for a packed encoding (decoding on first sight)."""
+    cached = PathSegment._intern.get(packed)
+    if cached is not None:
+        return cached
+    return PathSegment(
+        DIR_BY_CODE[packed & _DIR_MASK], packed >> _COUNT_SHIFT, bool(packed & _EXACT)
+    )
 
 
 def format_segment(segment: PathSegment) -> str:
@@ -154,27 +221,55 @@ class Path:
 
     Like :class:`PathSegment`, paths are hash-consed: the same (segments,
     definite) pair always yields the same object, equality is identity, and
-    the hash is precomputed.  This makes the path sets and matrices built on
-    top of them near-pointer structures.
+    the hash is precomputed.  The intern key is the tuple of the segments'
+    *packed* integers with the definite flag folded in as a trailing tag —
+    an all-int tuple that hashes from machine ints, never touching the
+    segment objects.  ``min_length`` is precomputed at construction, and the
+    opposite-definiteness variant of every path is cached after first use,
+    so flipping definiteness (the single most common path operation in
+    joins) is a slot load.
     """
 
-    __slots__ = ("segments", "definite", "_hash")
+    __slots__ = ("segments", "packed", "definite", "min_length", "_hash", "_alt")
 
-    _intern: Dict[Tuple[Tuple[PathSegment, ...], bool], "Path"] = {}
+    _intern: Dict[Tuple[int, ...], "Path"] = {}
 
     def __new__(
-        cls, segments: Iterable[PathSegment] = (), definite: bool = True
+        cls, segments: Iterable["PathSegment"] = (), definite: bool = True
     ) -> "Path":
         segments = tuple(segments)
-        definite = bool(definite)
-        key = (segments, definite)
+        return cls._of_packed(
+            tuple(segment.packed for segment in segments), bool(definite), segments
+        )
+
+    @classmethod
+    def _of_packed(
+        cls,
+        packed: Tuple[int, ...],
+        definite: bool,
+        segments: Optional[Tuple["PathSegment", ...]] = None,
+    ) -> "Path":
+        """Intern a path from its packed encoding (the kernel fast path).
+
+        ``segments`` may be supplied when the caller already holds the
+        segment objects; otherwise they are materialized from the packed
+        values only on an intern miss.
+        """
+        key = packed + (1,) if definite else packed + (0,)
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
+        if segments is None:
+            segments = tuple(_segment_of_packed(value) for value in packed)
         self = object.__new__(cls)
         object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "packed", packed)
         object.__setattr__(self, "definite", definite)
+        object.__setattr__(
+            self, "min_length", sum(value >> _COUNT_SHIFT for value in packed)
+        )
         object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_alt", None)
         cls._intern[key] = self
         return self
 
@@ -189,7 +284,7 @@ class Path:
             return True
         if not isinstance(other, Path):
             return NotImplemented
-        return self.segments == other.segments and self.definite == other.definite
+        return self.packed == other.packed and self.definite == other.definite
 
     def __hash__(self) -> int:
         return self._hash
@@ -203,26 +298,30 @@ class Path:
     @property
     def is_same(self) -> bool:
         """True for the ``S`` path ("the two handles name the same node")."""
-        return not self.segments
-
-    @property
-    def min_length(self) -> int:
-        """The minimum number of edges this path can describe."""
-        return sum(segment.count for segment in self.segments)
+        return not self.packed
 
     @property
     def is_exact_length(self) -> bool:
         """True if every segment has an exact count."""
-        return all(segment.exact for segment in self.segments)
+        return all(value & _EXACT for value in self.packed)
 
     def as_definite(self) -> "Path":
-        return Path(self.segments, True)
+        return self if self.definite else self._variant()
 
     def as_possible(self) -> "Path":
-        return Path(self.segments, False)
+        return self._variant() if self.definite else self
 
     def with_definite(self, definite: bool) -> "Path":
-        return Path(self.segments, definite)
+        return self if bool(definite) == self.definite else self._variant()
+
+    def _variant(self) -> "Path":
+        """The same segments with flipped definiteness (cached both ways)."""
+        alt = self._alt
+        if alt is None:
+            alt = Path._of_packed(self.packed, not self.definite, self.segments)
+            object.__setattr__(self, "_alt", alt)
+            object.__setattr__(alt, "_alt", self)
+        return alt
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return format_path(self)
@@ -288,36 +387,49 @@ def make_path(
     limits: AnalysisLimits = DEFAULT_LIMITS,
 ) -> Path:
     """Build a canonical path from raw segments, applying the domain limits."""
-    normalized = _normalize_segments(list(segments), limits)
-    return Path(tuple(normalized), definite)
+    packed = _normalize_packed([segment.packed for segment in segments], limits)
+    return Path._of_packed(tuple(packed), bool(definite))
 
 
-def _normalize_segments(
-    segments: List[PathSegment], limits: AnalysisLimits
-) -> List[PathSegment]:
-    # 1. Merge adjacent segments with the same direction.
-    merged: List[PathSegment] = []
-    for segment in segments:
-        if merged and merged[-1].direction is segment.direction:
+def _normalize_packed(packed: Sequence[int], limits: AnalysisLimits) -> List[int]:
+    """Canonicalize a packed segment sequence under the domain limits.
+
+    The integer mirror of the three normalization steps the segment-object
+    implementation used: merge adjacent same-direction segments, clamp
+    counts (firing the widening telemetry), bound the segment count by
+    collapsing the tail into one generalized segment.
+    """
+    global _PACKED_OPS
+    _PACKED_OPS += len(packed)
+
+    # 1. Merge adjacent segments with the same direction: counts add, the
+    #    merged segment is exact only when both halves are.
+    merged: List[int] = []
+    for segment in packed:
+        if merged:
             previous = merged[-1]
-            merged[-1] = PathSegment(
-                direction=segment.direction,
-                count=previous.count + segment.count,
-                exact=previous.exact and segment.exact,
-            )
-        else:
-            merged.append(segment)
+            if not ((previous ^ segment) & _DIR_MASK):
+                merged[-1] = (
+                    (segment & _DIR_MASK)
+                    | (previous & segment & _EXACT)
+                    | (((previous >> _COUNT_SHIFT) + (segment >> _COUNT_SHIFT)) << _COUNT_SHIFT)
+                )
+                continue
+        merged.append(segment)
 
     # 2. Clamp counts.
-    clamped: List[PathSegment] = []
+    max_exact = limits.max_exact_count
+    max_open = limits.max_open_count
+    clamped: List[int] = []
     for segment in merged:
-        count, exact = segment.count, segment.exact
-        if exact and count > limits.max_exact_count:
-            count, exact = limits.max_exact_count, False
+        count = segment >> _COUNT_SHIFT
+        exact = segment & _EXACT
+        if exact and count > max_exact:
+            count, exact = max_exact, 0
             telemetry.note_exact_widening()
-        if not exact and count > limits.max_open_count:
-            count = limits.max_open_count
-        clamped.append(PathSegment(segment.direction, count, exact))
+        if not exact and count > max_open:
+            count = max_open
+        clamped.append((segment & _DIR_MASK) | exact | (count << _COUNT_SHIFT))
 
     # 3. Bound the number of segments by collapsing the tail into one
     #    open-or-exact DOWN segment (a strictly more general description).
@@ -325,15 +437,20 @@ def _normalize_segments(
         telemetry.note_segment_collapse()
         keep = limits.max_segments - 1
         head, tail = clamped[:keep], clamped[keep:]
-        total = sum(segment.count for segment in tail)
-        all_exact = all(segment.exact for segment in tail)
-        direction = tail[0].direction
+        total = sum(segment >> _COUNT_SHIFT for segment in tail)
+        all_exact = all(segment & _EXACT for segment in tail)
+        direction = tail[0] & _DIR_MASK
         for segment in tail[1:]:
-            direction = direction.join(segment.direction)
-        collapsed = PathSegment(direction, min(total, limits.max_open_count), all_exact and total <= limits.max_exact_count)
-        clamped = head + [collapsed]
+            if (segment & _DIR_MASK) != direction:
+                direction = _DOWN_CODE
+        collapsed = (
+            direction
+            | (_EXACT if (all_exact and total <= max_exact) else 0)
+            | (min(total, max_open) << _COUNT_SHIFT)
+        )
+        head.append(collapsed)
         # Re-merge in case the collapsed segment matches its neighbour.
-        clamped = _normalize_segments(clamped, limits)
+        return _normalize_packed(head, limits)
     return clamped
 
 
@@ -345,22 +462,65 @@ def _normalize_segments(
 def concat(first: Path, second: Path, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
     """Compose a path x→b with a path b→y into a path x→y."""
     definite = first.definite and second.definite
-    if first.is_same:
+    if not first.packed:
         return second.with_definite(definite)
-    if second.is_same:
+    if not second.packed:
         return first.with_definite(definite)
-    return make_path(first.segments + second.segments, definite, limits)
+    normalized = _normalize_packed(first.packed + second.packed, limits)
+    return Path._of_packed(tuple(normalized), definite)
+
+
+def _link_code(field: Field) -> int:
+    code = _FIELD_CODE.get(field)
+    if code is None:
+        raise ValueError(f"{field} is not a link field")
+    return code
+
+
+#: Memo for :func:`append_link` — the load-field transfer extends the same
+#: interned paths by the same edge at every re-analysis, and path/limits
+#: keys hash from precomputed ints.  Each entry stores the widening tally
+#: captured while the call computed (``None`` when nothing fired) so memo
+#: hits replay the exact telemetry of a fresh computation.
+_APPEND_CACHE: Dict[Tuple[Path, Field, AnalysisLimits], Tuple[Path, object]] = {}
 
 
 def append_link(path: Path, field: Field, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
     """Extend a path x→b by one explicit edge ``b.field`` giving x→(b.field)."""
-    link = PathSegment(Direction.of_field(field), 1, True)
-    return make_path(path.segments + (link,), path.definite, limits)
+    # Count the kernel op *before* the memo probe (like cancel_first), so
+    # ``packed_segment_ops`` reads the same whether the memo is warm or
+    # cold — deterministic per application, like every other counter.
+    global _PACKED_OPS
+    _PACKED_OPS += 1
+    key = (path, field, limits)
+    cached = _APPEND_CACHE.get(key)
+    if cached is not None:
+        result, tally = cached
+        if tally is not None:
+            telemetry.replay(tally)
+        return result
+    link = _link_code(field) | _EXACT | (1 << _COUNT_SHIFT)
+    with telemetry.widening_scope(telemetry.WideningTally()) as tally:
+        normalized = _normalize_packed(path.packed + (link,), limits)
+        result = Path._of_packed(tuple(normalized), path.definite)
+    if len(_APPEND_CACHE) >= _PREDICATE_CACHE_CAP:  # pragma: no cover - bound
+        _APPEND_CACHE.clear()
+    if tally.fired:
+        _APPEND_CACHE[key] = (result, tally)
+        telemetry.replay(tally)
+    else:
+        _APPEND_CACHE[key] = (result, None)
+    return result
 
 
 def link_path(field: Field, definite: bool = True) -> Path:
     """The one-edge path ``L1`` or ``R1``."""
     return Path((PathSegment(Direction.of_field(field), 1, True),), definite)
+
+
+#: Memo for :func:`cancel_first` (same traffic shape and tally-replay
+#: discipline as ``_APPEND_CACHE``).
+_CANCEL_CACHE: Dict[Tuple[Path, Field, AnalysisLimits], Tuple[Tuple[Path, ...], object]] = {}
 
 
 def cancel_first(
@@ -382,32 +542,61 @@ def cancel_first(
         # b and x are the same node; the child a=b.f has no *downward* path
         # back to x (paths in the matrix are directed down the structure).
         return []
+    global _PACKED_OPS
+    _PACKED_OPS += 1
+    key = (path, field, limits)
+    cached = _CANCEL_CACHE.get(key)
+    if cached is not None:
+        results, tally = cached
+        if tally is not None:
+            telemetry.replay(tally)
+        return list(results)
 
-    first, rest = path.segments[0], path.segments[1:]
-    if not first.direction.could_match(field):
+    first, rest = path.packed[0], path.packed[1:]
+    direction = first & _DIR_MASK
+    if direction != _DOWN_CODE and direction != _link_code(field):
+        _CANCEL_CACHE[key] = ((), None)
         return []
-    direction_certain = first.direction.certainly_matches(field)
+    direction_certain = direction != _DOWN_CODE and direction == _link_code(field)
     base_definite = path.definite and direction_certain
+    count = first >> _COUNT_SHIFT
 
     results: List[Path] = []
-    if first.exact:
-        if first.count == 1:
-            results.append(make_path(rest, base_definite, limits))
-        else:
-            shortened = (PathSegment(first.direction, first.count - 1, True),) + rest
-            results.append(make_path(shortened, base_definite, limits))
-    else:
-        if first.count == 1:
-            # "one or more" edges: after removing one, either zero remain
-            # (remainder is `rest`, i.e. S if rest is empty) or one-or-more
-            # remain.  Each alternative is only possible.
-            results.append(make_path(rest, False, limits))
+    with telemetry.widening_scope(telemetry.WideningTally()) as tally:
+        if first & _EXACT:
+            if count == 1:
+                shortened = rest
+            else:
+                shortened = (direction | _EXACT | ((count - 1) << _COUNT_SHIFT),) + rest
             results.append(
-                make_path((PathSegment(first.direction, 1, False),) + rest, False, limits)
+                Path._of_packed(tuple(_normalize_packed(shortened, limits)), base_definite)
             )
         else:
-            shortened = (PathSegment(first.direction, first.count - 1, False),) + rest
-            results.append(make_path(shortened, base_definite, limits))
+            if count == 1:
+                # "one or more" edges: after removing one, either zero remain
+                # (remainder is `rest`, i.e. S if rest is empty) or one-or-more
+                # remain.  Each alternative is only possible.
+                results.append(
+                    Path._of_packed(tuple(_normalize_packed(rest, limits)), False)
+                )
+                reopened = (direction | (1 << _COUNT_SHIFT),) + rest
+                results.append(
+                    Path._of_packed(tuple(_normalize_packed(reopened, limits)), False)
+                )
+            else:
+                shortened = (direction | ((count - 1) << _COUNT_SHIFT),) + rest
+                results.append(
+                    Path._of_packed(
+                        tuple(_normalize_packed(shortened, limits)), base_definite
+                    )
+                )
+    if len(_CANCEL_CACHE) >= _PREDICATE_CACHE_CAP:  # pragma: no cover - bound
+        _CANCEL_CACHE.clear()
+    if tally.fired:
+        _CANCEL_CACHE[key] = (tuple(results), tally)
+        telemetry.replay(tally)
+    else:
+        _CANCEL_CACHE[key] = (tuple(results), None)
     return results
 
 
@@ -420,7 +609,8 @@ def starts_with_field(path: Path, field: Field) -> bool:
     """
     if path.is_same:
         return False
-    return path.segments[0].direction.could_match(field)
+    direction = path.packed[0] & _DIR_MASK
+    return direction == _DOWN_CODE or direction == _link_code(field)
 
 
 def generalize_pair(first: Path, second: Path, limits: AnalysisLimits = DEFAULT_LIMITS) -> Path:
@@ -430,37 +620,46 @@ def generalize_pair(first: Path, second: Path, limits: AnalysisLimits = DEFAULT_
     and uses open-ended counts / joined directions so that both inputs are
     instances of it.
     """
-    if first == second:
+    if first is second:
         return first
-    if first.segments == second.segments:
-        return Path(first.segments, first.definite and second.definite)
-    if first.is_same or second.is_same:
+    if first.packed == second.packed:
+        return first.with_definite(first.definite and second.definite)
+    if not first.packed or not second.packed:
         # S cannot be generalized with a non-empty path into a single path
         # expression; callers keep them separate (e.g. {S?, D+?}).
         raise ValueError("cannot generalize S with a non-S path into one path")
 
     min_length = min(first.min_length, second.min_length)
-    direction = first.segments[0].direction
-    for segment in first.segments[1:] + second.segments:
-        direction = direction.join(segment.direction)
+    direction = first.packed[0] & _DIR_MASK
+    for segment in first.packed[1:] + second.packed:
+        if (segment & _DIR_MASK) != direction:
+            direction = _DOWN_CODE
+            break
     count = max(1, min(min_length, limits.max_open_count))
-    return Path((PathSegment(direction, count, False),), False)
+    return Path._of_packed((direction | (count << _COUNT_SHIFT),), False)
 
 
 def paths_equivalent(first: Path, second: Path) -> bool:
     """Equality ignoring the definite/possible attribute."""
-    return first.segments == second.segments
+    return first.packed == second.packed
 
 
 def _segment_covers(general: PathSegment, specific: PathSegment) -> bool:
     """Does every edge sequence matching ``specific`` also match ``general``?"""
-    if general.direction is not Direction.DOWN and general.direction is not specific.direction:
+    return _packed_covers(general.packed, specific.packed)
+
+
+def _packed_covers(general: int, specific: int) -> bool:
+    direction = general & _DIR_MASK
+    if direction != _DOWN_CODE and direction != (specific & _DIR_MASK):
         return False
-    if general.exact:
-        return specific.exact and specific.count == general.count
+    if general & _EXACT:
+        return bool(specific & _EXACT) and (specific >> _COUNT_SHIFT) == (
+            general >> _COUNT_SHIFT
+        )
     # general means "at least general.count edges"; specific must guarantee
     # at least that many edges.
-    return specific.count >= general.count
+    return (specific >> _COUNT_SHIFT) >= (general >> _COUNT_SHIFT)
 
 
 def _path_nfa(path: Path) -> Tuple[List[dict], int]:
@@ -574,19 +773,22 @@ def subsumes(general: Path, specific: Path) -> bool:
 
 
 def _subsumes(general: Path, specific: Path) -> bool:
-    if specific.is_same or general.is_same:
-        return specific.is_same and general.is_same
+    general_packed, specific_packed = general.packed, specific.packed
+    if not specific_packed or not general_packed:
+        return not specific_packed and not general_packed
 
-    if len(general.segments) == 1 and not general.segments[0].exact:
-        segment = general.segments[0]
-        directions_ok = all(
-            segment.direction is Direction.DOWN or s.direction is segment.direction
-            for s in specific.segments
-        )
-        return directions_ok and specific.min_length >= segment.count
+    if len(general_packed) == 1 and not (general_packed[0] & _EXACT):
+        segment = general_packed[0]
+        direction = segment & _DIR_MASK
+        if direction != _DOWN_CODE:
+            for value in specific_packed:
+                if (value & _DIR_MASK) != direction:
+                    return False
+        return specific.min_length >= (segment >> _COUNT_SHIFT)
 
-    if len(general.segments) == len(specific.segments):
-        return all(
-            _segment_covers(g, s) for g, s in zip(general.segments, specific.segments)
-        )
+    if len(general_packed) == len(specific_packed):
+        for general_value, specific_value in zip(general_packed, specific_packed):
+            if not _packed_covers(general_value, specific_value):
+                return False
+        return True
     return False

@@ -25,6 +25,7 @@ from . import telemetry
 from .limits import DEFAULT_LIMITS, AnalysisLimits
 from .paths import (
     MAYBE_SAME,
+    SAME,
     Path,
     PathSegment,
     Direction,
@@ -38,12 +39,16 @@ from .paths import (
 class PathSet:
     """An immutable set of paths keyed by their segment sequence.
 
-    Internally a mapping ``segments -> definite``; two paths with the same
-    segments but different definiteness collapse into one entry.  Paths that
-    are subsumed by a more general member of the set (e.g. ``L1`` in the
-    presence of ``L+``) are dropped unless they carry a *definiteness*
-    guarantee the subsumer lacks — this keeps the sets small and makes the
-    iterative loop/recursion approximation converge.
+    Internally a mapping from the *definite form* of each member path to its
+    definiteness flag; two paths with the same segments but different
+    definiteness collapse into one entry.  Keying by interned :class:`Path`
+    objects (rather than raw segment tuples) means every table probe and the
+    intern-key frozenset hash below run on precomputed integer hashes — the
+    cold-path cost of building a set is dict stores over already-hashed
+    keys.  Paths that are subsumed by a more general member of the set
+    (e.g. ``L1`` in the presence of ``L+``) are dropped unless they carry a
+    *definiteness* guarantee the subsumer lacks — this keeps the sets small
+    and makes the iterative loop/recursion approximation converge.
 
     Path sets are *hash-consed*: after canonicalization, identical contents
     always yield the **same** instance, so equality is an identity check,
@@ -51,25 +56,36 @@ class PathSet:
     every control-flow join are memoized over object pairs.
     """
 
-    __slots__ = ("_paths", "_hash", "_format", "__weakref__")
+    __slots__ = ("_paths", "_hash", "_format", "_elems", "__weakref__")
 
     # Unlike the (small, finite) Path/PathSegment tables, distinct path-set
     # contents are combinatorial, so the intern table holds its values
     # weakly: a set no longer referenced anywhere is collected and its slot
     # reclaimed.  The identity law still holds for all *live* sets.
-    _intern: "weakref.WeakValueDictionary[FrozenSet[Tuple[Tuple[PathSegment, ...], bool]], PathSet]" = (
+    _intern: "weakref.WeakValueDictionary[FrozenSet[Tuple[Path, bool]], PathSet]" = (
         weakref.WeakValueDictionary()
     )
 
     def __new__(cls, paths: Iterable[Path] = ()) -> "PathSet":
-        table: Dict[Tuple[PathSegment, ...], bool] = {}
+        table: Dict[Path, bool] = {}
         for path in paths:
-            existing = table.get(path.segments)
+            key = path if path.definite else path.as_definite()
+            existing = table.get(key)
             if existing is None:
-                table[path.segments] = path.definite
+                table[key] = path.definite
             else:
                 # Same-derivation accumulation: definite dominates.
-                table[path.segments] = existing or path.definite
+                table[key] = existing or path.definite
+        return cls._of_table(table)
+
+    @classmethod
+    def _of_table(cls, table: Dict[Path, bool]) -> "PathSet":
+        """Intern a set from an accumulated ``{definite-form: definite}`` table.
+
+        The fast path the combination operations use: they build the table
+        directly from their operands' tables (whose keys are already in
+        definite form), skipping the per-path accumulation loop.
+        """
         table = _drop_subsumed(table)
         key = frozenset(table.items())
         cached = cls._intern.get(key)
@@ -79,11 +95,15 @@ class PathSet:
         self._paths = table
         self._hash = hash(key)
         self._format: Optional[str] = None
+        self._elems: Optional[Tuple[Path, ...]] = None
         cls._intern[key] = self
         return self
 
     def __reduce__(self):
-        return (_pathset_from_items, (tuple(self._paths.items()),))
+        return (
+            _pathset_from_items,
+            (tuple((key.segments, definite) for key, definite in self._paths.items()),),
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -96,7 +116,7 @@ class PathSet:
     @staticmethod
     def same(definite: bool = True) -> "PathSet":
         """The singleton set {S} (or {S?})."""
-        return PathSet([Path((), definite)])
+        return _SAME_SET if definite else _MAYBE_SAME_SET
 
     @staticmethod
     def of(*paths: Path) -> "PathSet":
@@ -124,8 +144,15 @@ class PathSet:
         return len(self._paths)
 
     def __iter__(self) -> Iterator[Path]:
-        for segments, definite in self._paths.items():
-            yield Path(segments, definite)
+        # Interned sets are iterated many times (transfer loops, renders);
+        # materialize the member paths once per set.
+        elems = self._elems
+        if elems is None:
+            elems = self._elems = tuple(
+                key if definite else key.as_possible()
+                for key, definite in self._paths.items()
+            )
+        return iter(elems)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -149,26 +176,26 @@ class PathSet:
     @property
     def has_same(self) -> bool:
         """True if the set contains ``S`` or ``S?`` (possible aliasing)."""
-        return () in self._paths
+        return SAME in self._paths
 
     @property
     def has_definite_same(self) -> bool:
         """True if the set contains a definite ``S`` (guaranteed aliasing)."""
-        return self._paths.get((), False) is True
+        return self._paths.get(SAME, False) is True
 
     @property
     def has_possible_same(self) -> bool:
         """True if the set contains ``S?`` but not definite ``S``."""
-        return self._paths.get((), None) is False
+        return self._paths.get(SAME, None) is False
 
     @property
     def has_proper_path(self) -> bool:
         """True if the set contains a non-``S`` (descendant) path."""
-        return any(segments for segments in self._paths)
+        return any(not key.is_same for key in self._paths)
 
     def definiteness_of_same(self) -> Optional[bool]:
         """None if no S path, else its definiteness."""
-        return self._paths.get(())
+        return self._paths.get(SAME)
 
     def paths(self) -> List[Path]:
         return list(self)
@@ -187,7 +214,13 @@ class PathSet:
         cached = _UNION_CACHE.get(key)
         if cached is not None:
             return cached
-        result = PathSet(list(self) + list(other))
+        table = dict(self._paths)
+        for path, definite in other._paths.items():
+            if definite:
+                table[path] = True
+            elif path not in table:
+                table[path] = False
+        result = PathSet._of_table(table)
         _cache_put(_UNION_CACHE, key, result)
         return result
 
@@ -203,17 +236,17 @@ class PathSet:
         cached = _MERGE_CACHE.get(key)
         if cached is not None:
             return cached
-        result_paths: List[Path] = []
-        for segments, definite in self._paths.items():
-            other_definite = other._paths.get(segments)
+        table: Dict[Path, bool] = {}
+        for path, definite in self._paths.items():
+            other_definite = other._paths.get(path)
             if other_definite is None:
-                result_paths.append(Path(segments, False))
+                table[path] = False
             else:
-                result_paths.append(Path(segments, definite and other_definite))
-        for segments, definite in other._paths.items():
-            if segments not in self._paths:
-                result_paths.append(Path(segments, False))
-        result = PathSet(result_paths)
+                table[path] = definite and other_definite
+        for path in other._paths:
+            if path not in self._paths:
+                table[path] = False
+        result = PathSet._of_table(table)
         _cache_put(_MERGE_CACHE, key, result)
         return result
 
@@ -222,7 +255,7 @@ class PathSet:
         cached = _WEAKENED_CACHE.get(self)
         if cached is not None:
             return cached
-        result = PathSet(Path(segments, False) for segments in self._paths)
+        result = PathSet._of_table(dict.fromkeys(self._paths, False))
         _cache_put(_WEAKENED_CACHE, self, result)
         return result
 
@@ -256,17 +289,19 @@ class PathSet:
         cached = _COLLAPSE_CACHE.get(key)
         if cached is not None:
             return cached
-        same_definite = self._paths.get(())
-        proper = [Path(segments, definite) for segments, definite in self._paths.items() if segments]
+        same_definite = self._paths.get(SAME)
         collapsed: Optional[Path] = None
-        for path in proper:
+        for path, definite in self._paths.items():
+            if path.is_same:
+                continue
+            member = path.with_definite(definite)
             if collapsed is None:
-                collapsed = path
+                collapsed = member
             else:
-                collapsed = generalize_pair(collapsed, path, limits)
+                collapsed = generalize_pair(collapsed, member, limits)
         result_paths: List[Path] = []
         if same_definite is not None:
-            result_paths.append(Path((), same_definite))
+            result_paths.append(SAME.with_definite(same_definite))
         if collapsed is not None:
             result_paths.append(collapsed)
         result = PathSet(result_paths)
@@ -280,8 +315,8 @@ class PathSet:
         definiteness (a definite path is covered by the same definite path;
         a possible path is covered by either form).
         """
-        for segments, definite in self._paths.items():
-            other_definite = other._paths.get(segments)
+        for path, definite in self._paths.items():
+            other_definite = other._paths.get(path)
             if other_definite is None:
                 return False
             if definite and not other_definite:
@@ -310,9 +345,7 @@ class PathSet:
         return self.format() or "{}"
 
 
-def _drop_subsumed(
-    table: Dict[Tuple[PathSegment, ...], bool]
-) -> Dict[Tuple[PathSegment, ...], bool]:
+def _drop_subsumed(table: Dict[Path, bool]) -> Dict[Path, bool]:
     """Remove paths covered by a more general member of the same set.
 
     A path is dropped only if some *other* path subsumes it and the subsumer
@@ -320,18 +353,19 @@ def _drop_subsumed(
     """
     if len(table) <= 1:
         return table
-    items = [Path(segments, definite) for segments, definite in table.items()]
-    kept: Dict[Tuple[PathSegment, ...], bool] = {}
-    for path in items:
+    keys = list(table)
+    kept: Dict[Path, bool] = {}
+    for path in keys:
+        definite = table[path]
         dropped = False
-        for other in items:
-            if other.segments == path.segments:
+        for other in keys:
+            if other is path:
                 continue
-            if subsumes(other, path) and (other.definite or not path.definite):
+            if subsumes(other, path) and (table[other] or not definite):
                 dropped = True
                 break
         if not dropped:
-            kept[path.segments] = path.definite
+            kept[path] = definite
     # Degenerate safety net: never drop everything.
     if not kept:
         return table
@@ -360,8 +394,22 @@ def _cache_put(cache: Dict, key, value) -> None:
 
 
 def intern_table_sizes() -> Dict[str, int]:
-    """Sizes of the global hash-consing/memo tables (for stats and docs)."""
-    from .paths import _INTERSECT_CACHE, _SUBSUMES_CACHE, Path as _Path, PathSegment as _Segment
+    """Sizes of the global hash-consing/memo tables (for stats and docs).
+
+    Covers every representation layer: the packed-segment and path tables
+    (int-keyed after the packed-kernel change), path sets, the matrix-layer
+    tables (rows, whole matrices, and the handle symbol table), and the
+    operation memo spaces.
+    """
+    from .symbols import GLOBAL_SYMBOLS
+    from .paths import (
+        _APPEND_CACHE,
+        _CANCEL_CACHE,
+        _INTERSECT_CACHE,
+        _SUBSUMES_CACHE,
+        Path as _Path,
+        PathSegment as _Segment,
+    )
     from .matrix import matrix_intern_table_sizes
 
     return {
@@ -369,13 +417,18 @@ def intern_table_sizes() -> Dict[str, int]:
         "paths_interned": len(_Path._intern),
         "pathsets_interned": len(PathSet._intern),
         **matrix_intern_table_sizes(),
+        "symbols_interned": len(GLOBAL_SYMBOLS),
         "union_memo": len(_UNION_CACHE),
         "merge_memo": len(_MERGE_CACHE),
         "weakened_memo": len(_WEAKENED_CACHE),
         "collapse_memo": len(_COLLAPSE_CACHE),
         "subsumes_memo": len(_SUBSUMES_CACHE),
         "intersect_memo": len(_INTERSECT_CACHE),
+        "append_memo": len(_APPEND_CACHE),
+        "cancel_memo": len(_CANCEL_CACHE),
     }
 
 
 _EMPTY = PathSet()
+_SAME_SET = PathSet((SAME,))
+_MAYBE_SAME_SET = PathSet((MAYBE_SAME,))

@@ -52,6 +52,7 @@ from .context import AnalysisContext, AnalysisRecorder
 from .interproc import initial_entry_matrix
 from .intraproc import ProcedureAnalyzer
 from .matrix import PathMatrix
+from .paths import packed_segment_ops
 from .summaries import compute_summaries
 from .telemetry import widening_scope
 
@@ -211,11 +212,13 @@ def run_pipeline(context: AnalysisContext) -> AnalysisContext:
     """
     allocated_before = PathMatrix.allocations
     intern_hits_before = PathMatrix.intern_hits
+    packed_ops_before = packed_segment_ops()
     with widening_scope(context.stats):
         for _name, analysis_pass in PIPELINE:
             analysis_pass(context)
     context.stats.matrices_allocated += PathMatrix.allocations - allocated_before
     context.stats.matrix_intern_hits += PathMatrix.intern_hits - intern_hits_before
+    context.stats.packed_segment_ops += packed_segment_ops() - packed_ops_before
     return context
 
 

@@ -60,10 +60,27 @@ class ProcedureSummary:
 class _SummaryBuilder:
     """Iterates summary computation over the whole program to a fixed point."""
 
+    #: The statement kinds the derivation analysis reads; everything else
+    #: (blocks, branches, scalar loads) is flow-insensitively irrelevant.
+    _RELEVANT_KINDS = (
+        ast.CopyHandle,
+        ast.LoadField,
+        ast.AssignNew,
+        ast.AssignNil,
+        ast.StoreField,
+        ast.StoreValue,
+        ast.ProcCall,
+        ast.FuncAssign,
+    )
+
     def __init__(self, program: ast.Program, info: TypeInfo):
         self.program = program
         self.info = info
         self.summaries: Dict[str, ProcedureSummary] = {}
+        #: Per-procedure flat list of the relevant statements — the body is
+        #: immutable and re-walked many times per fixed point, so the AST
+        #: traversal and kind filtering are paid once.
+        self._relevant: Dict[str, List[ast.Stmt]] = {}
         for proc in program.all_callables:
             self.summaries[proc.name] = ProcedureSummary(
                 name=proc.name, handle_params=list(proc.handle_params)
@@ -99,6 +116,14 @@ class _SummaryBuilder:
         update_origins: Set[str] = set()
         modifies_links = False
 
+        statements = self._relevant.get(proc.name)
+        if statements is None:
+            statements = self._relevant[proc.name] = [
+                stmt
+                for stmt in ast.walk_stmt(proc.body)
+                if isinstance(stmt, self._RELEVANT_KINDS)
+            ]
+
         # Iterate the (flow-insensitive) derivation analysis within the body
         # until stable — loops and branches make one pass insufficient.
         stable = False
@@ -108,7 +133,7 @@ class _SummaryBuilder:
             passes += 1
             if passes > 32:  # pragma: no cover - safety net
                 break
-            for stmt in ast.walk_stmt(proc.body):
+            for stmt in statements:
                 if isinstance(stmt, ast.CopyHandle):
                     if self._flow(derivation, stmt.source, stmt.target):
                         stable = False

@@ -1,0 +1,61 @@
+"""Handle symbol table: names ↔ small dense integer ids.
+
+The packed matrix layer (:mod:`repro.analysis.matrix`) keys scratch-row
+cells by integer handle ids and keeps a per-row presence bitmask
+(``1 << id`` per occupied cell), so empty-cell checks, row projections and
+rename prefilters are single integer ANDs.  The ids come from this table.
+
+Ids are **process-local** and **process-global**: like the hash-consed
+path/pathset/row domain, one table serves every analysis in the process —
+interned :class:`~repro.analysis.matrix.MatrixRow` objects are shared
+across matrices, contexts and transfer-cache entries, so the masks stored
+on them must mean the same thing everywhere.  Handle vocabularies are tiny
+(program variables plus the ``h*``/``h**`` symbolic handles), so the table
+stays small and the masks stay one or two machine words.  Nothing
+serialized ever contains an id: pickling, the canonical encodings and the
+cache codec all speak handle *names*, so ids never cross a process
+boundary (``PYTHONHASHSEED``-independence and shard bit-identity are
+untouched by id assignment order).
+
+:class:`~repro.analysis.context.AnalysisContext` exposes the table as its
+``symbols`` field (defaulting to the global table) so analysis layers can
+reach it without importing this module directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class SymbolTable:
+    """An append-only bidirectional mapping ``name <-> dense int id``."""
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def id_of(self, name: str) -> int:
+        """The id for ``name``, assigning the next dense id on first sight."""
+        table = self._ids
+        symbol_id = table.get(name)
+        if symbol_id is None:
+            symbol_id = len(table)
+            table[name] = symbol_id
+            self._names.append(name)
+        return symbol_id
+
+    def name_of(self, symbol_id: int) -> str:
+        """The name behind an id (ids are dense, so this is a list index)."""
+        return self._names[symbol_id]
+
+
+#: The process-wide table used by the matrix layer (see module docstring).
+GLOBAL_SYMBOLS = SymbolTable()

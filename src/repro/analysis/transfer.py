@@ -45,8 +45,6 @@ from ..cache.policy import PolicyCache
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.backend import CacheBackend
 
-#: Internal placeholder handle used while re-binding a target handle.
-_PLACEHOLDER = "·fresh·"
 
 
 @dataclass
@@ -117,24 +115,26 @@ def apply_load_field(
       introduced).
 
     The old binding of ``a`` is discarded; ``a := a.f`` is handled correctly
-    by computing the new relationships against the *old* matrix first.
+    by computing the new relationships against the *old* matrix first,
+    setting them aside, and only writing them once the old binding is gone
+    — the old target's own relations die with the rebinding, so they are
+    never computed at all.
     """
     work = matrix.copy()
     work.add_handle(source)
-    work.add_handle(_PLACEHOLDER)
 
-    old_handles = [h for h in work.handles if h != _PLACEHOLDER]
-
-    # Paths into the new node (x -> a).
-    for other in old_handles:
-        base = PathSet.same() if other == source else work.get(other, source)
-        if base.is_empty:
+    # Paths into the new node (x -> a) and out of it (a -> x), computed
+    # from the pre-statement relations of ``source``.
+    into: List[Tuple[str, PathSet]] = []
+    out_of: List[Tuple[str, PathSet, Optional[bool]]] = []
+    for other in work.handles:
+        if other == target:
             continue
-        extended = PathSet(append_link(path, field_name, limits) for path in base)
-        work.set(other, _PLACEHOLDER, extended)
-
-    # Paths out of the new node (a -> x).
-    for other in old_handles:
+        base = PathSet.same() if other == source else work.get(other, source)
+        if not base.is_empty:
+            into.append(
+                (other, PathSet(append_link(path, field_name, limits) for path in base))
+            )
         if other == source:
             continue
         base = work.get(source, other)
@@ -142,19 +142,20 @@ def apply_load_field(
             continue
         remainders = base.map(lambda path: cancel_first(field_name, path, limits))
         if not remainders.is_empty:
-            work.set(_PLACEHOLDER, other, remainders)
             # Aliasing is symmetric: if cancelling the edge shows that the
             # loaded node may be the very node `other` names (an S path),
-            # record the S relationship in the other direction as well.
-            same_definiteness = remainders.definiteness_of_same()
-            if same_definiteness is not None:
-                work.add_paths(
-                    other, _PLACEHOLDER, PathSet.same(definite=same_definiteness)
-                )
+            # the S relationship is recorded in the other direction too.
+            out_of.append((other, remainders, remainders.definiteness_of_same()))
 
     work.remove_handle(target)
-    result = work.renamed({_PLACEHOLDER: target})
-    return result
+    work.add_handle(target)
+    for other, extended in into:
+        work.set(other, target, extended)
+    for other, remainders, same_definiteness in out_of:
+        work.set(target, other, remainders)
+        if same_definiteness is not None:
+            work.add_paths(other, target, PathSet.same(definite=same_definiteness))
+    return work
 
 
 def apply_store_field(
@@ -261,6 +262,54 @@ def apply_store_field(
 # ---------------------------------------------------------------------------
 
 
+def _dispatch_assign_nil(matrix, stmt, limits):
+    return TransferResult(apply_assign_nil(matrix, stmt.target))
+
+
+def _dispatch_assign_new(matrix, stmt, limits):
+    return TransferResult(apply_assign_new(matrix, stmt.target))
+
+
+def _dispatch_copy(matrix, stmt, limits):
+    return TransferResult(apply_copy(matrix, stmt.target, stmt.source))
+
+
+def _dispatch_load_field(matrix, stmt, limits):
+    return TransferResult(
+        apply_load_field(matrix, stmt.target, stmt.source, stmt.field_name, limits)
+    )
+
+
+def _dispatch_store_field(matrix, stmt, limits):
+    return apply_store_field(
+        matrix,
+        stmt.target,
+        stmt.field_name,
+        stmt.source,
+        statement_text=format_statement_inline(stmt),
+        limits=limits,
+    )
+
+
+def _dispatch_no_effect(matrix, stmt, limits):
+    return TransferResult(matrix.copy())
+
+
+#: Transfer-function dispatch keyed by exact statement type (the AST node
+#: classes are final dataclasses) — one dict probe instead of an
+#: isinstance chain per application.
+_BASIC_DISPATCH = {
+    ast.AssignNil: _dispatch_assign_nil,
+    ast.AssignNew: _dispatch_assign_new,
+    ast.CopyHandle: _dispatch_copy,
+    ast.LoadField: _dispatch_load_field,
+    ast.StoreField: _dispatch_store_field,
+    ast.LoadValue: _dispatch_no_effect,
+    ast.StoreValue: _dispatch_no_effect,
+    ast.ScalarAssign: _dispatch_no_effect,
+}
+
+
 def apply_basic_statement(
     matrix: PathMatrix,
     stmt: ast.BasicStmt,
@@ -271,27 +320,13 @@ def apply_basic_statement(
     Value/scalar statements (``x := a.value``, ``a.value := e``,
     ``x := e``) do not change the path matrix.
     """
-    if isinstance(stmt, ast.AssignNil):
-        return TransferResult(apply_assign_nil(matrix, stmt.target))
-    if isinstance(stmt, ast.AssignNew):
-        return TransferResult(apply_assign_new(matrix, stmt.target))
-    if isinstance(stmt, ast.CopyHandle):
-        return TransferResult(apply_copy(matrix, stmt.target, stmt.source))
-    if isinstance(stmt, ast.LoadField):
-        return TransferResult(
-            apply_load_field(matrix, stmt.target, stmt.source, stmt.field_name, limits)
-        )
-    if isinstance(stmt, ast.StoreField):
-        return apply_store_field(
-            matrix,
-            stmt.target,
-            stmt.field_name,
-            stmt.source,
-            statement_text=format_statement_inline(stmt),
-            limits=limits,
-        )
-    if isinstance(stmt, (ast.LoadValue, ast.StoreValue, ast.ScalarAssign)):
-        return TransferResult(matrix.copy())
+    handler = _BASIC_DISPATCH.get(type(stmt))
+    if handler is not None:
+        return handler(matrix, stmt, limits)
+    # Subclasses of the node types fall back to the isinstance chain.
+    for kind, fallback in _BASIC_DISPATCH.items():
+        if isinstance(stmt, kind):
+            return fallback(matrix, stmt, limits)
     raise TypeError(f"not a basic statement: {type(stmt).__name__}")
 
 
@@ -486,15 +521,20 @@ def apply_basic_statement_cached(
     any object with ``transfer_cache_hits``/``transfer_cache_misses`` and
     the widening counters); pass ``None`` to skip counting.
 
-    The input matrix is hash-consed first, so the cache key is
-    ``(id(stmt), limits, interned-input)`` — hashing uses the interned
-    matrix's precomputed hash and a hit is recognised by a pointer check.
-    (The interned input also shares its rows with the original, so the
-    incremental row accounting below is exact either way.)  Computed
-    result matrices are interned too: identical outputs reached through
-    different statements or control paths collapse to one object, which is
-    what lets every later equality, join and encode of that matrix
-    short-circuit.
+    The cache key is ``(id(stmt), limits, input-fingerprint)``.  The
+    fingerprint is an exact content snapshot built from the input's
+    interned *rows* (so hashing uses precomputed per-row hashes), which
+    makes the lookup just as precise as keying on a hash-consed matrix —
+    but **without** paying a whole-matrix intern on the cold path, where
+    the input is a scratch copy that will never be seen again.  Each such
+    avoided intern is counted as a ``lazy_intern_deferral``.  Computed
+    result matrices are *sealed*, not interned (counted as
+    ``scratch_matrices_elided``): sealing keeps them safely shareable
+    through the cache, while the hash-cons into the global matrix table is
+    deferred to the escape points that actually need identity semantics —
+    entry-matrix convergence, cache codec keys, ``canonical_form()`` and
+    shard boundaries — all of which still call
+    :meth:`~repro.analysis.matrix.PathMatrix.interned` themselves.
 
     Widening accounting: the events of a computed transfer are captured in
     a :class:`~repro.analysis.telemetry.WideningTally` (shadowing any
@@ -514,18 +554,22 @@ def apply_basic_statement_cached(
     """
     if cache is None:
         cache = GLOBAL_TRANSFER_CACHE
-    source = matrix.interned()
+    if stats is not None and not matrix.is_interned:
+        _bump(stats, "lazy_intern_deferrals")
     # The fingerprint embeds matrix.limits, but the transfer is computed with
     # the separate ``limits`` argument — key on it too so a caller passing
     # mismatched limits can never be served another configuration's result.
-    key = (id(stmt), limits, source)
+    # Sealed inputs (every matrix flowing through the pipeline) key on the
+    # matrix object itself: its content hash is cached, so the warm-path
+    # probe costs O(1) instead of re-hashing the fingerprint snapshot.
+    key = (id(stmt), limits, matrix if matrix.is_sealed else matrix.fingerprint())
     cached = cache.get(key)
     if cached is not None:
         result, widening = cached
         if stats is not None:
             stats.transfer_cache_hits += 1
             widening.add_into(stats)
-            _count_rows(stats, source, result.matrix)
+            _count_rows(stats, matrix, result.matrix)
         return result
 
     # In-memory miss: consult the persistent tier under the canonical key.
@@ -533,8 +577,8 @@ def apply_basic_statement_cached(
     if cache.backend is not None:
         from ..cache.codec import transfer_key
 
-        persistent_key = transfer_key(stmt, limits, source)
-        loaded = cache.load_persistent(persistent_key, source.limits)
+        persistent_key = transfer_key(stmt, limits, matrix)
+        loaded = cache.load_persistent(persistent_key, matrix.limits)
         if loaded is not None:
             result, widening = loaded
             evicted = cache.put(key, stmt, result, widening)
@@ -546,16 +590,19 @@ def apply_basic_statement_cached(
                 # possibly in another process or another run — so the
                 # telemetry reads exactly as if this application computed.
                 widening.add_into(stats)
-                _count_rows(stats, source, result.matrix)
+                _count_rows(stats, matrix, result.matrix)
             return result
 
     with widening_scope(WideningTally()) as widening:
-        result = apply_basic_statement(source, stmt, limits)
+        result = apply_basic_statement(matrix, stmt, limits)
     # Entering the cache makes the result shared across program points and
-    # future runs; interning seals it (a caller mutation fails loudly
-    # instead of silently poisoning every later hit) and gives identical
-    # outputs one canonical object.
-    result.matrix = result.matrix.interned()
+    # future runs; sealing makes a caller mutation fail loudly instead of
+    # silently poisoning every later hit.  Interning is deferred: the
+    # result stays out of the global matrix table unless an escape point
+    # later asks for identity semantics.
+    result.matrix = result.matrix.seal()
+    if stats is not None:
+        _bump(stats, "scratch_matrices_elided")
     evicted = cache.put(key, stmt, result, widening)
     if persistent_key is not None:
         cache.record_persistent(persistent_key, result, widening)
@@ -565,7 +612,7 @@ def apply_basic_statement_cached(
         if persistent_key is not None:
             _bump(stats, "persistent_cache_misses")
         widening.add_into(stats)
-        _count_rows(stats, source, result.matrix)
+        _count_rows(stats, matrix, result.matrix)
     return result
 
 
@@ -582,22 +629,33 @@ def merge_matrices_cached(
     cache: Optional[TransferCache] = None,
     stats=None,
 ) -> PathMatrix:
-    """Memoized control-flow join of two (hash-consed) matrices.
+    """Memoized control-flow join of two matrices.
 
-    The join is a pure function of its operands, so with interned inputs
-    it memoizes over an identity pair exactly like the statement
-    transfers: loop re-iterations and re-analyses that join the same
-    matrices get the previously computed (interned) result back with a
-    pointer lookup.  Widening events fired inside the join (oversized
-    entries collapsing) are captured on the miss and replayed on every
-    hit, keeping the telemetry deterministic per application.  In-memory
-    only — joins are cheap to recompute relative to codec space.
+    The join is a pure function of its operands, so it memoizes over the
+    pair of exact content fingerprints: loop re-iterations and re-analyses
+    that join the same matrices get the previously computed (sealed)
+    result back with one hash lookup — the fingerprints hash from the
+    operands' precomputed per-row hashes, so no whole-matrix intern is
+    paid on the cold path.  A hit returns the *same* sealed object every
+    time, which is what keeps the loop-convergence check
+    (``new_head == head``) a cheap row-pointer scan.  Widening events
+    fired inside the join (oversized entries collapsing) are captured on
+    the miss and replayed on every hit, keeping the telemetry
+    deterministic per application.  In-memory only — joins are cheap to
+    recompute relative to codec space.
     """
     if cache is None:
         cache = GLOBAL_TRANSFER_CACHE
-    left = first.interned()
-    right = second.interned()
-    key = ("join", left, right)
+    if stats is not None:
+        if not first.is_interned:
+            _bump(stats, "lazy_intern_deferrals")
+        if not second.is_interned:
+            _bump(stats, "lazy_intern_deferrals")
+    key = (
+        "join",
+        first if first.is_sealed else first.fingerprint(),
+        second if second.is_sealed else second.fingerprint(),
+    )
     cached = cache.get_join(key)
     if cached is not None:
         result, widening = cached
@@ -605,7 +663,9 @@ def merge_matrices_cached(
             widening.add_into(stats)
         return result
     with widening_scope(WideningTally()) as widening:
-        result = left.merge(right).interned()
+        result = first.merge(second).seal()
+    if stats is not None:
+        _bump(stats, "scratch_matrices_elided")
     cache.put_join(key, (result, widening))
     if stats is not None:
         widening.add_into(stats)

@@ -55,13 +55,32 @@ from .workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, 
 DEFAULT_ARTIFACT = "BENCH_analysis.json"
 
 
+def _family_arg(value: str) -> str:
+    """Validate ``--family``: one family, a comma list, or ``all``."""
+    if value == "all":
+        return value
+    for family in value.split(","):
+        if family not in FAMILIES:
+            raise argparse.ArgumentTypeError(
+                f"unknown family {family!r}; choose from "
+                f"{', '.join(FAMILIES)}, a comma-separated list, or 'all'"
+            )
+    return value
+
+
+def _family_list(args: argparse.Namespace) -> List[str]:
+    """The effective family round-robin of the population."""
+    return list(FAMILIES) if args.family == "all" else args.family.split(",")
+
+
 def _add_generator_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="base seed of the population")
     parser.add_argument(
         "--family",
-        choices=FAMILIES + ("all",),
+        type=_family_arg,
         default="all",
-        help="scenario family (default: round-robin over all families)",
+        help="scenario family or comma-separated list, e.g. dag,deep,mixed "
+        "(default: round-robin over all families)",
     )
     parser.add_argument(
         "--procedures", type=int, default=2, help="walker procedures per scenario"
@@ -164,7 +183,7 @@ def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
 
 
 def _population(args: argparse.Namespace, count: int) -> List[Scenario]:
-    families = None if args.family == "all" else [args.family]
+    families = None if args.family == "all" else args.family.split(",")
     return generate_scenarios(
         count, base_seed=args.seed, config=_generator_config(args), families=families
     )
@@ -365,8 +384,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     items += [(s.name, s.source) for s in scenarios]
     print(
         f"population: {len(WORKLOADS)} named workloads + {len(scenarios)} generated "
-        f"scenarios (seed {args.seed}, families "
-        f"{args.family if args.family != 'all' else ', '.join(FAMILIES)})"
+        f"scenarios (seed {args.seed}, families {', '.join(_family_list(args))})"
     )
 
     try:
@@ -403,7 +421,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "generated_scenarios": len(scenarios),
             "base_seed": args.seed,
             "adaptive_limits": bool(args.adaptive),
-            "families": list(FAMILIES) if args.family == "all" else [args.family],
+            "families": _family_list(args),
             # The *effective* (clamped) knobs the population was generated
             # with, not the raw CLI values.
             "generator": {
@@ -432,8 +450,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "sharded": report.as_dict(),
     }
 
+    ratchet_regressed = False
     if args.time or args.profile:
-        from .workloads.timing import PROFILE_TOP, format_timing, time_items
+        from .workloads.timing import (
+            DEFAULT_RATCHET_TOLERANCE,
+            PROFILE_TOP,
+            check_cold_medians,
+            format_profile_top,
+            format_ratchet,
+            format_timing,
+            time_items,
+        )
 
         # --profile alone only needs the profiled run per workload, not the
         # full timing medians — drop to a single rep in that case.
@@ -448,9 +475,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         print(format_timing(timing))
         if args.profile:
-            print(f"cProfile top-{PROFILE_TOP} tables written to {args.profile_dir}/")
+            profile_top = timing.get("profile_top")
+            if profile_top:
+                print(f"\naggregated cross-workload profile (top {PROFILE_TOP} "
+                      f"by total tottime):")
+                print(format_profile_top(profile_top))
+            print(f"cProfile top-{PROFILE_TOP} tables written to {args.profile_dir}/ "
+                  f"(aggregate: {args.profile_dir}/_aggregate.txt)")
         if args.time:
             artifact["timing"] = timing
+        if args.ratchet is not None:
+            if not args.time:
+                print("--ratchet requires --time", file=sys.stderr)
+                return 2
+            baseline_path = Path(args.ratchet)
+            try:
+                baseline_timing = json.loads(baseline_path.read_text())["timing"]
+            except (OSError, KeyError, json.JSONDecodeError) as error:
+                print(
+                    f"cannot load ratchet baseline timing from {baseline_path}: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            tolerance = (
+                args.ratchet_tolerance
+                if args.ratchet_tolerance is not None
+                else DEFAULT_RATCHET_TOLERANCE
+            )
+            verdict = check_cold_medians(timing, baseline_timing, tolerance=tolerance)
+            print(f"\ncold-median ratchet vs {baseline_path} "
+                  f"({verdict['workloads_compared']} shared workloads):")
+            print(format_ratchet(verdict))
+            artifact["ratchet"] = verdict
+            ratchet_regressed = bool(verdict["regressed"])
 
     verified: Optional[bool] = None
     if not args.no_verify:
@@ -467,7 +525,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     output.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
 
-    if report.failures or verified is False:
+    if report.failures or verified is False or ratchet_regressed:
         return 1
     return 0
 
@@ -605,6 +663,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump a cProfile top-20 per workload to the --profile-dir "
         "artifact directory (off by default)",
+    )
+    bench.add_argument(
+        "--ratchet",
+        metavar="BASELINE",
+        default=None,
+        help="cold-median ratchet: compare this run's --time cold medians "
+        "against the timing section of a committed bench artifact "
+        "(e.g. BENCH_analysis.json) and exit nonzero on regression "
+        "beyond --ratchet-tolerance; medians are normalized by each "
+        "side's calibration loop so baselines port across machines",
+    )
+    bench.add_argument(
+        "--ratchet-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="allowed fractional cold-median regression before the ratchet "
+        "fails (default: 0.5)",
     )
     bench.add_argument(
         "--profile-dir",

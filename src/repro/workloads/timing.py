@@ -9,17 +9,29 @@ module adds the missing wall-clock axis:
 * :func:`time_items` — analyze each ``(name, source)`` workload ``reps``
   times against a fresh :class:`~repro.analysis.engine.BatchAnalyzer`
   (cold per-rep transfer cache; the process-global interned path/matrix
-  domain stays warm, as it does in production) and record the **median**
-  wall time per workload, plus the **peak interning-table sizes** observed
-  across the run — the memory-side cost of hash-consing.
+  domain stays warm, as it does in production) and record the **cold
+  median** wall time per workload, the **warm median** (same analyzer,
+  transfer cache primed — the replay path PR 5 optimised), and the
+  **peak interning-table sizes** observed across the run — the
+  memory-side cost of hash-consing.
+* a **calibration loop** — a fixed pure-Python busy loop timed alongside
+  the workloads.  Committed baselines and CI runners have different
+  absolute speeds; dividing both sides' medians by their own calibration
+  time turns the cold-median ratchet into a machine-portable comparison.
 * an optional cProfile pass per workload (``profile_dir``): one extra
   analysis run under the profiler, with the top-20 cumulative-time rows
-  written to ``<profile_dir>/<workload>.txt``.
+  written to ``<profile_dir>/<workload>.txt`` — plus an **aggregated
+  cross-workload table** (top functions by total tottime over *all*
+  workloads) written to ``<profile_dir>/_aggregate.txt`` and returned in
+  the report, so the next hot spot is readable at a glance.
+* :func:`check_cold_medians` — the ratchet: compare a fresh timing
+  report's cold medians against a committed baseline with a tolerance,
+  failing when the (calibration-normalized) total regresses.
 
-``python -m repro bench --time [--profile]`` drives this and folds the
-result into the ``timing`` section of the bench artifact; the pytest bench
-(``benchmarks/test_ext_analysis_cost.py``) does the same for the committed
-``BENCH_analysis.json``.
+``python -m repro bench --time [--profile] [--ratchet BASELINE]`` drives
+this and folds the result into the ``timing`` section of the bench
+artifact; the pytest bench (``benchmarks/test_ext_analysis_cost.py``)
+does the same for the committed ``BENCH_analysis.json``.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ import pstats
 import statistics
 import time
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.limits import DEFAULT_LIMITS, LimitsLike
 from ..analysis.pathset import intern_table_sizes
@@ -43,6 +55,34 @@ DEFAULT_REPS = 5
 #: Rows printed to a profile artifact (cumulative-time order).
 PROFILE_TOP = 20
 
+#: Default headroom for the cold-median ratchet.  Generous because CI
+#: runners are noisy even after calibration normalization; a genuine
+#: representation regression (the interning tax was 10-15%) compounds
+#: across every workload and clears this comfortably.
+DEFAULT_RATCHET_TOLERANCE = 0.5
+
+
+def measure_calibration(reps: int = 3) -> float:
+    """Wall time of a fixed pure-Python busy loop (interpreter speed probe).
+
+    Deterministic work — integer arithmetic plus dict churn, the same mix
+    the analysis hot loops are made of — so the number depends only on the
+    interpreter and machine, never on the workload population.  The *min*
+    over a few reps is reported: it is the least noise-sensitive estimate
+    of the machine's speed, which is all the ratchet needs.
+    """
+    samples = []
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        accumulator = 0
+        table: Dict[int, int] = {}
+        for i in range(150_000):
+            accumulator += i & 7
+            if not i & 1023:
+                table[i] = accumulator
+        samples.append(time.perf_counter() - started)
+    return min(samples)
+
 
 def time_items(
     items: Sequence[Tuple[str, str]],
@@ -54,11 +94,13 @@ def time_items(
 
     Parsing and type checking happen once per workload, *outside* the
     timed region — the harness measures the analysis engine, not the front
-    end.  Each rep runs against a fresh ``BatchAnalyzer`` so the in-memory
-    transfer cache is cold (medians reflect computation, not replay);
-    interning tables are process-global and sampled after every workload
-    for their peak sizes.  Workloads that fail to load are reported under
-    ``failures`` instead of aborting the harness.
+    end.  Each **cold** rep runs against a fresh ``BatchAnalyzer`` so the
+    in-memory transfer cache is cold (``median_seconds`` reflects
+    computation, not replay); the **warm** reps re-analyze against one
+    primed analyzer (``warm_median_seconds`` reflects the memoized replay
+    path).  Interning tables are process-global and sampled after every
+    workload for their peak sizes.  Workloads that fail to load are
+    reported under ``failures`` instead of aborting the harness.
     """
     from ..analysis.engine import BatchAnalyzer
 
@@ -66,6 +108,7 @@ def time_items(
     workloads: Dict[str, Dict[str, object]] = {}
     failures: Dict[str, str] = {}
     peaks: Dict[str, int] = {}
+    aggregate_profile: Optional[pstats.Stats] = None
     started = time.perf_counter()
     for name, text in items:
         try:
@@ -79,6 +122,13 @@ def time_items(
             rep_started = time.perf_counter()
             batch.analyze(program, info)
             samples.append(time.perf_counter() - rep_started)
+        warm_batch = BatchAnalyzer(limits=limits)
+        warm_batch.analyze(program, info)  # prime the transfer cache
+        warm_samples = []
+        for _ in range(reps):
+            rep_started = time.perf_counter()
+            warm_batch.analyze(program, info)
+            warm_samples.append(time.perf_counter() - rep_started)
         for table, size in intern_table_sizes().items():
             peaks[table] = max(peaks.get(table, 0), size)
         workloads[name] = {
@@ -86,21 +136,37 @@ def time_items(
             "median_seconds": round(statistics.median(samples), 6),
             "min_seconds": round(min(samples), 6),
             "max_seconds": round(max(samples), 6),
+            "warm_median_seconds": round(statistics.median(warm_samples), 6),
+            "warm_min_seconds": round(min(warm_samples), 6),
         }
         if profile_dir is not None:
-            _profile_workload(name, program, info, limits, profile_dir)
-    return {
+            profiled = _profile_workload(name, program, info, limits, profile_dir)
+            if aggregate_profile is None:
+                aggregate_profile = profiled
+            else:
+                aggregate_profile.add(profiled)
+    report: Dict[str, object] = {
         "reps": reps,
         "seconds": round(time.perf_counter() - started, 4),
+        "calibration_seconds": round(measure_calibration(), 6),
         "workloads": workloads,
         "failures": failures,
         "intern_tables_peak": peaks,
         "profile_dir": profile_dir,
     }
+    if aggregate_profile is not None and profile_dir is not None:
+        report["profile_top"] = _write_aggregate_profile(aggregate_profile, profile_dir)
+    return report
 
 
-def _profile_workload(name: str, program, info, limits: LimitsLike, profile_dir: str) -> Path:
-    """One profiled analysis run; writes the top-20 table to the artifact dir."""
+def _profile_workload(
+    name: str, program, info, limits: LimitsLike, profile_dir: str
+) -> pstats.Stats:
+    """One profiled analysis run; writes the top-20 table to the artifact dir.
+
+    Returns the ``pstats.Stats`` so the caller can fold it into the
+    cross-workload aggregate.
+    """
     from ..analysis.engine import BatchAnalyzer
 
     batch = BatchAnalyzer(limits=limits)
@@ -111,24 +177,165 @@ def _profile_workload(name: str, program, info, limits: LimitsLike, profile_dir:
     finally:
         profiler.disable()
     buffer = io.StringIO()
-    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(PROFILE_TOP)
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
     directory = Path(profile_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    artifact = directory / f"{name}.txt"
-    artifact.write_text(buffer.getvalue())
-    return artifact
+    (directory / f"{name}.txt").write_text(buffer.getvalue())
+    return stats
+
+
+def _write_aggregate_profile(
+    aggregate: pstats.Stats, profile_dir: str, top: int = PROFILE_TOP
+) -> List[Dict[str, object]]:
+    """Cross-workload hot-spot table: top functions by summed tottime.
+
+    Per-workload profiles answer "why is *this* workload slow"; the
+    aggregate answers "where does the population's time go" — which is
+    the question a representation change has to face.  Written to
+    ``<profile_dir>/_aggregate.txt`` and returned as rows for the CLI
+    and the bench artifact.
+    """
+    rows: List[Dict[str, object]] = []
+    for (filename, lineno, function), (cc, ncalls, tottime, cumtime, _callers) in (
+        aggregate.stats.items()  # type: ignore[attr-defined]
+    ):
+        location = f"{Path(filename).name}:{lineno}({function})"
+        rows.append(
+            {
+                "function": location,
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["tottime"], reverse=True)
+    rows = rows[:top]
+    buffer = io.StringIO()
+    aggregate.stream = buffer
+    aggregate.sort_stats("tottime").print_stats(top)
+    directory = Path(profile_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    text = (
+        "aggregated cross-workload profile (sum over all profiled workloads)\n\n"
+        + format_profile_top(rows)
+        + "\n\nfull pstats table (tottime order):\n"
+        + buffer.getvalue()
+    )
+    (directory / "_aggregate.txt").write_text(text)
+    return rows
+
+
+def format_profile_top(rows: Sequence[Dict[str, object]]) -> str:
+    """Render the aggregated profile rows as an aligned table."""
+    lines = [f"{'tottime':>10s} {'cumtime':>10s} {'ncalls':>10s}  function"]
+    for row in rows:
+        lines.append(
+            f"{row['tottime']:10.4f} {row['cumtime']:10.4f} "
+            f"{row['ncalls']:>10} {'':1s} {row['function']}"
+        )
+    return "\n".join(lines)
+
+
+def check_cold_medians(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_RATCHET_TOLERANCE,
+) -> Dict[str, object]:
+    """The cold-median ratchet: fail when cold analysis time regresses.
+
+    Compares the cold ``median_seconds`` of every workload present in both
+    reports, normalized by each side's own ``calibration_seconds`` (when
+    both carry one) so a committed baseline measured on one machine gates
+    runs on another.  The verdict is on the **total** over the shared
+    workloads — per-workload medians jitter, but a representation
+    regression taxes every workload, so the sum is both the most stable
+    and the most sensitive statistic.  Returns a report dict whose
+    ``regressed`` flag the CLI turns into a nonzero exit.
+    """
+    current_workloads: Dict[str, Dict] = current.get("workloads", {})  # type: ignore[assignment]
+    baseline_workloads: Dict[str, Dict] = baseline.get("workloads", {})  # type: ignore[assignment]
+    shared = [name for name in baseline_workloads if name in current_workloads]
+
+    current_cal = current.get("calibration_seconds")
+    baseline_cal = baseline.get("calibration_seconds")
+    # Express the current run in the baseline machine's clock.
+    scale = 1.0
+    if current_cal and baseline_cal:
+        scale = float(baseline_cal) / float(current_cal)
+
+    rows = []
+    current_total = 0.0
+    baseline_total = 0.0
+    for name in shared:
+        normalized = current_workloads[name]["median_seconds"] * scale
+        reference = baseline_workloads[name]["median_seconds"]
+        current_total += normalized
+        baseline_total += reference
+        rows.append(
+            {
+                "name": name,
+                "current_seconds": round(normalized, 6),
+                "baseline_seconds": round(reference, 6),
+                "ratio": round(normalized / reference, 4) if reference else None,
+            }
+        )
+    total_ratio = current_total / baseline_total if baseline_total else None
+    return {
+        "workloads_compared": len(shared),
+        "calibration_scale": round(scale, 4),
+        "tolerance": tolerance,
+        "current_total_seconds": round(current_total, 6),
+        "baseline_total_seconds": round(baseline_total, 6),
+        "total_ratio": round(total_ratio, 4) if total_ratio is not None else None,
+        "regressed": bool(
+            total_ratio is not None and total_ratio > 1.0 + tolerance
+        ),
+        "rows": rows,
+    }
+
+
+def format_ratchet(result: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`check_cold_medians` verdict."""
+    lines = [
+        f"{'workload':24s} {'current':>10s} {'baseline':>10s} {'ratio':>7s}"
+    ]
+    for row in result["rows"]:
+        ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "n/a"
+        lines.append(
+            f"{row['name']:24s} {row['current_seconds']:10.6f} "
+            f"{row['baseline_seconds']:10.6f} {ratio:>7s}"
+        )
+    total_ratio = result["total_ratio"]
+    verdict = "REGRESSED" if result["regressed"] else "ok"
+    lines.append(
+        f"{'TOTAL':24s} {result['current_total_seconds']:10.6f} "
+        f"{result['baseline_total_seconds']:10.6f} "
+        f"{total_ratio if total_ratio is not None else 'n/a':>7} "
+        f"(tolerance +{result['tolerance']:.0%}, calibration scale "
+        f"{result['calibration_scale']}) -> {verdict}"
+    )
+    return "\n".join(lines)
 
 
 def format_timing(timing: Dict[str, object]) -> str:
     """Human-readable rendering of a :func:`time_items` result."""
-    lines = [f"{'workload':24s} {'median':>10s} {'min':>10s} {'max':>10s}"]
+    lines = [
+        f"{'workload':24s} {'cold-med':>10s} {'cold-min':>10s} "
+        f"{'cold-max':>10s} {'warm-med':>10s}"
+    ]
     for name, row in timing["workloads"].items():
+        warm = row.get("warm_median_seconds")
+        warm_text = f"{warm:10.6f}" if warm is not None else f"{'n/a':>10s}"
         lines.append(
             f"{name:24s} {row['median_seconds']:10.6f} "
-            f"{row['min_seconds']:10.6f} {row['max_seconds']:10.6f}"
+            f"{row['min_seconds']:10.6f} {row['max_seconds']:10.6f} {warm_text}"
         )
     for name, error in timing["failures"].items():
         lines.append(f"{name:24s} FAIL {error}")
+    calibration = timing.get("calibration_seconds")
+    if calibration:
+        lines.append(f"calibration loop: {calibration:.6f}s")
     peaks = timing["intern_tables_peak"]
     if peaks:
         lines.append(
