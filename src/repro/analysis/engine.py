@@ -267,6 +267,15 @@ class BatchAnalyzer:
     ``policy`` selects the in-memory eviction policy on its own — it works
     with or without a persistent tier (defaulting to the cache config's
     policy, then ``lru``), so policy comparisons don't require a store.
+
+    ``transfer_cache`` attaches an *existing* :class:`TransferCache` —
+    warm memoized transfers, persistent backend and all — instead of
+    building a private one.  This is how a long-lived host (the analysis
+    server in :mod:`repro.server`) gives every request a fresh
+    :class:`AnalysisStats` while all requests share one warm cache: the
+    batch then does **not** own the backend, so :meth:`close` flushes but
+    leaves the backend open for the next batch.  ``cache``/``policy`` are
+    rejected alongside it — the attached cache already made those choices.
     """
 
     def __init__(
@@ -275,10 +284,22 @@ class BatchAnalyzer:
         entry: str = "main",
         cache: Optional[CacheConfig] = None,
         policy: Optional[str] = None,
+        transfer_cache: Optional[TransferCache] = None,
     ):
         self.limits = limits
         self.entry = entry
         self.stats = AnalysisStats()
+        if transfer_cache is not None:
+            if cache is not None or policy is not None:
+                raise ValueError(
+                    "BatchAnalyzer(transfer_cache=...) shares an existing cache; "
+                    "cache/policy would silently be ignored — configure them on "
+                    "the shared TransferCache instead"
+                )
+            self.cache_config = None
+            self.cache = transfer_cache
+            self._owns_backend = False
+            return
         self.cache_config = cache.validated() if cache is not None else None
         backend = open_backend(self.cache_config) if self.cache_config is not None else None
         if policy is None:
@@ -288,15 +309,20 @@ class BatchAnalyzer:
             policy=policy,
             backend=backend,
         )
+        self._owns_backend = True
 
     def flush(self) -> None:
         """Write computed transfer deltas to the persistent store (if any)."""
         self.cache.flush(self.stats)
 
     def close(self) -> None:
-        """Flush deltas and release the persistent backend."""
+        """Flush deltas; release the persistent backend if this batch owns it.
+
+        A batch attached to a shared cache (``transfer_cache=...``) leaves
+        the backend open — the owning host closes it at *its* end of life.
+        """
         self.flush()
-        if self.cache.backend is not None:
+        if self._owns_backend and self.cache.backend is not None:
             self.cache.backend.close()
             self.cache.backend = None
 

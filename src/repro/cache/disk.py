@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -87,8 +88,18 @@ class DiskBackend:
         # Autocommit connection: transactions are managed explicitly with
         # BEGIN IMMEDIATE, so pysqlite's implicit-transaction machinery can
         # never collide with ours.
+        # check_same_thread=False + an internal lock: the long-lived
+        # analysis daemon drives one backend from its worker threads *and*
+        # its event loop (stats, shutdown flush), so thread affinity is the
+        # backend's problem, not every caller's.  The lock serializes all
+        # connection use — SQLite objects are safe to share but not to use
+        # concurrently.
+        self._lock = threading.RLock()
         self._connection = sqlite3.connect(
-            str(self.path), timeout=timeout, isolation_level=None
+            str(self.path),
+            timeout=timeout,
+            isolation_level=None,
+            check_same_thread=False,
         )
         self._connection.executescript(_SCHEMA)
         self._connection.execute("PRAGMA journal_mode=WAL")
@@ -104,21 +115,27 @@ class DiskBackend:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        row = self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        with self._lock:
+            row = self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()
         return int(row[0])
 
     def get(self, key: str) -> Optional[str]:
-        row = self._connection.execute(
-            "SELECT payload FROM entries WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
-            self._session_misses += 1
-            return None
-        self._session_hits += 1
-        self._touched[key] = self._touched.get(key, 0) + 1
-        return row[0]
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self._session_misses += 1
+                return None
+            self._session_hits += 1
+            self._touched[key] = self._touched.get(key, 0) + 1
+            return row[0]
 
     def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+        with self._lock:
+            return self._write_locked(pending)
+
+    def _write_locked(self, pending: Mapping[str, str]) -> Tuple[int, int]:
         connection = self._connection
         connection.execute("BEGIN IMMEDIATE")
         try:
@@ -167,17 +184,22 @@ class DiskBackend:
         bad row neither inflates the store's hit totals nor gets its
         recency refreshed on the way out.
         """
-        self._connection.execute("DELETE FROM entries WHERE key = ?", (key,))
-        touches = self._touched.pop(key, 0)
-        if touches:
-            self._session_hits -= touches
-            self._session_misses += touches
+        with self._lock:
+            self._connection.execute("DELETE FROM entries WHERE key = ?", (key,))
+            touches = self._touched.pop(key, 0)
+            if touches:
+                self._session_hits -= touches
+                self._session_misses += touches
 
     # ------------------------------------------------------------------
     # Management surface
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, object]:
         counters = {name: self._read_meta(name) for name in _COUNTERS}
         requests = counters["hits"] + counters["misses"]
         try:
@@ -202,6 +224,10 @@ class DiskBackend:
         }
 
     def clear(self) -> int:
+        with self._lock:
+            return self._clear_locked()
+
+    def _clear_locked(self) -> int:
         connection = self._connection
         connection.execute("BEGIN IMMEDIATE")
         try:
@@ -218,7 +244,8 @@ class DiskBackend:
         return dropped
 
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
     # ------------------------------------------------------------------
 

@@ -18,6 +18,12 @@ Four subcommands turn the reproduction into a workload-serving frontend:
   engine.
 * ``cache`` — inspect (``stats``) or empty (``clear``) a persistent
   transfer-cache store created with ``--cache-dir``.
+* ``serve`` — run the long-lived analysis daemon
+  (:mod:`repro.server`): one warm transfer cache + interned domain
+  serving ``analyze``/``bench``/``cache_stats`` requests to many clients
+  over a unix or TCP socket, until a ``shutdown`` request.
+* ``client`` — talk to a running daemon: ``ping``, ``version``,
+  ``analyze``, ``bench``, ``cache-stats``, ``shutdown``.
 
 ``analyze`` and ``bench`` accept the persistent-cache knobs: ``--cache-dir``
 (a disk store shards and *runs* share — rerunning against the same
@@ -598,6 +604,201 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Daemon: serve / client
+# ---------------------------------------------------------------------------
+
+
+def _endpoint_error(args: argparse.Namespace) -> Optional[str]:
+    """Validate the shared --socket | --host/--port endpoint flags."""
+    if bool(args.socket) == bool(args.host):
+        return "configure exactly one endpoint: --socket PATH or --host HOST --port PORT"
+    if args.host and args.port is None:
+        return "--host needs --port"
+    return None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import DEFAULT_MAX_FRAME, ServerConfig, run_server
+
+    message = _endpoint_error(args)
+    if message:
+        print(message, file=sys.stderr)
+        return 2
+    try:
+        cache = _cache_config(args)
+        config = ServerConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port if args.port is not None else 0,
+            workers=args.workers,
+            request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+            max_frame=args.max_frame if args.max_frame else DEFAULT_MAX_FRAME,
+            drain_timeout=args.drain_timeout,
+            limits=_effective_limits(args),
+            cache=cache,
+        ).validated()
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    where = args.socket or f"{args.host}:{args.port}"
+    store = f"{cache.backend} @ {cache.directory}" if cache else "memory (private)"
+    print(
+        f"analysis server listening on {where} "
+        f"(workers={config.workers}, persistent store: {store})",
+        flush=True,
+    )
+    return run_server(config)
+
+
+def _client(args: argparse.Namespace):
+    from .server import AnalysisClient
+    from .server.client import endpoint_kwargs
+
+    return AnalysisClient(
+        **endpoint_kwargs(args.socket, args.host, args.port), timeout=args.timeout
+    )
+
+
+def _print_response(response: Dict, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from .server import ProtocolMismatch, ServerError
+
+    message = _endpoint_error(args)
+    if message:
+        print(message, file=sys.stderr)
+        return 2
+    try:
+        with _client(args) as client:
+            return args.client_func(args, client)
+    except ServerError as error:
+        print(f"server error: {error}", file=sys.stderr)
+        return 1
+    except ProtocolMismatch as error:
+        print(f"protocol mismatch: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, FileNotFoundError, TimeoutError, OSError) as error:
+        print(f"cannot reach the analysis server: {error}", file=sys.stderr)
+        return 1
+
+
+def client_ping(args: argparse.Namespace, client) -> int:
+    alive = client.ping()
+    print("pong" if alive else "no pong")
+    return 0 if alive else 1
+
+
+def client_version(args: argparse.Namespace, client) -> int:
+    response = client.protocol_version()
+    if args.json:
+        return _print_response(response, True)
+    print(f"server:   {response['server']}")
+    print(f"protocol: {response['protocol']}")
+    print(f"ops:      {', '.join(response['ops'])}")
+    return 0
+
+
+def client_analyze(args: argparse.Namespace, client) -> int:
+    response = client.analyze(
+        workloads=args.names or None,
+        depth=args.depth,
+        adaptive=args.adaptive,
+        timeout=args.timeout_request,
+    )
+    if args.json:
+        return _print_response(response, True)
+    _print_workload_rows(response["results"], response["failures"])
+    stats = response["stats"]
+    print()
+    print(
+        f"analyzed {len(response['results'])} workloads in {response['seconds']}s "
+        f"(digest {response['results_digest'][:12]})"
+    )
+    print(
+        f"  transfer cache:   hits={stats['transfer_cache_hits']} "
+        f"misses={stats['transfer_cache_misses']} "
+        f"hit_rate={stats['transfer_cache_hit_rate']}"
+    )
+    print(
+        f"  persistent tier:  hits={stats['persistent_cache_hits']} "
+        f"misses={stats['persistent_cache_misses']} "
+        f"hit_rate={stats['persistent_cache_hit_rate']} "
+        f"writes={stats['persistent_cache_writes']}"
+    )
+    return 1 if response["failures"] else 0
+
+
+def client_bench(args: argparse.Namespace, client) -> int:
+    response = client.bench(
+        seeds=args.seeds,
+        family=args.family,
+        depth=args.depth,
+        seed=args.seed,
+        adaptive=args.adaptive,
+        timeout=args.timeout_request,
+    )
+    if args.json:
+        return _print_response(response, True)
+    population = response["population"]
+    print(
+        f"population: {population['named_workloads']} named workloads + "
+        f"{population['generated_scenarios']} generated scenarios "
+        f"(seed {population['base_seed']})"
+    )
+    print(
+        f"analyzed {len(response['results'])} workloads "
+        f"({len(response['failures'])} failed) in {response['seconds']:.3f}s"
+    )
+    stats = response["stats"]
+    print(
+        f"  persistent tier: hits={stats['persistent_cache_hits']} "
+        f"misses={stats['persistent_cache_misses']}"
+    )
+    return 1 if response["failures"] else 0
+
+
+def client_cache_stats(args: argparse.Namespace, client) -> int:
+    response = client.cache_stats()
+    if args.json:
+        return _print_response(response, True)
+    server = response["server"]
+    print(
+        f"server: up {server['uptime_seconds']}s, "
+        f"{server['requests_served']} analysis requests served "
+        f"({', '.join(f'{op}={n}' for op, n in sorted(server['requests_by_op'].items()))})"
+    )
+    print("lifetime stats:")
+    for key, value in sorted(response["lifetime_stats"].items()):
+        print(f"  {key:28s} {value}")
+    cache = response["transfer_cache"]
+    print(
+        f"transfer cache: {cache['entries']}/{cache['capacity']} entries "
+        f"(policy {cache['policy']}, {cache['evictions']} evictions)"
+    )
+    if response["persistent"]:
+        print("persistent store:")
+        for key, value in sorted(response["persistent"].items()):
+            print(f"  {key:28s} {value}")
+    print("intern tables:")
+    for key, value in sorted(response["intern_tables"].items()):
+        print(f"  {key:28s} {value}")
+    return 0
+
+
+def client_shutdown(args: argparse.Namespace, client) -> int:
+    response = client.shutdown()
+    print(
+        f"server stopping (served {response['requests_served']} analysis requests, "
+        f"{response['inflight']} in flight)"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -722,6 +923,113 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--cache-policy", choices=POLICIES, default="lru", help=argparse.SUPPRESS
         )
+
+    endpoint = argparse.ArgumentParser(add_help=False)
+    endpoint.add_argument(
+        "--socket", metavar="PATH", default=None, help="unix domain socket path"
+    )
+    endpoint.add_argument("--host", default=None, help="TCP bind/connect host")
+    endpoint.add_argument(
+        "--port", type=int, default=None, help="TCP port (0: ephemeral when serving)"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        parents=[endpoint],
+        help="run the long-lived analysis daemon over warm interning/cache state",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="bounded analysis worker pool size (default: 1)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-request budget for analyze/bench; 0 disables (default: 300)",
+    )
+    serve.add_argument(
+        "--max-frame",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="largest accepted/emitted frame payload (default: 8 MiB)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown wait for in-flight requests (default: 30)",
+    )
+    _add_limits_options(serve)
+    _add_cache_options(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="talk to a running analysis daemon (see: serve)"
+    )
+    client_commands = client.add_subparsers(dest="client_command", required=True)
+
+    def client_parser(name: str, func, help: str) -> argparse.ArgumentParser:
+        sub = client_commands.add_parser(name, parents=[endpoint], help=help)
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=120.0,
+            metavar="SECONDS",
+            help="client-side socket timeout (default: 120)",
+        )
+        sub.set_defaults(func=cmd_client, client_func=func)
+        return sub
+
+    client_parser("ping", client_ping, "liveness round trip")
+    version = client_parser(
+        "version", client_version, "protocol-version handshake + op vocabulary"
+    )
+    c_analyze = client_parser(
+        "analyze", client_analyze, "analyze named workloads on the warm server"
+    )
+    c_analyze.add_argument("names", nargs="*", help="workload names (default: all)")
+    c_analyze.add_argument("--depth", type=int, default=4, help="workload depth constant")
+    c_analyze.add_argument(
+        "--timeout-request",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request budget (may lower the server's, never raise it)",
+    )
+    _add_limits_options(c_analyze)
+    c_bench = client_parser(
+        "bench", client_bench, "run a generated population on the warm server"
+    )
+    c_bench.add_argument(
+        "--seeds", type=int, default=10, metavar="N", help="generated scenarios"
+    )
+    c_bench.add_argument(
+        "--family", type=_family_arg, default="all", help="scenario families"
+    )
+    c_bench.add_argument("--depth", type=int, default=4, help="structure depth")
+    c_bench.add_argument("--seed", type=int, default=0, help="base seed")
+    c_bench.add_argument(
+        "--timeout-request",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request budget (may lower the server's, never raise it)",
+    )
+    _add_limits_options(c_bench)
+    stats_cmd = client_parser(
+        "cache-stats",
+        client_cache_stats,
+        "server-lifetime stats, cache occupancy and intern-table sizes",
+    )
+    client_parser("shutdown", client_shutdown, "graceful shutdown: drain, flush, exit")
+    for sub in (version, c_analyze, c_bench, stats_cmd):
+        sub.add_argument("--json", action="store_true", help="machine-readable output")
 
     return parser
 

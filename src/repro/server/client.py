@@ -1,0 +1,230 @@
+"""A small synchronous client for the analysis daemon.
+
+:class:`AnalysisClient` owns one socket, performs the hello handshake
+(refusing to talk across a :data:`~repro.server.protocol.PROTOCOL_VERSION`
+mismatch), and exposes one method per server op.  It is what
+``python -m repro client ...`` and the protocol test-suites build on —
+deliberately synchronous, because callers are scripts and tests, not event
+loops; concurrency is exercised by running many clients, each with its own
+connection.
+
+Requests are numbered per connection and responses are matched on the
+echoed ``id``; :meth:`send` / :meth:`recv` are exposed separately for
+callers that want to pipeline several frames before reading any response
+(the server answers strictly in order per connection).
+
+Error responses raise :class:`ServerError` carrying the structured
+``code``/``message`` pair, so callers can tell a ``timeout`` from a
+``bad_request`` without string-matching.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+
+class ServerError(RuntimeError):
+    """The server answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str, error: Dict[str, Any]):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        #: The full structured ``error`` object, details included.
+        self.error = error
+
+
+class ProtocolMismatch(RuntimeError):
+    """The server speaks a different protocol version than this client."""
+
+
+class AnalysisClient:
+    """One connection to an analysis daemon (unix socket or TCP)."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ):
+        if bool(socket_path) == bool(host):
+            raise ValueError(
+                "configure exactly one endpoint: socket_path (unix) or host/port (tcp)"
+            )
+        if host and port is None:
+            raise ValueError("a TCP endpoint needs a port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self.hello: Optional[Dict[str, Any]] = None
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        """Connect and complete the hello handshake; returns the hello frame."""
+        if self._sock is not None:
+            return self.hello
+        if self.socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            address: Any = self.socket_path
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            address = (self.host, self.port)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(address)
+            hello = recv_frame(sock, self.max_frame)
+        except Exception:
+            sock.close()
+            raise
+        if hello is None:
+            sock.close()
+            raise ProtocolError("server closed the connection before saying hello")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            sock.close()
+            raise ProtocolMismatch(
+                f"server speaks protocol {hello.get('protocol')!r}, "
+                f"this client speaks {PROTOCOL_VERSION}"
+            )
+        self._sock = sock
+        self.hello = hello
+        return hello
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "AnalysisClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # framing
+    # ------------------------------------------------------------------
+
+    def send(self, op: str, **params: Any) -> int:
+        """Send one request frame without waiting; returns its ``id``.
+
+        Pair with :meth:`recv` to pipeline several requests on one
+        connection — the server answers in order.
+        """
+        self.connect()
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op}
+        request.update(params)
+        send_frame(self._sock, request, self.max_frame)
+        return self._next_id
+
+    def recv(self) -> Dict[str, Any]:
+        """Read the next response frame."""
+        if self._sock is None:
+            raise ProtocolError("not connected")
+        response = recv_frame(self._sock, self.max_frame)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        return response
+
+    def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One request/response round trip; returns the raw response."""
+        request_id = self.send(op, **params)
+        response = self.recv()
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        return response
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """A round trip that raises :class:`ServerError` on ``ok: false``."""
+        response = self.call(op, **params)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", "unknown"), error.get("message", ""), error
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # one method per op
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def protocol_version(self) -> Dict[str, Any]:
+        return self.request("protocol_version")
+
+    def analyze(
+        self,
+        workloads: Optional[List[str]] = None,
+        programs: Optional[List[Dict[str, str]]] = None,
+        depth: int = 4,
+        adaptive: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"depth": depth, "adaptive": adaptive}
+        if workloads is not None:
+            params["workloads"] = list(workloads)
+        if programs is not None:
+            params["programs"] = list(programs)
+        if timeout is not None:
+            params["timeout"] = timeout
+        return self.request("analyze", **params)
+
+    def bench(
+        self,
+        seeds: int = 10,
+        family: str = "all",
+        depth: int = 4,
+        seed: int = 0,
+        adaptive: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "seeds": seeds,
+            "family": family,
+            "depth": depth,
+            "seed": seed,
+            "adaptive": adaptive,
+        }
+        if timeout is not None:
+            params["timeout"] = timeout
+        return self.request("bench", **params)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self.request("cache_stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Request graceful shutdown; the server responds, then stops."""
+        return self.request("shutdown")
+
+
+def endpoint_kwargs(
+    socket_path: Optional[str], host: Optional[str], port: Optional[int]
+) -> Dict[str, Any]:
+    """Normalized endpoint kwargs shared by the CLI's serve/client commands."""
+    if socket_path:
+        return {"socket_path": socket_path}
+    return {"host": host, "port": port}

@@ -1,0 +1,282 @@
+"""The warm analysis service behind the daemon's protocol layer.
+
+One :class:`AnalysisService` owns everything the one-shot CLI used to tear
+down between invocations:
+
+* one **server-lifetime** :class:`~repro.analysis.transfer.TransferCache`
+  with an open persistent :class:`~repro.cache.backend.CacheBackend`
+  behind it (a private in-process memory store by default, a disk store
+  shared with the batch CLI when configured);
+* the process-global interned path/matrix domain and ``GLOBAL_SYMBOLS``
+  table, which stay hot simply because the process stays alive;
+* server-lifetime merged :class:`~repro.analysis.context.AnalysisStats`.
+
+Every request gets a *fresh* :class:`~repro.analysis.engine.BatchAnalyzer`
+attached to the shared cache (``transfer_cache=...``), so per-request
+stats are exact deltas; the request's items run through
+:meth:`~repro.workloads.suite.ShardedSuiteRunner.run_warm` — the same
+suite machinery the sharded CLI uses, pointed at the warm batch instead of
+fresh worker processes — and the per-request stats are merged into the
+lifetime totals that ``cache_stats`` reports.
+
+Why the second request is cheap: the in-memory transfer memo keys on
+``id(stmt)``, so a re-submitted program (freshly parsed, new statement
+objects) misses it — but the persistent tier keys on **content**, so every
+transfer the first request computed is decoded instead of recomputed.
+That read-through is the nonzero ``persistent_cache_hit_rate`` the
+one-shot CLI could never show.
+
+The service is thread-safe under the daemon's bounded worker pool: one
+internal lock serializes the analysis itself (the interning tables are
+process-global and convergence is pointer-based, so analysis must not
+race), while snapshot reads (``cache_stats``) stay lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.context import AnalysisStats
+from ..analysis.engine import BatchAnalyzer
+from ..analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike, base_limits
+from ..analysis.pathset import intern_table_sizes
+from ..analysis.transfer import TransferCache
+from ..cache.backend import CacheConfig, open_backend
+from ..workloads.generators import FAMILIES, GeneratorConfig, generate_scenarios
+from ..workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
+
+#: Operations the service implements (the daemon adds ping/protocol_version,
+#: which never reach the service).
+SERVICE_OPS = ("analyze", "bench", "cache_stats")
+
+
+class RequestError(ValueError):
+    """A request was well-framed but semantically invalid (→ ``bad_request``)."""
+
+
+def _stats_payload(stats: AnalysisStats) -> Dict[str, float]:
+    """Counters plus the derived hit rates, without the process-global tables."""
+    payload: Dict[str, float] = dict(stats.counters())
+    payload["transfer_cache_hit_rate"] = round(stats.transfer_cache_hit_rate, 4)
+    payload["persistent_cache_hit_rate"] = round(stats.persistent_cache_hit_rate, 4)
+    return payload
+
+
+class AnalysisService:
+    """Warm shared analysis state + the request handlers over it."""
+
+    def __init__(
+        self,
+        limits: LimitsLike = DEFAULT_LIMITS,
+        cache: Optional[CacheConfig] = None,
+        entry: str = "main",
+    ):
+        self.limits = limits
+        self.entry = entry
+        # A daemon without an explicit store still deserves a persistent
+        # tier — it is the whole point of staying alive.  The in-process
+        # memory backend under a unique namespace gives cross-*request*
+        # content-addressed hits without touching disk; a CacheConfig from
+        # the CLI (--cache-dir) swaps in a store shared with batch runs.
+        self.cache_config = (
+            cache.validated()
+            if cache is not None
+            else CacheConfig(
+                backend="memory", directory=f"analysis-server-{uuid.uuid4().hex}"
+            )
+        )
+        self.cache = TransferCache(
+            base_limits(limits).transfer_cache_size,
+            policy=self.cache_config.policy,
+            backend=open_backend(self.cache_config),
+        )
+        self.started_at = time.time()
+        self.requests_served = 0
+        self.requests_by_op: Dict[str, int] = {op: 0 for op in SERVICE_OPS}
+        self._lifetime = AnalysisStats()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # request parsing
+    # ------------------------------------------------------------------
+
+    def _items(self, params: Mapping[str, Any]) -> List[Tuple[str, str]]:
+        """The (name, source) items an ``analyze`` request names.
+
+        ``workloads`` picks named suite programs (all of them when the
+        request names neither workloads nor inline programs); ``programs``
+        carries inline ``{"name": ..., "source": ...}`` SIL sources.
+        """
+        names = params.get("workloads")
+        programs = params.get("programs")
+        if names is None and programs is None:
+            names = list(WORKLOADS)
+        names = list(names or [])
+        unknown = [name for name in names if name not in WORKLOADS]
+        if unknown:
+            raise RequestError(
+                f"unknown workloads: {unknown}; known: {sorted(WORKLOADS)}"
+            )
+        depth = params.get("depth", 4)
+        if not isinstance(depth, int) or depth < 1:
+            raise RequestError(f"depth must be a positive integer, got {depth!r}")
+        items = [(name, source(name, depth=depth)) for name in names]
+        for entry in programs or []:
+            if (
+                not isinstance(entry, Mapping)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("source"), str)
+            ):
+                raise RequestError(
+                    'each inline program must be {"name": <str>, "source": <str>}'
+                )
+            items.append((entry["name"], entry["source"]))
+        if not items:
+            raise RequestError("nothing to analyze: empty workloads/programs")
+        return items
+
+    def _request_limits(self, params: Mapping[str, Any]) -> LimitsLike:
+        if params.get("adaptive", False):
+            return AnalysisLimits.adaptive(base_limits(self.limits))
+        return self.limits
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def analyze(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Analyze named workloads / inline programs against the warm state."""
+        items = self._items(params)
+        try:
+            runner = ShardedSuiteRunner(items, shards=1)
+        except ValueError as error:  # duplicate names
+            raise RequestError(str(error)) from None
+        report = self._run_warm(runner, self._request_limits(params))
+        self._count("analyze")
+        return {
+            "results": report.results,
+            "failures": report.failures,
+            "widening": report.widening,
+            "results_digest": report.results_digest(),
+            "stats": _stats_payload(report.stats),
+            "intern_table_growth": report.intern_tables,
+            "seconds": round(report.seconds, 4),
+        }
+
+    def bench(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """A whole population (named workloads + generated scenarios), warm.
+
+        The daemon's counterpart of ``python -m repro bench``: the same
+        generator population and the same suite-runner report shape, but
+        served from the warm cache instead of fresh worker processes.
+        """
+        seeds = params.get("seeds", 10)
+        if not isinstance(seeds, int) or seeds < 0:
+            raise RequestError(f"seeds must be a non-negative integer, got {seeds!r}")
+        family = params.get("family", "all")
+        families = None if family == "all" else str(family).split(",")
+        for name in families or []:
+            if name not in FAMILIES:
+                raise RequestError(
+                    f"unknown family {name!r}; known: {', '.join(FAMILIES)}"
+                )
+        config = GeneratorConfig(
+            procedures=params.get("procedures", 2),
+            depth=params.get("depth", 4),
+            aliasing=params.get("aliasing", 0.3),
+        ).clamped()
+        scenarios = generate_scenarios(
+            seeds, base_seed=params.get("seed", 0), config=config, families=families
+        )
+        items = [(name, source(name, depth=min(config.depth, 4))) for name in WORKLOADS]
+        items += [(s.name, s.source) for s in scenarios]
+        report = self._run_warm(
+            ShardedSuiteRunner(items, shards=1), self._request_limits(params)
+        )
+        self._count("bench")
+        payload = report.as_dict()
+        payload["population"] = {
+            "named_workloads": len(WORKLOADS),
+            "generated_scenarios": len(scenarios),
+            "base_seed": params.get("seed", 0),
+            "families": list(families) if families else list(FAMILIES),
+        }
+        return payload
+
+    def cache_stats(self, params: Mapping[str, Any] = None) -> Dict[str, Any]:
+        """Server-lifetime totals, cache occupancy and store statistics."""
+        self._count("cache_stats")  # before the snapshot: the call counts itself
+        backend = self.cache.backend
+        payload = {
+            "server": {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests_served": self.requests_served,
+                "requests_by_op": dict(self.requests_by_op),
+            },
+            "lifetime_stats": _stats_payload(self._lifetime),
+            "transfer_cache": {
+                "entries": len(self.cache),
+                "capacity": self.cache.capacity,
+                "policy": self.cache.policy,
+                "evictions": self.cache.evictions,
+            },
+            "persistent": backend.stats() if backend is not None else None,
+            "intern_tables": intern_table_sizes(),
+        }
+        self._count("cache_stats")
+        return payload
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def lifetime_stats(self) -> AnalysisStats:
+        return self._lifetime
+
+    def flush(self) -> None:
+        """Write any buffered transfer deltas to the persistent store."""
+        with self._lock:
+            self.cache.flush(self._lifetime)
+
+    def close(self) -> None:
+        """Flush and release the persistent backend (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.cache.flush(self._lifetime)
+            if self.cache.backend is not None:
+                self.cache.backend.close()
+                self.cache.backend = None
+
+    # ------------------------------------------------------------------
+
+    def _run_warm(self, runner: ShardedSuiteRunner, limits: LimitsLike) -> ShardedSuiteReport:
+        """One request through the warm batch, lifetime totals updated.
+
+        The lock serializes actual analysis across the daemon's worker
+        threads: the interned domain is process-global and convergence is
+        a pointer check, so two interleaved analyses could otherwise race
+        the hash-cons tables.  Protocol-level concurrency (many clients,
+        pipelined frames) is the daemon's job; compute is serialized here.
+        """
+        with self._lock:
+            if self._closed:
+                raise RequestError("service is closed")
+            batch = BatchAnalyzer(
+                limits=limits, entry=self.entry, transfer_cache=self.cache
+            )
+            report = runner.run_warm(batch)
+            # run_warm reports are exact deltas, so lifetime totals stay the
+            # sum of the per-request stats the responses carried.
+            self._lifetime = self._lifetime.merge(report.stats)
+            self.requests_served += 1
+        return report
+
+    def _count(self, op: str) -> None:
+        self.requests_by_op[op] = self.requests_by_op.get(op, 0) + 1

@@ -593,42 +593,48 @@ def analyze_suite(
 # ---------------------------------------------------------------------------
 
 
-def _analyze_shard(payload: ShardPayload) -> Dict:
-    """Analyze one shard of ``(name, source)`` pairs; returns plain data.
+def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
+    """Analyze ``(name, source)`` pairs through a caller-provided batch.
 
-    Runs in a worker process: parses each source through the real front
-    end, analyzes against a shard-private transfer cache and stats object,
-    and ships back canonical (process-independent, picklable) encodings —
-    never live ``AnalysisResult`` objects, whose ``id()``-keyed recorders
-    and interned domain values do not survive pickling meaningfully.
+    The single implementation of the per-shard analysis loop, shared by the
+    forked shard workers (:func:`_analyze_shard`, which builds a fresh
+    :class:`~repro.analysis.engine.BatchAnalyzer` per shard) and the
+    long-lived analysis server (:mod:`repro.server`, which hands in a batch
+    attached to its *warm* server-lifetime transfer cache).  Parses each
+    source through the real front end and ships back canonical
+    (process-independent, picklable) encodings — never live
+    ``AnalysisResult`` objects, whose ``id()``-keyed recorders and interned
+    domain values do not survive pickling meaningfully.
 
-    With a :class:`~repro.cache.backend.CacheConfig` in the payload the
-    shard opens the shared persistent store itself (backends never cross
-    process boundaries) and reads through to it — a warm store means the
-    shard decodes transfers other runs or other shards already computed —
-    then flushes its computed deltas in one batch when the shard completes.
+    All reported numbers are **deltas over this call**, not absolute
+    process state, which is what makes the output additive across shards
+    and across a server's requests:
 
-    Besides the shard-wide counters, the output carries a per-workload
-    **widening telemetry** row: the widening-counter deltas attributable to
-    that workload (escalation re-runs included), the number of adaptive
-    escalations it took, and the final :class:`AnalysisLimits` rung its
-    result was produced under.  Because transfer-cache hits *replay* the
-    widening counts captured at compute time, these deltas are exact and
-    additive — sharding never loses or double-counts a widening event.
+    * ``stats`` — the growth of ``batch.stats`` counters during this call
+      (identical to the absolute counters for a fresh batch).  The batch is
+      flushed *before* the snapshot, so persistent write/eviction totals
+      are included.
+    * ``widening`` — a per-workload telemetry row: the widening-counter
+      deltas attributable to that workload (escalation re-runs included),
+      the number of adaptive escalations it took, and the final
+      :class:`AnalysisLimits` rung its result was produced under.  Because
+      transfer-cache hits *replay* the widening counts captured at compute
+      time, these deltas are exact — sharding or serving never loses or
+      double-counts a widening event.
+    * ``intern_tables`` — growth of this process's global interning tables
+      while the call ran (fork workers inherit the parent's tables
+      pre-populated, so absolute sizes would double-count the parent's
+      interning).
 
-    The output also reports the **interning-table growth** of this worker:
-    the hash-consing tables are process-global, so the parent's own table
-    sizes say nothing about what forked/spawned workers interned — each
-    shard snapshots the sizes before and after its work and ships the
-    delta, which the merged report sums across shards.
+    The caller keeps ownership of ``batch``: this flushes computed
+    transfer deltas (one write batch per call) but never closes the
+    persistent backend.
     """
-    from ..analysis.engine import BatchAnalyzer
     from ..analysis.pathset import intern_table_sizes
 
-    shard_index, pairs, limits, cache, policy = payload
     started = time.perf_counter()
     tables_before = intern_table_sizes()
-    batch = BatchAnalyzer(limits=limits, cache=cache, policy=policy)
+    counters_before = batch.stats.counters()
     results: Dict[str, Dict] = {}
     failures: Dict[str, str] = {}
     widening: Dict[str, Dict] = {}
@@ -651,25 +657,48 @@ def _analyze_shard(payload: ShardPayload) -> Dict:
         except Exception as error:  # noqa: BLE001 - surfaced per workload
             failures[name] = f"{type(error).__name__}: {error}"
     # Flush computed transfer deltas to the shared store (one write batch
-    # per shard) *before* snapshotting the counters, so the write/eviction
+    # per call) *before* snapshotting the counters, so the write/eviction
     # totals merge with the rest of the stats.
-    batch.close()
+    batch.flush()
+    counters_after = batch.stats.counters()
     return {
-        "shard": shard_index,
+        "shard": shard,
         "workloads": [name for name, _ in pairs],
         "results": results,
         "failures": failures,
         "widening": widening,
-        "stats": batch.stats.counters(),
-        # Growth of this worker's process-global interning tables while the
-        # shard ran (fork workers inherit the parent's tables pre-populated,
-        # so absolute sizes would double-count the parent's interning).
+        "stats": {
+            name: counters_after[name] - counters_before.get(name, 0)
+            for name in counters_after
+        },
         "intern_tables": {
             table: max(0, size - tables_before.get(table, 0))
             for table, size in intern_table_sizes().items()
         },
         "seconds": time.perf_counter() - started,
     }
+
+
+def _analyze_shard(payload: ShardPayload) -> Dict:
+    """Analyze one shard of ``(name, source)`` pairs; returns plain data.
+
+    Runs in a worker process: builds a shard-private
+    :class:`~repro.analysis.engine.BatchAnalyzer` and drives the shared
+    :func:`analyze_pairs` loop over the shard's items.  With a
+    :class:`~repro.cache.backend.CacheConfig` in the payload the shard
+    opens the shared persistent store itself (backends never cross process
+    boundaries) and reads through to it — a warm store means the shard
+    decodes transfers other runs or other shards already computed — then
+    flushes its computed deltas in one batch when the shard completes.
+    """
+    from ..analysis.engine import BatchAnalyzer
+
+    shard_index, pairs, limits, cache, policy = payload
+    batch = BatchAnalyzer(limits=limits, cache=cache, policy=policy)
+    try:
+        return analyze_pairs(batch, pairs, shard=shard_index)
+    finally:
+        batch.close()
 
 
 @dataclass
@@ -894,6 +923,26 @@ class ShardedSuiteRunner:
         """The same suite, analyzed inline as one shard (the reference run)."""
         started = time.perf_counter()
         output = _analyze_shard((0, list(self.items), self.limits, self.cache, self.policy))
+        if progress is not None:
+            progress(output)
+        return self._merge([output], time.perf_counter() - started)
+
+    def run_warm(self, batch, progress=None) -> ShardedSuiteReport:
+        """The same suite, analyzed inline through a caller-provided batch.
+
+        This is the analysis server's backend path (:mod:`repro.server`):
+        the server owns one warm :class:`~repro.analysis.engine.
+        BatchAnalyzer` attached to its lifetime transfer cache and runs
+        every request's items through it in-process, so memoized transfers,
+        the persistent tier and the interned path/matrix domain all stay
+        hot across requests.  The report's stats are the *growth* during
+        this run (see :func:`analyze_pairs`), so per-request reports sum
+        exactly into server-lifetime totals.  The runner's own ``limits``/
+        ``cache``/``policy`` are ignored — the batch already owns those
+        choices; the batch is flushed but left open.
+        """
+        started = time.perf_counter()
+        output = analyze_pairs(batch, list(self.items), shard=0)
         if progress is not None:
             progress(output)
         return self._merge([output], time.perf_counter() - started)

@@ -18,6 +18,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.analysis import analyze_program  # noqa: E402
+from repro.analysis.pathset import intern_table_sizes  # noqa: E402
 from repro.parallel import parallelize_program  # noqa: E402
 from repro.sil import check_program  # noqa: E402
 from repro.workloads import load  # noqa: E402
@@ -56,6 +57,39 @@ def parallelized(name: str, depth: int = 4):
         result = parallelize_program(program, info)
         _PARALLEL_CACHE[key] = (result, check_program(result.program))
     return _PARALLEL_CACHE[key]
+
+
+class InternTableSnapshot:
+    """Process-global intern-table sizes frozen at fixture setup.
+
+    The interning tables are process-global and weak: their absolute sizes
+    depend on which tests ran earlier (and what they still keep alive), so
+    a bare ``intern_table_sizes()[...] > 0`` assertion passes in a full run
+    but fails when the test is the first to touch the tables.  Tests take
+    this fixture, do their own interning work (holding references so the
+    weak entries survive), and assert on :meth:`growth` — the delta since
+    setup — which is order-independent by construction.
+    """
+
+    def __init__(self):
+        self.before = intern_table_sizes()
+
+    def current(self):
+        return intern_table_sizes()
+
+    def growth(self):
+        now = intern_table_sizes()
+        return {table: now[table] - self.before.get(table, 0) for table in now}
+
+
+@pytest.fixture
+def intern_tables():
+    """Snapshot of the intern tables; asserts the vocabulary stays stable."""
+    snapshot = InternTableSnapshot()
+    yield snapshot
+    # Tables may grow or (weakly) shrink during a test, but the *set* of
+    # reported tables is part of the stats contract and must not change.
+    assert set(intern_table_sizes()) == set(snapshot.before)
 
 
 @pytest.fixture

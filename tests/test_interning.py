@@ -158,8 +158,17 @@ class TestPathSetInterning:
         big = PathSet.parse("L1, L2, R1")
         assert big.collapse(limits) is big.collapse(limits)
 
-    def test_intern_tables_reported(self):
-        tables = intern_table_sizes()
+    def test_intern_tables_reported(self, intern_tables):
+        # Counts this large appear nowhere else in the suite, so the parse
+        # must intern fresh entries; the held reference keeps the weak
+        # table rows alive across the growth read.
+        # (>= 1, not an exact count: the tables are weak, so unrelated
+        # entries may be collected between the snapshot and this read.)
+        held = PathSet.parse("L6401, L6402, R6403")  # noqa: F841
+        growth = intern_tables.growth()
+        assert growth["paths_interned"] >= 1
+        assert growth["pathsets_interned"] >= 1
+        tables = intern_tables.current()
         assert tables["paths_interned"] > 0
         assert tables["pathsets_interned"] > 0
 

@@ -184,9 +184,15 @@ class TestCodecRoundTripsToSameObject:
         redecoded, _ = decode_entry(payload, DEFAULT_LIMITS)
         assert redecoded.matrix is matrix
 
-    def test_intern_tables_reported(self):
-        held = sample_matrix([("a", "b", "L1")]).interned()  # noqa: F841 - keeps the weak entry alive
-        tables = intern_table_sizes()
+    def test_intern_tables_reported(self, intern_tables):
+        # A path count this large appears nowhere else in the suite, so
+        # interning this matrix must grow the tables; the held reference
+        # keeps the weak entries alive across the growth read.
+        held = sample_matrix([("a", "b", "L7901")]).interned()  # noqa: F841
+        growth = intern_tables.growth()
+        assert growth["matrices_interned"] >= 1
+        assert growth["matrix_rows_interned"] >= 1
+        tables = intern_tables.current()
         assert tables["matrices_interned"] > 0
         assert tables["matrix_rows_interned"] > 0
 

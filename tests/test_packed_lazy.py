@@ -190,8 +190,8 @@ class TestLazyInterningCounters:
             # transfer layer produced.
             assert stats.scratch_matrices_elided >= stats.matrix_intern_hits, family
 
-    def test_intern_table_report_covers_the_new_tables(self):
-        sizes = intern_table_sizes()
+    def test_intern_table_report_covers_the_new_tables(self, intern_tables):
+        sizes = intern_tables.current()
         for table in (
             "segments_interned",
             "symbols_interned",
@@ -201,3 +201,10 @@ class TestLazyInterningCounters:
             "matrix_rows_interned",
         ):
             assert table in sizes and sizes[table] >= 0, table
+        # The snapshot fixture sees the same vocabulary — the report is
+        # stable within a process, wherever in the run it is read.
+        assert set(intern_tables.before) == set(sizes)
+        # A segment count this large appears nowhere else in the suite:
+        # fresh interning work is visible as growth even on a cold start.
+        held = PathSet.parse("D6779")  # noqa: F841
+        assert intern_tables.growth()["segments_interned"] >= 1

@@ -1,0 +1,163 @@
+"""Concurrency tests: many clients, pipelined frames, dying peers.
+
+The daemon multiplexes connections on one event loop and admits heavy
+requests through a bounded worker pool (the service itself serializes the
+actual analysis — the interned domain is process-global).  What must hold
+under pressure:
+
+* N clients hammering one server each get complete, correctly-framed,
+  non-interleaved responses — and identical analysis results;
+* frames pipelined on one connection are answered strictly in request
+  order;
+* a client that vanishes mid-request costs the server nothing: later
+  clients are served as if nothing happened;
+* a ``shutdown`` from one client stops the daemon cleanly while others
+  are connected.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.server import AnalysisClient, AnalysisServer, ServerConfig
+from repro.server.protocol import send_frame
+
+CLIENTS = 8
+
+
+@pytest.fixture
+def server(tmp_path):
+    daemon = AnalysisServer(
+        ServerConfig(socket_path=str(tmp_path / "analysis.sock"), workers=2)
+    ).start_background()
+    yield daemon
+    daemon.request_stop()
+    assert daemon.join(timeout=10)
+
+
+def connect(server, timeout: float = 60.0) -> AnalysisClient:
+    client = AnalysisClient(socket_path=server.config.socket_path, timeout=timeout)
+    client.connect()
+    return client
+
+
+class TestConcurrentClients:
+    def test_n_clients_get_complete_matching_responses(self, server):
+        outcomes = [None] * CLIENTS
+
+        def worker(index: int) -> None:
+            try:
+                with connect(server) as client:
+                    # Interleave op kinds so fast (inline) and heavy
+                    # (worker-pool) dispatch mix across connections.
+                    assert client.ping() is True
+                    response = client.analyze(["dag_sharing"])
+                    stats = client.cache_stats()
+                    outcomes[index] = (
+                        response["results_digest"],
+                        sorted(response["results"]),
+                        stats["server"]["requests_served"] > 0,
+                    )
+            except Exception as error:  # surfaced via the outcomes check
+                outcomes[index] = error
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        errors = [o for o in outcomes if isinstance(o, Exception)]
+        assert not errors, errors
+        assert None not in outcomes, "a client thread never finished"
+        # Every client decoded complete frames (the id check inside
+        # AnalysisClient.call guarantees responses were not interleaved)
+        # and every analysis produced the same bits.
+        digests = {digest for digest, _names, _served in outcomes}
+        assert len(digests) == 1
+        assert all(names == ["dag_sharing"] for _d, names, _s in outcomes)
+
+    def test_lifetime_totals_survive_the_stampede(self, server):
+        def worker() -> None:
+            with connect(server) as client:
+                client.analyze(["add_and_reverse"])
+
+        threads = [threading.Thread(target=worker) for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        with connect(server) as client:
+            stats = client.cache_stats()
+        assert stats["server"]["requests_served"] == CLIENTS
+        assert stats["server"]["requests_by_op"]["analyze"] == CLIENTS
+
+
+class TestPipelining:
+    def test_pipelined_frames_are_answered_in_request_order(self, server):
+        with connect(server) as client:
+            ids = [
+                client.send("ping"),
+                client.send("analyze", workloads=["dag_sharing"]),
+                client.send("cache_stats"),
+                client.send("ping"),
+            ]
+            responses = [client.recv() for _ in ids]
+        assert [response["id"] for response in responses] == ids
+        assert responses[0]["pong"] is True
+        assert "results_digest" in responses[1]
+        assert "lifetime_stats" in responses[2]
+        assert responses[3]["pong"] is True
+
+
+class TestDyingPeers:
+    def test_client_cancelled_mid_request_leaves_the_server_healthy(self, server):
+        # A raw socket: fire an analyze request and slam the connection
+        # shut without reading a single response byte.
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(server.config.socket_path)
+        send_frame(sock, {"id": 1, "op": "analyze", "workloads": ["dag_sharing"]})
+        sock.close()
+
+        # The server shrugs: a fresh client gets full service.
+        with connect(server) as client:
+            assert client.ping() is True
+            response = client.analyze(["dag_sharing"])
+            assert not response["failures"]
+
+    def test_peer_vanishing_mid_frame_is_dropped_silently(self, server):
+        # Half a header, then gone — the TruncatedFrame path.
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10)
+        sock.connect(server.config.socket_path)
+        sock.sendall(b"\x00\x00")
+        sock.close()
+        with connect(server) as client:
+            assert client.ping() is True
+
+
+class TestShutdownWithPeers:
+    def test_shutdown_from_one_client_stops_the_daemon(self, server):
+        bystander = connect(server)
+        try:
+            with connect(server) as instigator:
+                response = instigator.shutdown()
+                assert response["ok"] is True
+                assert response["stopping"] is True
+            assert server.join(timeout=10)
+            # The daemon is gone: the bystander's connection is dead and
+            # the socket file has been unlinked.
+            assert not Path(server.config.socket_path).exists()
+        finally:
+            bystander.close()

@@ -1,0 +1,160 @@
+"""Warm-state tests: the reason the daemon exists.
+
+A one-shot CLI run can never see a persistent-cache hit against its own
+writes — the process dies between runs.  A daemon can: its in-memory
+transfer memo keys on ``id(stmt)`` (so a re-submitted program, freshly
+parsed, misses it) while the persistent tier keys on **content** — so the
+second request of the same program is served from the store the first
+request populated, inside one server process.
+
+Pinned here:
+
+* the second identical ``analyze`` request shows
+  ``persistent_cache_hit_rate > 0`` (the PR's acceptance criterion), with
+  bit-identical results;
+* server-lifetime stats reported by ``cache_stats`` are exactly the sum
+  of the per-request stats carried in the responses;
+* graceful shutdown flushes the persistent store (a disk store survives
+  with the first request's transfers in it).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.analysis.pathset import intern_table_sizes
+from repro.cache import STORE_FILENAME, CacheConfig, DiskBackend
+from repro.server import AnalysisClient, AnalysisServer, ServerConfig
+
+NAMES = ["dag_sharing", "add_and_reverse", "tree_mirror"]
+
+#: Derived ratios carried alongside the raw counters in stats payloads —
+#: excluded when summing per-request counters into lifetime totals.
+DERIVED = ("transfer_cache_hit_rate", "persistent_cache_hit_rate")
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A *fresh* daemon per test: warm-state assertions need a cold start."""
+    daemon = AnalysisServer(
+        ServerConfig(socket_path=str(tmp_path / "analysis.sock"))
+    ).start_background()
+    yield daemon
+    daemon.request_stop()
+    assert daemon.join(timeout=10)
+
+
+@pytest.fixture
+def client(server):
+    with AnalysisClient(socket_path=server.config.socket_path, timeout=60) as handle:
+        yield handle
+
+
+class TestWarmSecondRequest:
+    def test_persistent_hit_rate_nonzero_across_two_requests(self, client):
+        first = client.analyze(NAMES)["stats"]
+        second_response = client.analyze(NAMES)
+        second = second_response["stats"]
+
+        # Request 1 populated the store...
+        assert first["persistent_cache_writes"] > 0
+        # ... and request 2 is served from it: every transfer the first
+        # request computed comes back as a content-addressed read.
+        assert second["persistent_cache_hits"] > 0
+        assert second["persistent_cache_hit_rate"] > 0
+        assert second["persistent_cache_misses"] == 0
+        assert second["persistent_cache_writes"] == 0
+        assert second["persistent_cache_hit_rate"] > first["persistent_cache_hit_rate"]
+
+    def test_warm_results_are_bit_identical(self, client):
+        first = client.analyze(NAMES)
+        second = client.analyze(NAMES)
+        assert first["results_digest"] == second["results_digest"]
+        assert first["results"] == second["results"]
+        assert not first["failures"] and not second["failures"]
+
+    def test_inline_resubmission_is_warm_too(self, client):
+        # Content-addressing keys on program *content*, not workload names:
+        # the same source resubmitted inline hits the store all the same.
+        from repro.workloads.suite import source
+
+        text = source("dag_sharing", depth=4)
+        client.analyze(workloads=[], programs=[{"name": "one", "source": text}])
+        warm = client.analyze(workloads=[], programs=[{"name": "two", "source": text}])
+        assert warm["stats"]["persistent_cache_hit_rate"] > 0
+        assert warm["stats"]["persistent_cache_misses"] == 0
+
+
+class TestLifetimeStats:
+    def test_lifetime_totals_are_the_sum_of_per_request_stats(self, client):
+        responses = [
+            client.analyze(NAMES[:1]),
+            client.analyze(NAMES[:2]),
+            client.analyze(NAMES),
+        ]
+        lifetime = client.cache_stats()["lifetime_stats"]
+        for counter in lifetime:
+            if counter in DERIVED:
+                continue
+            total = sum(r["stats"][counter] for r in responses)
+            assert lifetime[counter] == total, counter
+
+    def test_server_section_counts_requests(self, client):
+        client.analyze(NAMES[:1])
+        client.analyze(NAMES[:1])
+        stats = client.cache_stats()
+        assert stats["server"]["requests_served"] == 2
+        assert stats["server"]["requests_by_op"]["analyze"] == 2
+        assert stats["server"]["requests_by_op"]["cache_stats"] >= 1
+        assert stats["server"]["uptime_seconds"] >= 0
+
+    def test_cache_stats_reports_warm_state(self, client):
+        client.analyze(NAMES)
+        stats = client.cache_stats()
+        assert stats["transfer_cache"]["entries"] > 0
+        assert stats["transfer_cache"]["capacity"] >= stats["transfer_cache"]["entries"]
+        assert stats["persistent"] is not None
+        assert stats["persistent"]["entries"] > 0
+        # The intern tables it reports are the process-global ones — the
+        # same vocabulary (and, in-process, the same sizes) as a direct
+        # read of intern_table_sizes().
+        assert set(stats["intern_tables"]) == set(intern_table_sizes())
+
+
+class TestShutdownFlush:
+    def test_graceful_shutdown_flushes_a_disk_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        daemon = AnalysisServer(
+            ServerConfig(
+                socket_path=str(tmp_path / "analysis.sock"),
+                cache=CacheConfig(backend="disk", directory=store_dir),
+            )
+        ).start_background()
+        with AnalysisClient(socket_path=daemon.config.socket_path, timeout=60) as handle:
+            response = handle.analyze(NAMES[:1])
+            assert response["stats"]["persistent_cache_writes"] > 0
+            handle.shutdown()
+        assert daemon.join(timeout=10)
+        # The daemon is gone; its transfers are not.
+        assert (Path(store_dir) / STORE_FILENAME).exists()
+        backend = DiskBackend(store_dir)
+        try:
+            assert backend.stats()["entries"] > 0
+        finally:
+            backend.close()
+
+    def test_shutdown_unlinks_the_unix_socket(self, tmp_path):
+        path = tmp_path / "analysis.sock"
+        daemon = AnalysisServer(ServerConfig(socket_path=str(path))).start_background()
+        assert path.exists()
+        with AnalysisClient(socket_path=str(path), timeout=30) as handle:
+            handle.shutdown()
+        assert daemon.join(timeout=10)
+        assert not path.exists()
