@@ -34,6 +34,13 @@ from .paths import (
     subsumes,
 )
 from .pathset import PathSet
+from .reanalysis import (
+    IncrementalSession,
+    ReanalysisReport,
+    VisitMemo,
+    cold_solve,
+    result_digest,
+)
 from .structure import Certainty, DiagnosticKind, StructureDiagnostic
 from .summaries import ProcedureSummary, compute_summaries
 from .transfer import (
@@ -99,4 +106,9 @@ __all__ = [
     "apply_copy",
     "apply_load_field",
     "apply_store_field",
+    "IncrementalSession",
+    "ReanalysisReport",
+    "VisitMemo",
+    "cold_solve",
+    "result_digest",
 ]

@@ -27,7 +27,7 @@ workload suite shares one memoization space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..sil import ast
 from ..sil.typecheck import TypeInfo
@@ -38,6 +38,9 @@ from .symbols import GLOBAL_SYMBOLS, SymbolTable
 from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary
 from .transfer import GLOBAL_TRANSFER_CACHE, TransferCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from .reanalysis import VisitMemo
 
 
 @dataclass
@@ -120,6 +123,18 @@ class AnalysisStats:
     #: Packed-segment integer operations executed by the path kernels
     #: (normalization, concat, cancellation) while this context was active.
     packed_segment_ops: int = 0
+    #: Worklist visits answered from the cross-run visit memo: the procedure
+    #: was popped with an entry matrix (and limits) it had already been
+    #: analyzed under in a previous run, so its recorded summary was reused
+    #: by pointer instead of re-analyzed (see
+    #: :mod:`repro.analysis.reanalysis`).
+    summaries_reused: int = 0
+    #: Memoized procedure visits dropped by delta-driven invalidation before
+    #: a re-analysis (the dirty procedures' recordings).
+    summaries_invalidated: int = 0
+    #: Size of the dirty seed a re-analysis started from: directly-edited
+    #: procedures plus their reverse-call-graph dependents.
+    dirty_seed_size: int = 0
 
     #: The additive counter fields, in ``as_dict`` order.  Derived values
     #: (hit rate) and the global intern-table sizes are excluded.
@@ -149,6 +164,9 @@ class AnalysisStats:
         "scratch_matrices_elided",
         "lazy_intern_deferrals",
         "packed_segment_ops",
+        "summaries_reused",
+        "summaries_invalidated",
+        "dirty_seed_size",
     )
 
     #: The widening-telemetry subset of :data:`COUNTER_FIELDS` — the
@@ -335,6 +353,19 @@ class AnalysisContext:
     #: every context must agree on id assignment.  Exposed here so analysis
     #: layers can reach it without importing :mod:`repro.analysis.symbols`.
     symbols: SymbolTable = field(default_factory=lambda: GLOBAL_SYMBOLS)
+
+    #: Cross-run memo of completed procedure visits, keyed by
+    #: ``(name, limits, interned entry matrix)``.  ``None`` (the default)
+    #: disables cross-run reuse entirely; :class:`repro.analysis.reanalysis.
+    #: IncrementalSession` threads one memo through successive solves of
+    #: edited program versions.
+    visit_memo: Optional["VisitMemo"] = None
+    #: Epoch the in-memory transfer-cache ``id(stmt)`` keys are scoped to.
+    #: Bare contexts share epoch 0 (so ad-hoc ``analyze_program`` calls keep
+    #: hitting the process-wide cache across calls); every
+    #: :class:`~repro.analysis.engine.BatchAnalyzer` allocates a fresh epoch
+    #: so reused CPython object ids can never collide across batches.
+    memo_epoch: int = 0
 
     # Filled by the pipeline passes.
     summaries: Optional[Dict[str, ProcedureSummary]] = None

@@ -26,6 +26,7 @@ identical results.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -41,6 +42,14 @@ from .pipeline import run_pipeline
 from .structure import StructureDiagnostic
 from .summaries import ProcedureSummary, compute_summaries
 from .transfer import TransferCache
+
+#: Distinct epochs for the ``id(stmt)``-keyed in-memory transfer-cache keys.
+#: Epoch 0 is reserved for bare contexts (ad-hoc :func:`analyze_program`
+#: calls against the process-wide cache); every :class:`BatchAnalyzer`
+#: draws a fresh one, so a statement id recycled by CPython after one batch
+#: dies can never alias a live entry recorded by another batch sharing the
+#: same :class:`TransferCache`.
+_MEMO_EPOCHS = itertools.count(1)
 
 
 @dataclass
@@ -289,6 +298,12 @@ class BatchAnalyzer:
         self.limits = limits
         self.entry = entry
         self.stats = AnalysisStats()
+        #: Scopes this batch's ``id(stmt)``-keyed transfer-cache entries.
+        self.memo_epoch = next(_MEMO_EPOCHS)
+        #: Cross-run procedure-visit memo; attached by
+        #: :class:`repro.analysis.reanalysis.IncrementalSession`, ``None``
+        #: (no cross-run reuse) for ordinary batches.
+        self.visit_memo = None
         if transfer_cache is not None:
             if cache is not None or policy is not None:
                 raise ValueError(
@@ -346,6 +361,8 @@ class BatchAnalyzer:
                 entry_name=self.entry,
                 stats=self.stats,
                 transfer_cache=self.cache,
+                visit_memo=self.visit_memo,
+                memo_epoch=self.memo_epoch,
             )
             run_pipeline(context)
             info = context.info  # reuse type info across escalation re-runs

@@ -141,6 +141,7 @@ class ProcedureAnalyzer:
                     self.limits,
                     cache=context.transfer_cache,
                     stats=context.stats,
+                    epoch=context.memo_epoch,
                 )
             else:
                 result = apply_basic_statement(matrix, stmt, self.limits)
@@ -240,6 +241,7 @@ class ProcedureAnalyzer:
             _bump(context.stats, "lazy_intern_deferrals")
         key = (
             "call",
+            context.memo_epoch,
             id(stmt),
             self.limits,
             matrix if matrix.is_sealed else matrix.fingerprint(),

@@ -125,18 +125,46 @@ def solve_pass(context: AnalysisContext) -> None:
         1, len(program.all_callables)
     )
 
+    memo = context.visit_memo
+
     while pending:
         name = pending.popleft()
         queued.discard(name)
         delta = pending_rows.pop(name, None)
         stats.worklist_pops += 1
 
-        visit = AnalysisRecorder()
-        visit.entry_delta = frozenset(delta) if delta is not None else None
-        analyzer = ProcedureAnalyzer(
-            program, context.info, context.summaries, limits, visit, context=context
-        )
-        analyzer.analyze_procedure(program.callable(name), entries[name])
+        # Cross-run reuse: a visit recording is a pure function of the
+        # procedure body, the (interned) entry matrix, the limits and the
+        # direct callees' summaries — and the memo is invalidated along
+        # reverse call edges whenever any of those could have changed (see
+        # repro.analysis.reanalysis).  A hit replays the visit by pointer:
+        # same recorder, same call-site projections, and the widening
+        # counters the original visit advanced are re-applied so warm
+        # telemetry is bit-identical to a cold solve.
+        visit = None
+        if memo is not None:
+            cached = memo.get(name, limits, entries[name])
+            if cached is not None:
+                visit, widening_delta = cached
+                visit.entry_delta = frozenset(delta) if delta is not None else None
+                stats.summaries_reused += 1
+                for counter, amount in widening_delta.items():
+                    setattr(stats, counter, getattr(stats, counter) + amount)
+        if visit is None:
+            visit = AnalysisRecorder()
+            visit.entry_delta = frozenset(delta) if delta is not None else None
+            if memo is not None:
+                widening_before = stats.widening_counters()
+            analyzer = ProcedureAnalyzer(
+                program, context.info, context.summaries, limits, visit, context=context
+            )
+            analyzer.analyze_procedure(program.callable(name), entries[name])
+            if memo is not None:
+                widening_delta = {
+                    counter: getattr(stats, counter) - widening_before[counter]
+                    for counter in stats.WIDENING_FIELDS
+                }
+                memo.put(name, limits, entries[name], visit, widening_delta)
         last_visit[name] = visit
 
         for callee, projected in visit.call_sites:

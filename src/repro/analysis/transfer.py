@@ -366,7 +366,7 @@ class TransferCache:
     :meth:`flush` — call it when a run or shard completes.
     """
 
-    __slots__ = ("policy", "backend", "_entries", "_joins", "_pending")
+    __slots__ = ("policy", "backend", "_entries", "_joins", "_pending", "_pending_labels")
 
     def __init__(
         self,
@@ -385,6 +385,10 @@ class TransferCache:
         self.backend = backend
         #: Encoded (key -> payload) deltas computed since the last flush.
         self._pending: Dict[str, str] = {}
+        #: Statement label of each pending key (see :func:`repro.sil.delta.
+        #: statement_label`) — flushed alongside the payloads so persistent
+        #: backends can invalidate by edited statement.
+        self._pending_labels: Dict[str, str] = {}
 
     @property
     def capacity(self) -> int:
@@ -463,7 +467,11 @@ class TransferCache:
             return None
 
     def record_persistent(
-        self, persistent_key: str, result: TransferResult, widening: "WideningTally"
+        self,
+        persistent_key: str,
+        result: TransferResult,
+        widening: "WideningTally",
+        stmt: Optional[ast.BasicStmt] = None,
     ) -> None:
         """Buffer a computed transfer for the next :meth:`flush`."""
         if self.backend is None or persistent_key in self._pending:
@@ -471,6 +479,10 @@ class TransferCache:
         from ..cache.codec import encode_entry
 
         self._pending[persistent_key] = encode_entry(result, widening)
+        if stmt is not None:
+            from ..sil.delta import statement_label
+
+            self._pending_labels[persistent_key] = statement_label(stmt)
 
     def flush(self, stats=None) -> Tuple[int, int]:
         """Write buffered deltas (and read touches) to the backend.
@@ -480,8 +492,9 @@ class TransferCache:
         """
         if self.backend is None:
             return 0, 0
-        written, evicted = self.backend.write(self._pending)
+        written, evicted = self.backend.write(self._pending, labels=self._pending_labels)
         self._pending.clear()
+        self._pending_labels.clear()
         if stats is not None:
             _bump(stats, "persistent_cache_writes", written)
             _bump(stats, "persistent_cache_evictions", evicted)
@@ -492,6 +505,62 @@ class TransferCache:
         self._entries.clear()
         self._joins.clear()
         self._pending.clear()
+        self._pending_labels.clear()
+
+    # ------------------------------------------------------------------
+    # Targeted invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_statements(self, labels) -> int:
+        """Drop every cached transfer of the given statement labels.
+
+        ``labels`` is a set of :func:`repro.sil.delta.statement_label`
+        strings — the statements an edit removed or rewrote.  All three
+        tiers are swept: the in-memory transfer entries (whose values pin
+        their statement objects, so the label is recomputed exactly), the
+        memoized call projections, the unflushed pending deltas, and the
+        persistent backend (statement labels are stored with each row).
+        Everything else is kept — this is the delete-by-key-set contract
+        incremental re-analysis relies on, replacing all-or-nothing
+        ``clear()``.  Returns the total number of entries dropped.
+        """
+        doomed = set(labels)
+        if not doomed:
+            return 0
+        from ..sil.delta import statement_label
+
+        dropped = 0
+        stale_keys = [
+            key
+            for key, value in self._entries.items()
+            if statement_label(value[0]) in doomed
+        ]
+        for key in stale_keys:
+            self._entries.remove(key)
+        dropped += len(stale_keys)
+
+        stale_joins = [
+            key
+            for key, value in self._joins.items()
+            if key[0] == "call" and statement_label(value[0]) in doomed
+        ]
+        for key in stale_joins:
+            self._joins.remove(key)
+        dropped += len(stale_joins)
+
+        stale_pending = [
+            key
+            for key, label in self._pending_labels.items()
+            if label in doomed
+        ]
+        for key in stale_pending:
+            self._pending.pop(key, None)
+            del self._pending_labels[key]
+        dropped += len(stale_pending)
+
+        if self.backend is not None:
+            dropped += self.backend.invalidate(doomed)
+        return dropped
 
 
 #: Process-wide default cache shared by every analysis that does not supply
@@ -514,6 +583,7 @@ def apply_basic_statement_cached(
     limits: AnalysisLimits = DEFAULT_LIMITS,
     cache: Optional[TransferCache] = None,
     stats=None,
+    epoch: int = 0,
 ) -> TransferResult:
     """Memoizing wrapper around :func:`apply_basic_statement`.
 
@@ -521,7 +591,15 @@ def apply_basic_statement_cached(
     any object with ``transfer_cache_hits``/``transfer_cache_misses`` and
     the widening counters); pass ``None`` to skip counting.
 
-    The cache key is ``(id(stmt), limits, input-fingerprint)``.  The
+    ``epoch`` scopes the ``id(stmt)`` component of the in-memory key: two
+    :class:`~repro.analysis.engine.BatchAnalyzer` instances sharing one
+    :class:`TransferCache` pass distinct epochs, so a statement id CPython
+    recycles after one batch's program dies can never alias a live entry
+    recorded by the other (the persistent tier is content-addressed and
+    needs no such scoping).  Bare callers share epoch 0.
+
+    The in-memory cache key is ``(epoch, id(stmt), limits,
+    input-fingerprint)``.  The
     fingerprint is an exact content snapshot built from the input's
     interned *rows* (so hashing uses precomputed per-row hashes), which
     makes the lookup just as precise as keying on a hash-consed matrix —
@@ -562,7 +640,7 @@ def apply_basic_statement_cached(
     # Sealed inputs (every matrix flowing through the pipeline) key on the
     # matrix object itself: its content hash is cached, so the warm-path
     # probe costs O(1) instead of re-hashing the fingerprint snapshot.
-    key = (id(stmt), limits, matrix if matrix.is_sealed else matrix.fingerprint())
+    key = (epoch, id(stmt), limits, matrix if matrix.is_sealed else matrix.fingerprint())
     cached = cache.get(key)
     if cached is not None:
         result, widening = cached
@@ -605,7 +683,7 @@ def apply_basic_statement_cached(
         _bump(stats, "scratch_matrices_elided")
     evicted = cache.put(key, stmt, result, widening)
     if persistent_key is not None:
-        cache.record_persistent(persistent_key, result, widening)
+        cache.record_persistent(persistent_key, result, widening, stmt=stmt)
     if stats is not None:
         stats.transfer_cache_misses += 1
         _bump(stats, "transfer_cache_evictions", evicted)

@@ -54,12 +54,29 @@ class CacheBackend(Protocol):
     def get(self, key: str) -> Optional[str]:
         """The payload stored under ``key``, or ``None``; records a touch."""
 
-    def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+    def write(
+        self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
+    ) -> Tuple[int, int]:
         """Flush computed deltas and touch metadata; enforce capacity.
 
         Returns ``(written, evicted)`` — entries newly admitted (a key
         already present counts zero: the store is content-addressed, equal
         keys hold equal payloads) and entries evicted by the policy.
+        ``labels`` optionally maps pending keys to their statement labels
+        (:func:`repro.sil.delta.statement_label`), stored alongside each
+        row so :meth:`invalidate` can sweep by edited statement.
+        """
+
+    def invalidate(self, labels) -> int:
+        """Drop every entry recorded under the given statement labels.
+
+        The targeted counterpart of :meth:`clear`: rows whose statement was
+        removed or rewritten by an edit are deleted, everything else stays
+        warm.  Rows written before label tracking (or via a labels-less
+        :meth:`write`) have no label and are never matched — which is safe:
+        the store is content-addressed, so a stale row can never be looked
+        up by the edited program; invalidation reclaims space, it does not
+        guard correctness.  Returns the number of entries dropped.
         """
 
     def discard(self, key: str) -> None:

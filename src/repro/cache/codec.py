@@ -51,7 +51,7 @@ from ..analysis.pathset import PathSet
 from ..analysis.structure import Certainty, DiagnosticKind, StructureDiagnostic
 from ..analysis.telemetry import WideningTally
 from ..sil import ast
-from ..sil.printer import _format_inline as format_statement_inline
+from ..sil.delta import statement_identity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # Imported lazily at runtime: repro.analysis.transfer imports the policy
@@ -77,8 +77,13 @@ def _canonical_json(document: object) -> str:
 
 
 def canonical_statement(stmt: ast.BasicStmt) -> List[str]:
-    """``[kind, rendering]`` — the content identity of a basic statement."""
-    return [type(stmt).__name__, format_statement_inline(stmt)]
+    """``[kind, rendering]`` — the content identity of a basic statement.
+
+    Delegates to :func:`repro.sil.delta.statement_identity` so the differ's
+    change spans and the persistent keys can never disagree about what "the
+    same statement" means.
+    """
+    return list(statement_identity(stmt))
 
 
 def canonical_limits(limits: AnalysisLimits) -> Dict[str, int]:

@@ -49,7 +49,8 @@ CREATE TABLE IF NOT EXISTS entries (
     payload   TEXT NOT NULL,
     created   INTEGER NOT NULL,
     last_used INTEGER NOT NULL,
-    hits      INTEGER NOT NULL DEFAULT 0
+    hits      INTEGER NOT NULL DEFAULT 0,
+    stmt      TEXT
 );
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
@@ -57,7 +58,7 @@ CREATE TABLE IF NOT EXISTS meta (
 );
 """
 
-_COUNTERS = ("hits", "misses", "writes", "evictions")
+_COUNTERS = ("hits", "misses", "writes", "evictions", "invalidations", "compactions", "swept")
 
 _EVICTION_ORDER = {
     "lru": "last_used ASC, key ASC",
@@ -102,6 +103,19 @@ class DiskBackend:
             check_same_thread=False,
         )
         self._connection.executescript(_SCHEMA)
+        # Stores created before statement-label tracking lack the ``stmt``
+        # column; add it in place (NULL for old rows — they simply never
+        # match an invalidation sweep, which is safe for a content-addressed
+        # store).  The index keeps delete-by-label a range scan.
+        columns = {
+            row[1]
+            for row in self._connection.execute("PRAGMA table_info(entries)")
+        }
+        if "stmt" not in columns:
+            self._connection.execute("ALTER TABLE entries ADD COLUMN stmt TEXT")
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS entries_stmt ON entries (stmt)"
+        )
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.commit()
@@ -131,11 +145,15 @@ class DiskBackend:
             self._touched[key] = self._touched.get(key, 0) + 1
             return row[0]
 
-    def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+    def write(
+        self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
+    ) -> Tuple[int, int]:
         with self._lock:
-            return self._write_locked(pending)
+            return self._write_locked(pending, labels)
 
-    def _write_locked(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+    def _write_locked(
+        self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
+    ) -> Tuple[int, int]:
         connection = self._connection
         connection.execute("BEGIN IMMEDIATE")
         try:
@@ -149,10 +167,11 @@ class DiskBackend:
             clock = self._bump_meta_locked("clock", 1)
             written = 0
             for key, payload in pending.items():
+                label = labels.get(key) if labels is not None else None
                 cursor = connection.execute(
-                    "INSERT OR IGNORE INTO entries (key, payload, created, last_used, hits) "
-                    "VALUES (?, ?, ?, ?, 0)",
-                    (key, payload, clock, clock),
+                    "INSERT OR IGNORE INTO entries (key, payload, created, last_used, hits, stmt) "
+                    "VALUES (?, ?, ?, ?, 0, ?)",
+                    (key, payload, clock, clock, label),
                 )
                 written += cursor.rowcount
             for key, touches in self._touched.items():
@@ -190,6 +209,77 @@ class DiskBackend:
             if touches:
                 self._session_hits -= touches
                 self._session_misses += touches
+
+    def invalidate(self, labels) -> int:
+        """Delete every row stored under the given statement labels.
+
+        The targeted-invalidation contract of incremental re-analysis:
+        rows keyed by statements an edit removed or rewrote can never be
+        looked up again (the store is content-addressed), so they are
+        reclaimed; every other row stays warm.  Rows from stores written
+        before label tracking carry ``NULL`` labels and never match.
+        """
+        doomed = sorted(set(labels))
+        if not doomed:
+            return 0
+        with self._lock:
+            connection = self._connection
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                placeholders = ",".join("?" for _ in doomed)
+                cursor = connection.execute(
+                    f"DELETE FROM entries WHERE stmt IN ({placeholders})", doomed
+                )
+                dropped = cursor.rowcount
+                self._bump_meta_locked("invalidations", dropped)
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+        return dropped
+
+    def compact(self, max_age: int = 8) -> Dict[str, int]:
+        """Sweep stale generations and reclaim file space (``VACUUM``).
+
+        An entry is stale when it has not been read or written for more
+        than ``max_age`` flush generations of the store's logical clock —
+        the populations old runs left behind and nothing warm touches
+        anymore.  The sweep and its counter updates run in one
+        ``BEGIN IMMEDIATE`` transaction; the ``VACUUM`` (which must run
+        outside any transaction) then returns the freed pages to the
+        filesystem.  Lifetime ``compactions``/``swept`` totals are
+        surfaced by :meth:`stats` (the ``repro cache compact``/``stats``
+        subcommands).
+        """
+        with self._lock:
+            connection = self._connection
+            size_before = os.path.getsize(self.path)
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                clock = self._read_meta("clock")
+                cutoff = clock - max(0, int(max_age))
+                cursor = connection.execute(
+                    "DELETE FROM entries WHERE last_used < ?", (cutoff,)
+                )
+                swept = cursor.rowcount
+                self._bump_meta_locked("compactions", 1)
+                self._bump_meta_locked("swept", swept)
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+            connection.execute("VACUUM")
+            try:
+                size_after = os.path.getsize(self.path)
+            except OSError:  # pragma: no cover - racing deletion
+                size_after = 0
+        return {
+            "swept": swept,
+            "remaining": len(self),
+            "size_bytes_before": size_before,
+            "size_bytes_after": size_after,
+            "reclaimed_bytes": max(0, size_before - size_after),
+        }
 
     # ------------------------------------------------------------------
     # Management surface

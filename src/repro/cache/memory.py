@@ -40,6 +40,10 @@ class MemoryBackend:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.invalidations = 0
+        #: key -> statement label, for :meth:`invalidate` (keys evicted from
+        #: the store keep a dangling label here; the sweep drops both).
+        self._labels: Dict[str, str] = {}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -52,15 +56,34 @@ class MemoryBackend:
         self.hits += 1
         return payload  # type: ignore[return-value]
 
-    def write(self, pending: Mapping[str, str]) -> Tuple[int, int]:
+    def write(
+        self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
+    ) -> Tuple[int, int]:
         written = 0
         evictions_before = self._store.evictions
         for key, payload in pending.items():
             if key not in self._store:
                 written += 1
             self._store.put(key, payload)
+            if labels is not None:
+                label = labels.get(key)
+                if label is not None:
+                    self._labels[key] = label
         self.writes += written
         return written, self._store.evictions - evictions_before
+
+    def invalidate(self, labels) -> int:
+        doomed = set(labels)
+        if not doomed:
+            return 0
+        stale = [key for key, label in self._labels.items() if label in doomed]
+        dropped = 0
+        for key in stale:
+            del self._labels[key]
+            if self._store.remove(key):
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
 
     def discard(self, key: str) -> None:
         if self._store.remove(key):
@@ -79,12 +102,14 @@ class MemoryBackend:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self._store.evictions,
+            "invalidations": self.invalidations,
         }
 
     def clear(self) -> int:
         dropped = len(self._store)
         self._store.clear()
-        self.hits = self.misses = self.writes = 0
+        self._labels.clear()
+        self.hits = self.misses = self.writes = self.invalidations = 0
         self._store.evictions = 0
         return dropped
 

@@ -16,14 +16,20 @@ Four subcommands turn the reproduction into a workload-serving frontend:
 * ``generate`` — emit seeded random SIL scenario sources (stdout or
   ``--out`` directory), optionally cross-checked against the reference
   engine.
-* ``cache`` — inspect (``stats``) or empty (``clear``) a persistent
+* ``reanalyze`` — cross-run incremental re-analysis of an edited program:
+  solve the old version, diff, invalidate, re-solve only the dirty
+  frontier, and (by default) verify the warm solution bit-identical to a
+  from-scratch solve of the new version.  Takes two ``.sil`` files or a
+  seeded generated scenario plus a seeded edit script.
+* ``cache`` — inspect (``stats``), empty (``clear``) or compact
+  (``compact``: stale-generation sweep + SQLite VACUUM) a persistent
   transfer-cache store created with ``--cache-dir``.
 * ``serve`` — run the long-lived analysis daemon
   (:mod:`repro.server`): one warm transfer cache + interned domain
-  serving ``analyze``/``bench``/``cache_stats`` requests to many clients
-  over a unix or TCP socket, until a ``shutdown`` request.
+  serving ``analyze``/``bench``/``reanalyze``/``cache_stats`` requests to
+  many clients over a unix or TCP socket, until a ``shutdown`` request.
 * ``client`` — talk to a running daemon: ``ping``, ``version``,
-  ``analyze``, ``bench``, ``cache-stats``, ``shutdown``.
+  ``analyze``, ``bench``, ``reanalyze``, ``cache-stats``, ``shutdown``.
 
 ``analyze`` and ``bench`` accept the persistent-cache knobs: ``--cache-dir``
 (a disk store shards and *runs* share — rerunning against the same
@@ -49,10 +55,14 @@ from .analysis.context import AnalysisStats
 from .analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike, base_limits
 from .cache import BACKENDS, POLICIES, STORE_FILENAME, CacheConfig, DiskBackend
 from .workloads.generators import (
+    EDIT_KINDS,
     FAMILIES,
+    EditScript,
     GeneratorConfig,
     Scenario,
     cross_check_scenario,
+    generate_edited_pair,
+    generate_scenario,
     generate_scenarios,
 )
 from .workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
@@ -516,6 +526,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             artifact["ratchet"] = verdict
             ratchet_regressed = bool(verdict["regressed"])
 
+    edit_replay_failed = False
+    if args.edit_replay:
+        from .workloads.timing import format_edit_replay, measure_edit_replay
+
+        print("\nedit-replay bench (dirty-seeded re-analysis vs cold solves):")
+        replay = measure_edit_replay(limits=base_limits(limits))
+        print(format_edit_replay(replay))
+        artifact["edit_replay"] = replay
+        every_cell_verified = all(
+            cell["verified"] for cell in replay["cells"].values()
+        )
+        edit_replay_failed = not (
+            every_cell_verified
+            and replay["scaling"]["scales_with_edit_not_program"]
+        )
+        if edit_replay_failed:
+            print("edit-replay bench FAILED: verification or scaling did not hold",
+                  file=sys.stderr)
+
     verified: Optional[bool] = None
     if not args.no_verify:
         single = runner.run_single_process()
@@ -531,7 +560,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     output.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
 
-    if report.failures or verified is False or ratchet_regressed:
+    if report.failures or verified is False or ratchet_regressed or edit_replay_failed:
         return 1
     return 0
 
@@ -558,6 +587,120 @@ def cmd_generate(args: argparse.Namespace) -> int:
             print(scenario.source.strip())
             print()
     return 0
+
+
+def _resolve_edit_pair(
+    args: argparse.Namespace,
+) -> Tuple[str, str, Optional[EditScript], str]:
+    """``(old_source, new_source, script, name)`` from files or the generator.
+
+    File mode: both positionals given.  Generated mode: neither given — a
+    seeded scenario plus a seeded edit script (``--edits``/``--edit-kind``/
+    ``--target``) produce the pair deterministically.
+    """
+    if bool(args.old) != bool(args.new):
+        raise ValueError("give both OLD and NEW source files, or neither (generated mode)")
+    if args.old:
+        return (
+            Path(args.old).read_text(),
+            Path(args.new).read_text(),
+            None,
+            Path(args.new).stem,
+        )
+    scenario = generate_scenario(
+        args.seed,
+        GeneratorConfig(
+            family=args.family, procedures=args.procedures, depth=args.depth
+        ),
+    )
+    kinds = tuple(args.edit_kind) if args.edit_kind else None
+    pair = generate_edited_pair(
+        scenario.source,
+        args.edit_seed,
+        edits=args.edits,
+        kinds=kinds,
+        target_procedure=args.target,
+    )
+    return pair.old_source, pair.new_source, pair.script, scenario.name
+
+
+def _print_reanalysis(report, name: str, script: Optional[EditScript]) -> None:
+    delta = report.delta
+    print(
+        f"program {name}: {len(delta.changed)} changed, {len(delta.added)} added, "
+        f"{len(delta.removed)} removed, {len(delta.unchanged)} unchanged procedures"
+    )
+    if script is not None:
+        print(f"edit script (seed {script.seed}): "
+              + "; ".join(step.describe() for step in script.steps))
+    print(f"dirty seed ({report.dirty_seed_size}): "
+          + (", ".join(report.dirty_seed) or "-"))
+    reanalyzed = ", ".join(report.procedures_reanalyzed) or "-"
+    print(
+        f"re-analyzed {len(report.procedures_reanalyzed)}/{report.procedures_total} "
+        f"procedures ({reanalyzed})"
+    )
+    print(
+        f"summaries: reused={report.summaries_reused} "
+        f"invalidated={report.summaries_invalidated}; "
+        f"transfer entries invalidated={report.transfers_invalidated}"
+    )
+    fired = {name: value for name, value in report.widening.items() if value}
+    if fired:
+        print("widening: " + " ".join(f"{k}={v}" for k, v in sorted(fired.items())))
+    print(f"digest {report.digest[:12]} in {report.seconds:.3f}s")
+    if report.verified is not None:
+        print(
+            f"verified against cold solve: {report.verified} "
+            f"(cold digest {report.cold_digest[:12]})"
+        )
+
+
+def cmd_reanalyze(args: argparse.Namespace) -> int:
+    from .analysis.reanalysis import IncrementalSession
+    from .sil.normalize import parse_and_normalize
+
+    try:
+        old_source, new_source, script, name = _resolve_edit_pair(args)
+    except (OSError, ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        cache = _cache_config(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        old_program, old_info = parse_and_normalize(old_source)
+        new_program, new_info = parse_and_normalize(new_source)
+    except Exception as error:  # noqa: BLE001 - front-end rejection
+        print(f"front end rejected input: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+
+    session = IncrementalSession(
+        limits=_effective_limits(args), cache=cache, policy=args.cache_policy
+    )
+    try:
+        session.analyze(old_program, old_info)
+        report = session.reanalyze(new_program, new_info, verify=not args.no_verify)
+        session.flush()
+    finally:
+        session.close()
+
+    payload = report.as_dict()
+    payload["program"] = name
+    if script is not None:
+        payload["edit_script"] = script.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_reanalysis(report, name, script)
+    if args.output:
+        output = Path(args.output)
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"wrote {output}")
+    return 1 if report.verified is False else 0
 
 
 def _open_store(args: argparse.Namespace) -> Optional[DiskBackend]:
@@ -600,6 +743,34 @@ def cmd_cache_clear(args: argparse.Namespace) -> int:
     finally:
         backend.close()
     print(f"cleared {dropped} entries from {args.cache_dir}")
+    return 0
+
+
+def cmd_cache_compact(args: argparse.Namespace) -> int:
+    backend = _open_store(args)
+    if backend is None:
+        print(f"no transfer-cache store under {args.cache_dir}; nothing to compact")
+        return 0
+    try:
+        result = backend.compact(max_age=args.max_age)
+        stats = backend.stats()
+    finally:
+        backend.close()
+    if args.json:
+        print(json.dumps({"compact": result, "stats": stats}, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"swept {result['swept']} stale entries (unused for > {args.max_age} "
+        f"generations), {result['remaining']} remain"
+    )
+    print(
+        f"store size {result['size_bytes_before']} -> {result['size_bytes_after']} bytes "
+        f"(reclaimed {result['reclaimed_bytes']})"
+    )
+    print(
+        f"lifetime: compactions={stats['compactions']} swept={stats['swept']} "
+        f"invalidations={stats['invalidations']}"
+    )
     return 0
 
 
@@ -761,6 +932,48 @@ def client_bench(args: argparse.Namespace, client) -> int:
     return 1 if response["failures"] else 0
 
 
+def client_reanalyze(args: argparse.Namespace, client) -> int:
+    try:
+        old_source, new_source, script, name = _resolve_edit_pair(args)
+    except (OSError, ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    response = client.reanalyze(
+        old_source,
+        new_source,
+        name=name,
+        adaptive=args.adaptive,
+        verify=not args.no_verify,
+        timeout=args.timeout_request,
+    )
+    if args.json:
+        return _print_response(response, True)
+    if script is not None:
+        print(f"edit script (seed {script.seed}): "
+              + "; ".join(step.describe() for step in script.steps))
+    print(f"dirty seed ({response['dirty_seed_size']}): "
+          + (", ".join(response["dirty_seed"]) or "-"))
+    print(
+        f"re-analyzed {len(response['procedures_reanalyzed'])}/"
+        f"{response['procedures_total']} procedures "
+        f"({', '.join(response['procedures_reanalyzed']) or '-'})"
+    )
+    print(
+        f"summaries: reused={response['summaries_reused']} "
+        f"invalidated={response['summaries_invalidated']}; "
+        f"transfer entries invalidated={response['transfers_invalidated']}"
+    )
+    print(f"digest {response['digest'][:12]} in {response['seconds']}s "
+          f"(base {response['base_digest'][:12]})")
+    if "verified" in response:
+        print(
+            f"verified against cold solve: {response['verified']} "
+            f"(cold digest {response['cold_digest'][:12]})"
+        )
+        return 0 if response["verified"] else 1
+    return 0
+
+
 def client_cache_stats(args: argparse.Namespace, client) -> int:
     response = client.cache_stats()
     if args.json:
@@ -884,6 +1097,15 @@ def build_parser() -> argparse.ArgumentParser:
         "fails (default: 0.5)",
     )
     bench.add_argument(
+        "--edit-replay",
+        action="store_true",
+        help="run the edit-replay bench (dirty-seeded re-analysis of edited "
+        "programs vs cold solves over a program-size x edit-count grid) "
+        "into the artifact's edit_replay section; exits nonzero unless "
+        "every cell verifies bit-identical and re-analysis cost scales "
+        "with edit size rather than program size",
+    )
+    bench.add_argument(
         "--profile-dir",
         default="BENCH_profiles",
         metavar="DIR",
@@ -893,6 +1115,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_limits_options(bench)
     _add_cache_options(bench)
     bench.set_defaults(func=cmd_bench)
+
+    def _add_reanalyze_inputs(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("old", nargs="?", help="old program source file (.sil)")
+        sub.add_argument("new", nargs="?", help="edited program source file (.sil)")
+        sub.add_argument(
+            "--family",
+            choices=FAMILIES,
+            default="deep",
+            help="generated mode: scenario family (default: deep)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0, help="generated mode: scenario seed"
+        )
+        sub.add_argument(
+            "--procedures", type=int, default=2, help="generated mode: walker procedures"
+        )
+        sub.add_argument(
+            "--depth", type=int, default=6, help="generated mode: structure depth"
+        )
+        sub.add_argument(
+            "--edits", type=int, default=1, metavar="N", help="edit-script length"
+        )
+        sub.add_argument(
+            "--edit-seed", type=int, default=0, help="edit-script seed"
+        )
+        sub.add_argument(
+            "--edit-kind",
+            action="append",
+            choices=EDIT_KINDS,
+            default=None,
+            metavar="KIND",
+            help=f"restrict edit kinds (repeatable; from {', '.join(EDIT_KINDS)})",
+        )
+        sub.add_argument(
+            "--target",
+            default=None,
+            metavar="PROC",
+            help="pin every edit to one procedure (deterministic CI replays)",
+        )
+        sub.add_argument(
+            "--no-verify",
+            action="store_true",
+            help="skip the from-scratch verification solve of the new version",
+        )
+
+    reanalyze = commands.add_parser(
+        "reanalyze",
+        help="incremental re-analysis of an edited program: diff, invalidate, "
+        "re-solve the dirty frontier, verify against a cold solve",
+    )
+    _add_reanalyze_inputs(reanalyze)
+    reanalyze.add_argument("--json", action="store_true", help="machine-readable output")
+    reanalyze.add_argument(
+        "--output", default=None, metavar="PATH", help="also write the JSON report here"
+    )
+    _add_limits_options(reanalyze)
+    _add_cache_options(reanalyze)
+    reanalyze.set_defaults(func=cmd_reanalyze)
 
     generate = commands.add_parser(
         "generate", help="emit seeded random SIL scenarios (stdout or --out directory)"
@@ -918,7 +1198,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.set_defaults(func=cmd_cache_stats)
     cache_clear = cache_commands.add_parser("clear", help="drop every stored entry")
     cache_clear.set_defaults(func=cmd_cache_clear)
-    for sub in (cache_stats, cache_clear):
+    cache_compact = cache_commands.add_parser(
+        "compact",
+        help="sweep entries unused for --max-age generations, then VACUUM "
+        "the store file",
+    )
+    cache_compact.add_argument(
+        "--max-age",
+        type=int,
+        default=8,
+        metavar="N",
+        help="sweep entries last used more than N flush generations ago "
+        "(default: 8)",
+    )
+    cache_compact.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cache_compact.set_defaults(func=cmd_cache_compact)
+    for sub in (cache_stats, cache_clear, cache_compact):
         sub.add_argument("--cache-dir", required=True, metavar="DIR", help="store directory")
         sub.add_argument(
             "--cache-policy", choices=POLICIES, default="lru", help=argparse.SUPPRESS
@@ -1022,13 +1319,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request budget (may lower the server's, never raise it)",
     )
     _add_limits_options(c_bench)
+    c_reanalyze = client_parser(
+        "reanalyze",
+        client_reanalyze,
+        "incremental re-analysis of an edited program on the warm server",
+    )
+    _add_reanalyze_inputs(c_reanalyze)
+    c_reanalyze.add_argument(
+        "--timeout-request",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request budget (may lower the server's, never raise it)",
+    )
+    _add_limits_options(c_reanalyze)
     stats_cmd = client_parser(
         "cache-stats",
         client_cache_stats,
         "server-lifetime stats, cache occupancy and intern-table sizes",
     )
     client_parser("shutdown", client_shutdown, "graceful shutdown: drain, flush, exit")
-    for sub in (version, c_analyze, c_bench, stats_cmd):
+    for sub in (version, c_analyze, c_bench, c_reanalyze, stats_cmd):
         sub.add_argument("--json", action="store_true", help="machine-readable output")
 
     return parser

@@ -213,6 +213,27 @@ class AnalysisClient:
             params["timeout"] = timeout
         return self.request("bench", **params)
 
+    def reanalyze(
+        self,
+        old_source: str,
+        new_source: str,
+        name: str = "program",
+        adaptive: bool = False,
+        verify: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Dirty-seeded re-analysis of an edited program over the warm cache."""
+        params: Dict[str, Any] = {
+            "old_source": old_source,
+            "new_source": new_source,
+            "name": name,
+            "adaptive": adaptive,
+            "verify": verify,
+        }
+        if timeout is not None:
+            params["timeout"] = timeout
+        return self.request("reanalyze", **params)
+
     def cache_stats(self) -> Dict[str, Any]:
         return self.request("cache_stats")
 

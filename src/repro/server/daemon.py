@@ -66,10 +66,18 @@ from .protocol import (
 from .service import AnalysisService, RequestError
 
 #: Every op the daemon answers (the protocol suite pins this vocabulary).
-KNOWN_OPS = ("ping", "protocol_version", "analyze", "bench", "cache_stats", "shutdown")
+KNOWN_OPS = (
+    "ping",
+    "protocol_version",
+    "analyze",
+    "bench",
+    "reanalyze",
+    "cache_stats",
+    "shutdown",
+)
 
 #: Ops dispatched to the worker pool under the request timeout.
-HEAVY_OPS = ("analyze", "bench")
+HEAVY_OPS = ("analyze", "bench", "reanalyze")
 
 
 @dataclass(frozen=True)
@@ -355,7 +363,12 @@ class AnalysisServer:
                     request_id, ERR_BAD_REQUEST, "timeout must be a positive number"
                 )
             timeout = min(timeout, requested) if timeout is not None else float(requested)
-        handler = self.service.analyze if op == "analyze" else self.service.bench
+        handlers = {
+            "analyze": self.service.analyze,
+            "bench": self.service.bench,
+            "reanalyze": self.service.reanalyze,
+        }
+        handler = handlers[op]
         self._inflight += 1
         self._drained.clear()
         try:

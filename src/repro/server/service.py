@@ -43,14 +43,16 @@ from ..analysis.context import AnalysisStats
 from ..analysis.engine import BatchAnalyzer
 from ..analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike, base_limits
 from ..analysis.pathset import intern_table_sizes
+from ..analysis.reanalysis import IncrementalSession, result_digest
 from ..analysis.transfer import TransferCache
 from ..cache.backend import CacheConfig, open_backend
+from ..sil.normalize import parse_and_normalize
 from ..workloads.generators import FAMILIES, GeneratorConfig, generate_scenarios
 from ..workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
 
 #: Operations the service implements (the daemon adds ping/protocol_version,
 #: which never reach the service).
-SERVICE_OPS = ("analyze", "bench", "cache_stats")
+SERVICE_OPS = ("analyze", "bench", "reanalyze", "cache_stats")
 
 
 class RequestError(ValueError):
@@ -207,6 +209,52 @@ class AnalysisService:
         }
         return payload
 
+    def reanalyze(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Dirty-seeded re-analysis of an edited program over the warm cache.
+
+        The request carries the old and new program sources; the service
+        solves the old version (warm against the server-lifetime persistent
+        tier), diffs, invalidates, and re-solves only the dirty frontier —
+        an :class:`~repro.analysis.reanalysis.IncrementalSession` per
+        request over the shared :class:`TransferCache`, so per-request
+        stats stay exact deltas and still merge into the lifetime totals.
+        ``verify: true`` additionally runs a from-scratch solve of the new
+        version and reports whether the warm solution matched it exactly.
+        """
+        old_source = params.get("old_source")
+        new_source = params.get("new_source")
+        if not isinstance(old_source, str) or not isinstance(new_source, str):
+            raise RequestError(
+                'reanalyze needs "old_source" and "new_source" program strings'
+            )
+        name = str(params.get("name", "program"))
+        verify = bool(params.get("verify", False))
+        limits = self._request_limits(params)
+        try:
+            old_program, old_info = parse_and_normalize(old_source)
+            new_program, new_info = parse_and_normalize(new_source)
+        except Exception as error:  # noqa: BLE001 - front-end rejection
+            raise RequestError(f"{type(error).__name__}: {error}") from None
+        with self._lock:
+            if self._closed:
+                raise RequestError("service is closed")
+            session = IncrementalSession(
+                limits=limits, entry=self.entry, transfer_cache=self.cache
+            )
+            base = session.analyze(old_program, old_info)
+            report = session.reanalyze(new_program, new_info, verify=verify)
+            session.flush()
+            self._lifetime = self._lifetime.merge(session.stats)
+            self.requests_served += 1
+        self._count("reanalyze")
+        payload = report.as_dict()
+        payload["program"] = name
+        payload["base_digest"] = result_digest(base)
+        # The whole request's counter deltas (base solve + re-analysis);
+        # the lifetime totals stay the sum of these across requests.
+        payload["request_stats"] = _stats_payload(session.stats)
+        return payload
+
     def cache_stats(self, params: Mapping[str, Any] = None) -> Dict[str, Any]:
         """Server-lifetime totals, cache occupancy and store statistics."""
         self._count("cache_stats")  # before the snapshot: the call counts itself
@@ -227,7 +275,6 @@ class AnalysisService:
             "persistent": backend.stats() if backend is not None else None,
             "intern_tables": intern_table_sizes(),
         }
-        self._count("cache_stats")
         return payload
 
     # ------------------------------------------------------------------

@@ -6,6 +6,17 @@ statements), pretty printer and a programmatic builder API.
 """
 
 from . import ast, builder
+from .delta import (
+    ProcedureDelta,
+    ProgramDelta,
+    call_graph,
+    diff_programs,
+    dirty_seed,
+    reverse_call_graph,
+    statement_identity,
+    statement_label,
+    statement_rebase_map,
+)
 from .errors import (
     LexError,
     NormalizationError,
@@ -50,4 +61,13 @@ __all__ = [
     "format_stmt",
     "format_procedure",
     "format_program",
+    "ProcedureDelta",
+    "ProgramDelta",
+    "diff_programs",
+    "dirty_seed",
+    "call_graph",
+    "reverse_call_graph",
+    "statement_identity",
+    "statement_label",
+    "statement_rebase_map",
 ]

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.heap import Heap, TreeSpec
 from ..sil import ast
 from ..sil.builder import HANDLE, INT, ProgramBuilder, field, lit, name, new, not_nil
+from ..sil.delta import statement_label
 from ..sil.normalize import normalize_program, parse_and_normalize
+from ..sil.parser import parse_program
 from ..sil.printer import format_program
 from ..sil.typecheck import TypeInfo, check_program
 
@@ -583,3 +585,293 @@ _FAMILY_BUILDERS = {
     "dag": _dag_scenario,
     "deep": _deep_scenario,
 }
+
+
+# ---------------------------------------------------------------------------
+# Seeded edit scripts (the incremental re-analysis workload)
+# ---------------------------------------------------------------------------
+
+#: Edit kinds the script generator can produce.  ``insert`` adds a neutral
+#: self-copy (``x := x``) — a semantic no-op, so dirty-seeded re-analysis of
+#: the edited program must reproduce the old result bit-identically on the
+#: untouched procedures.  The other kinds genuinely change the program.
+EDIT_KINDS = ("insert", "delete", "swap", "relink", "add_call")
+
+#: Random draws per step before falling back to a guaranteed neutral insert.
+_MAX_EDIT_ATTEMPTS = 24
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """One concrete edit, replayable without the generator's rng.
+
+    ``position`` indexes the *top-level* statement list of the target
+    procedure's body **at the time the step applies** (steps of a script
+    compose in order, each seeing the previous step's output).  ``payload``
+    carries the kind-specific operands: the variable name for ``insert``,
+    ``(callee, argument)`` for ``add_call``, nothing for the rest.
+    """
+
+    kind: str
+    procedure: str
+    position: int
+    payload: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        detail = f"({', '.join(self.payload)})" if self.payload else ""
+        return f"{self.kind}{detail} @ {self.procedure}[{self.position}]"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "procedure": self.procedure,
+            "position": self.position,
+            "payload": list(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """A deterministic sequence of :class:`EditStep`\\ s over one program."""
+
+    seed: int
+    steps: Tuple[EditStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "steps": [step.as_dict() for step in self.steps]}
+
+
+@dataclass(frozen=True)
+class EditedPair:
+    """An ``(old, new)`` program-source pair related by an edit script."""
+
+    old_source: str
+    new_source: str
+    script: EditScript
+
+
+def _apply_step(program: ast.Program, step: EditStep) -> None:
+    """Apply one step to a (surface) program in place."""
+    proc = program.callable(step.procedure)
+    body = proc.body.stmts
+    if step.kind == "insert":
+        (var,) = step.payload
+        body.insert(step.position, ast.Assign(lhs=ast.Name(var), rhs=ast.Name(var)))
+    elif step.kind == "delete":
+        del body[step.position]
+    elif step.kind == "swap":
+        body[step.position], body[step.position + 1] = (
+            body[step.position + 1],
+            body[step.position],
+        )
+    elif step.kind == "relink":
+        if not _flip_first_link(body[step.position]):
+            raise ValueError(f"edit step {step.describe()} found no link field to flip")
+    elif step.kind == "add_call":
+        callee, var = step.payload
+        body.insert(step.position, ast.ProcCall(name=callee, args=[ast.Name(var)]))
+    else:
+        raise ValueError(f"unknown edit kind {step.kind!r}; known: {list(EDIT_KINDS)}")
+
+
+def _flip_first_link(stmt: ast.Stmt) -> bool:
+    """Flip the first ``left``/``right`` field access in ``stmt``; False if none."""
+    for expr in ast.stmt_expressions(stmt):
+        for sub in ast.walk_expr(expr):
+            if isinstance(sub, ast.FieldAccess) and sub.field_name.is_link:
+                sub.field_name = (
+                    ast.Field.RIGHT if sub.field_name is ast.Field.LEFT else ast.Field.LEFT
+                )
+                return True
+    return False
+
+
+def _handle_vars(proc: ast.Procedure) -> List[str]:
+    return [d.name for d in list(proc.params) + list(proc.locals) if d.type is ast.SilType.HANDLE]
+
+
+def _propose_step(
+    program: ast.Program, proc_name: str, kind: str, rng: random.Random
+) -> Optional[EditStep]:
+    """A candidate step of ``kind`` against ``proc_name``, or None if inapplicable."""
+    proc = program.callable(proc_name)
+    body = proc.body.stmts
+    if kind == "insert":
+        handles = _handle_vars(proc)
+        pool = handles or [d.name for d in list(proc.params) + list(proc.locals)]
+        if not pool:
+            return None
+        var = rng.choice(pool)
+        return EditStep("insert", proc_name, rng.randint(0, len(body)), (var,))
+    if kind == "delete":
+        if len(body) < 2:
+            return None
+        return EditStep("delete", proc_name, rng.randrange(len(body)))
+    if kind == "swap":
+        spots = [
+            p
+            for p in range(len(body) - 1)
+            if statement_label(body[p]) != statement_label(body[p + 1])
+        ]
+        if not spots:
+            return None
+        return EditStep("swap", proc_name, rng.choice(spots))
+    if kind == "relink":
+        spots = [
+            p
+            for p, stmt in enumerate(body)
+            if any(
+                isinstance(sub, ast.FieldAccess) and sub.field_name.is_link
+                for expr in ast.stmt_expressions(stmt)
+                for sub in ast.walk_expr(expr)
+            )
+        ]
+        if not spots:
+            return None
+        return EditStep("relink", proc_name, rng.choice(spots))
+    if kind == "add_call":
+        callees = [
+            p.name
+            for p in program.procedures
+            if p.name != "main" and len(p.params) == 1 and p.params[0].type is ast.SilType.HANDLE
+        ]
+        handles = _handle_vars(proc)
+        if not callees or not handles:
+            return None
+        return EditStep(
+            "add_call",
+            proc_name,
+            rng.randint(0, len(body)),
+            (rng.choice(callees), rng.choice(handles)),
+        )
+    raise KeyError(f"unknown edit kind {kind!r}; known: {list(EDIT_KINDS)}")
+
+
+def _step_validates(program: ast.Program, step: EditStep) -> bool:
+    """True iff the edited program survives the full front end (print + reparse)."""
+    trial = ast.clone_program(program)
+    try:
+        _apply_step(trial, step)
+        parse_and_normalize(format_program(trial))
+    except Exception:  # noqa: BLE001 - any front-end rejection voids the step
+        return False
+    return True
+
+
+def _draw_step(
+    program: ast.Program,
+    rng: random.Random,
+    allowed: Sequence[str],
+    target_procedure: Optional[str],
+) -> EditStep:
+    """One validated step; bounded random draws, then a neutral-insert fallback."""
+    names = [proc.name for proc in program.all_callables]
+    for _ in range(_MAX_EDIT_ATTEMPTS):
+        kind = allowed[rng.randrange(len(allowed))]
+        proc_name = target_procedure if target_procedure is not None else rng.choice(names)
+        candidate = _propose_step(program, proc_name, kind, rng)
+        if candidate is not None and _step_validates(program, candidate):
+            return candidate
+    fallback = _propose_step(program, target_procedure or "main", "insert", rng)
+    if fallback is not None and _step_validates(program, fallback):
+        return fallback
+    raise ValueError(
+        f"could not synthesize a valid edit step for program {program.name!r} "
+        f"(kinds {list(allowed)}, target {target_procedure!r})"
+    )
+
+
+def generate_edit_script(
+    source: str,
+    seed: int,
+    edits: int = 1,
+    kinds: Optional[Sequence[str]] = None,
+    target_procedure: Optional[str] = None,
+) -> EditScript:
+    """A deterministic edit script of ``edits`` steps over ``source``.
+
+    Each step is drawn at random (seeded), applied to a working copy, and
+    **validated through the real front end** — print, reparse, type check,
+    normalize — before it is accepted; a step the front end rejects is
+    redrawn, and after :data:`_MAX_EDIT_ATTEMPTS` failed draws the generator
+    falls back to a guaranteed-valid neutral insert.  Restrict ``kinds``
+    (e.g. ``("insert",)``) and pin ``target_procedure`` for the fully
+    deterministic single-procedure edits CI replays.
+    """
+    allowed = tuple(kinds) if kinds else EDIT_KINDS
+    for kind in allowed:
+        if kind not in EDIT_KINDS:
+            raise KeyError(f"unknown edit kind {kind!r}; known: {list(EDIT_KINDS)}")
+    program = parse_program(source)
+    if target_procedure is not None:
+        program.callable(target_procedure)  # raise early on a bad target
+    rng = random.Random(seed)
+    steps: List[EditStep] = []
+    for _ in range(max(1, int(edits))):
+        step = _draw_step(program, rng, allowed, target_procedure)
+        _apply_step(program, step)
+        steps.append(step)
+    return EditScript(seed=seed, steps=tuple(steps))
+
+
+def apply_edit_script(source: str, script: EditScript) -> str:
+    """Replay ``script`` over ``source``; returns the validated edited source."""
+    program = parse_program(source)
+    for step in script.steps:
+        _apply_step(program, step)
+    new_source = format_program(program)
+    parse_and_normalize(new_source)  # validate through the real front end
+    return new_source
+
+
+def generate_edited_pair(
+    source: str,
+    seed: int,
+    edits: int = 1,
+    kinds: Optional[Sequence[str]] = None,
+    target_procedure: Optional[str] = None,
+) -> EditedPair:
+    """Generate a script over ``source`` and return the ``(old, new)`` pair."""
+    script = generate_edit_script(
+        source, seed, edits=edits, kinds=kinds, target_procedure=target_procedure
+    )
+    return EditedPair(
+        old_source=source, new_source=apply_edit_script(source, script), script=script
+    )
+
+
+def make_edit_bench_scenario(procedures: int, seed: int = 0, depth: int = 4) -> Scenario:
+    """A program whose *size* scales independently of any edit's blast radius.
+
+    ``main`` builds one list and calls ``procedures`` distinct recursive
+    walkers on it.  The walkers are mutually independent, so an edit inside
+    walker ``k`` dirties only ``{walk<k>, main}`` no matter how many other
+    walkers exist — exactly the shape the edit-replay bench needs to show
+    re-analysis cost scaling with edit size rather than program size.
+    Unlike the family generators this takes no :class:`GeneratorConfig`
+    clamp: ``procedures`` may be arbitrarily large.
+    """
+    procedures = max(1, int(procedures))
+    rng = random.Random(seed)
+    program_name = f"editbench_p{procedures}_s{seed}"
+    builder = ProgramBuilder(program_name)
+    walker_names = [f"walk{index}" for index in range(procedures)]
+    main = builder.procedure("main", locals=[("head", HANDLE)])
+    main.call_assign("head", "makelist", lit(depth))
+    for walker in walker_names:
+        main.call(walker, name("head"))
+    for walker in walker_names:
+        _add_list_walker(builder, walker, rng)
+    _build_list_function(builder)
+    source = format_program(builder.build())
+    parse_and_normalize(source)  # validate through the real front end
+    return Scenario(
+        name=program_name,
+        family="editbench",
+        seed=seed,
+        config=GeneratorConfig(family="list", procedures=procedures, depth=depth),
+        source=source,
+    )

@@ -237,6 +237,152 @@ def format_profile_top(rows: Sequence[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+#: Default program sizes (walker counts) for the edit-replay bench.
+DEFAULT_EDIT_SIZES = (4, 8, 16)
+
+#: Default edit-script lengths for the edit-replay bench.
+DEFAULT_EDIT_COUNTS = (1, 2, 4)
+
+
+def measure_edit_replay(
+    sizes: Sequence[int] = DEFAULT_EDIT_SIZES,
+    edit_counts: Sequence[int] = DEFAULT_EDIT_COUNTS,
+    seed: int = 0,
+    limits: LimitsLike = DEFAULT_LIMITS,
+    reps: int = 3,
+    kinds: Sequence[str] = ("insert",),
+) -> Dict[str, object]:
+    """The edit-replay bench: re-analysis cost vs. edit size vs. program size.
+
+    For every program size ``n`` (the walker count of
+    :func:`~repro.workloads.generators.make_edit_bench_scenario`) and every
+    edit-script length ``k``, measure the **cold** solve median and the
+    **warm dirty-seeded re-analysis** median of an
+    :class:`~repro.analysis.reanalysis.IncrementalSession` replaying a
+    seeded ``k``-step edit script.  The point of the grid: along the size
+    axis (fixed ``k``) cold time grows with ``n`` while warm time stays
+    flat — re-analysis cost scales with the edit, not the program — and the
+    ``scaling`` summary states both ratios so the bench harness can assert
+    the separation.  Every warm cell also reports the reuse counters
+    (``summaries_reused`` / ``procedures_reanalyzed``) and verifies the
+    warm digest against the cold digest of the edited program.
+    """
+    from ..analysis.reanalysis import IncrementalSession
+    from .generators import generate_edited_pair, make_edit_bench_scenario
+
+    reps = max(1, int(reps))
+    sizes = tuple(sorted(set(int(n) for n in sizes)))
+    edit_counts = tuple(sorted(set(int(k) for k in edit_counts)))
+    cells: Dict[str, Dict[str, object]] = {}
+    started = time.perf_counter()
+    for size in sizes:
+        scenario = make_edit_bench_scenario(size, seed=seed)
+        old_program, old_info = parse_and_normalize(scenario.source)
+        cold_samples = []
+        for _ in range(reps):
+            session = IncrementalSession(limits=limits)
+            rep_started = time.perf_counter()
+            session.analyze(old_program, old_info)
+            cold_samples.append(time.perf_counter() - rep_started)
+            session.close()
+        cold_median = statistics.median(cold_samples)
+        for count in edit_counts:
+            pair = generate_edited_pair(scenario.source, seed + count, edits=count, kinds=kinds)
+            new_program, new_info = parse_and_normalize(pair.new_source)
+            warm_samples = []
+            reused = reanalyzed = dirty = 0
+            verified = True
+            for _ in range(reps):
+                session = IncrementalSession(limits=limits)
+                session.analyze(old_program, old_info)  # prime, untimed
+                report = session.reanalyze(new_program, new_info, verify=True)
+                warm_samples.append(report.seconds)
+                reused = report.summaries_reused
+                reanalyzed = len(report.procedures_reanalyzed)
+                dirty = report.dirty_seed_size
+                verified = verified and bool(report.verified)
+                session.close()
+            cells[f"n{size}_k{count}"] = {
+                "size": size,
+                "edits": count,
+                "cold_median_seconds": round(cold_median, 6),
+                "warm_median_seconds": round(statistics.median(warm_samples), 6),
+                "warm_min_seconds": round(min(warm_samples), 6),
+                "summaries_reused": reused,
+                "procedures_reanalyzed": reanalyzed,
+                "procedures_total": len(new_program.all_callables),
+                "dirty_seed_size": dirty,
+                "verified": verified,
+                "script": pair.script.as_dict(),
+            }
+    smallest, largest = sizes[0], sizes[-1]
+    base_k = edit_counts[0]
+    small_cell = cells[f"n{smallest}_k{base_k}"]
+    large_cell = cells[f"n{largest}_k{base_k}"]
+    fixed_size = cells[f"n{largest}_k{edit_counts[-1]}"]
+    cold_ratio = _safe_ratio(
+        large_cell["cold_median_seconds"], small_cell["cold_median_seconds"]
+    )
+    warm_ratio = _safe_ratio(
+        large_cell["warm_median_seconds"], small_cell["warm_median_seconds"]
+    )
+    edit_ratio = _safe_ratio(
+        fixed_size["warm_median_seconds"], large_cell["warm_median_seconds"]
+    )
+    return {
+        "sizes": list(sizes),
+        "edit_counts": list(edit_counts),
+        "reps": reps,
+        "seed": seed,
+        "kinds": list(kinds),
+        "seconds": round(time.perf_counter() - started, 4),
+        "cells": cells,
+        "scaling": {
+            # Size axis at the smallest edit count: cold grows, warm should not.
+            "cold_size_ratio": cold_ratio,
+            "warm_size_ratio": warm_ratio,
+            # Edit axis at the largest size: warm grows with the script length.
+            "warm_edit_ratio": edit_ratio,
+            "scales_with_edit_not_program": bool(
+                cold_ratio is not None
+                and warm_ratio is not None
+                and warm_ratio < cold_ratio
+            ),
+        },
+    }
+
+
+def _safe_ratio(numerator: float, denominator: float) -> Optional[float]:
+    return round(numerator / denominator, 4) if denominator else None
+
+
+def format_edit_replay(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a :func:`measure_edit_replay` result."""
+    lines = [
+        f"{'cell':12s} {'cold-med':>10s} {'warm-med':>10s} "
+        f"{'reused':>7s} {'re-an':>6s} {'total':>6s} {'ok':>3s}"
+    ]
+    for key, cell in report["cells"].items():
+        lines.append(
+            f"{key:12s} {cell['cold_median_seconds']:10.6f} "
+            f"{cell['warm_median_seconds']:10.6f} {cell['summaries_reused']:>7} "
+            f"{cell['procedures_reanalyzed']:>6} {cell['procedures_total']:>6} "
+            f"{'yes' if cell['verified'] else 'NO':>3s}"
+        )
+    scaling = report["scaling"]
+    lines.append(
+        f"size-axis ratios (cold {scaling['cold_size_ratio']} vs warm "
+        f"{scaling['warm_size_ratio']}), edit-axis warm ratio "
+        f"{scaling['warm_edit_ratio']} -> "
+        + (
+            "cost scales with edit size"
+            if scaling["scales_with_edit_not_program"]
+            else "NO separation"
+        )
+    )
+    return "\n".join(lines)
+
+
 def check_cold_medians(
     current: Dict[str, object],
     baseline: Dict[str, object],

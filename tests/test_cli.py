@@ -294,3 +294,74 @@ class TestBenchCommand:
         generator = json.loads(artifact_path.read_text())["population"]["generator"]
         assert generator["depth"] == 8  # clamped, not the raw CLI value
         assert generator["procedures"] == 4
+
+
+class TestReanalyzeCommand:
+    def test_generated_pair_verifies_against_cold(self, capsys):
+        assert main(
+            ["reanalyze", "--family", "deep", "--seed", "3", "--depth", "6",
+             "--edits", "1", "--edit-kind", "insert", "--target", "main"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified against cold solve: True" in out
+        assert "re-analyzed 1/" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(
+            ["reanalyze", "--family", "dag", "--seed", "1", "--edits", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in ("delta", "dirty_seed", "procedures_reanalyzed",
+                    "procedures_total", "summaries_reused", "digest",
+                    "verified", "cold_digest", "edit_script"):
+            assert key in payload
+        assert payload["verified"] is True
+        assert payload["digest"] == payload["cold_digest"]
+
+    def test_file_pair_mode(self, tmp_path, capsys):
+        from repro.workloads import generate_edited_pair, generate_scenario
+        from repro.workloads.generators import GeneratorConfig
+
+        scenario = generate_scenario(0, GeneratorConfig(family="list"))
+        pair = generate_edited_pair(scenario.source, 0, edits=1)
+        old = tmp_path / "old.sil"
+        new = tmp_path / "new.sil"
+        old.write_text(pair.old_source)
+        new.write_text(pair.new_source)
+        assert main(["reanalyze", str(old), str(new)]) == 0
+        assert "verified against cold solve: True" in capsys.readouterr().out
+
+    def test_one_file_without_the_other_fails(self, tmp_path, capsys):
+        lonely = tmp_path / "old.sil"
+        lonely.write_text("program p procedure main() begin end")
+        assert main(["reanalyze", str(lonely)]) == 2
+        assert capsys.readouterr().err
+
+    def test_output_artifact(self, tmp_path):
+        artifact = tmp_path / "reanalysis.json"
+        assert main(
+            ["reanalyze", "--family", "deep", "--edits", "1",
+             "--edit-kind", "insert", "--output", str(artifact)]
+        ) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["verified"] is True
+
+
+class TestCacheCompactCommand:
+    def test_compact_missing_store_is_graceful(self, tmp_path, capsys):
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_compact_populated_store(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["analyze", "tree_add", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "compact", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "swept 0 stale entries" in out
+        assert main(
+            ["cache", "compact", "--cache-dir", cache_dir, "--max-age", "0", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compact"]["remaining"] == 0
+        assert payload["stats"]["compactions"] == 2

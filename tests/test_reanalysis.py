@@ -1,0 +1,176 @@
+"""Golden tests for cross-run incremental re-analysis.
+
+The PR's acceptance criterion, pinned: a dirty-seeded re-analysis of an
+edited program is **bit-identical to a cold solve** — result digest AND
+widening telemetry — while re-solving strictly fewer procedures than the
+program has.  Also covered: multi-generation edit chains, the no-op delta
+fast path, targeted persistent-store invalidation, and the memo-epoch
+scoping that lets two batches share one transfer cache safely.
+"""
+
+import pytest
+
+from repro.analysis.engine import BatchAnalyzer
+from repro.analysis.limits import DEFAULT_LIMITS, AdaptiveLimits
+from repro.analysis.reanalysis import (
+    IncrementalSession,
+    cold_solve,
+    result_digest,
+)
+from repro.cache import CacheConfig
+from repro.sil.normalize import parse_and_normalize
+from repro.workloads import generate_scenario, generate_edited_pair
+from repro.workloads.generators import GeneratorConfig
+
+
+def deep_scenario(seed=3, depth=6):
+    return generate_scenario(seed, GeneratorConfig(family="deep", procedures=2, depth=depth))
+
+
+def session_for(source, **kwargs):
+    session = IncrementalSession(limits=DEFAULT_LIMITS, **kwargs)
+    program, info = parse_and_normalize(source)
+    session.analyze(program, info)
+    return session
+
+
+class TestGoldenEquivalence:
+    def test_neutral_edit_bit_identical_and_cheaper(self):
+        scenario = deep_scenario()
+        pair = generate_edited_pair(
+            scenario.source, 0, edits=1, kinds=("insert",), target_procedure="main"
+        )
+        session = session_for(pair.old_source)
+        try:
+            new_program, new_info = parse_and_normalize(pair.new_source)
+            report = session.reanalyze(new_program, new_info, verify=True)
+        finally:
+            session.close()
+        # Bit-identical: digest AND widening telemetry match the cold solve.
+        assert report.verified is True
+        assert report.digest == report.cold_digest
+        assert report.widening == report.cold_widening
+        # Strictly cheaper: only the dirty seed was re-solved.
+        assert len(report.procedures_reanalyzed) < report.procedures_total
+        assert report.procedures_reanalyzed == ("main",)
+        assert report.summaries_reused > 0
+        assert report.dirty_seed == ("main",)
+        assert report.dirty_seed_size == 1
+
+    @pytest.mark.parametrize("kinds", [("delete",), ("relink",), ("swap", "add_call")])
+    def test_semantic_edits_still_match_cold(self, kinds):
+        scenario = generate_scenario(
+            1, GeneratorConfig(family="dag", procedures=3, depth=4)
+        )
+        try:
+            pair = generate_edited_pair(scenario.source, 7, edits=2, kinds=kinds)
+        except ValueError:
+            pytest.skip(f"no valid {kinds} edit on this scenario")
+        session = session_for(pair.old_source)
+        try:
+            new_program, new_info = parse_and_normalize(pair.new_source)
+            report = session.reanalyze(new_program, new_info, verify=True)
+        finally:
+            session.close()
+        assert report.verified is True
+        assert report.widening == report.cold_widening
+
+    def test_multi_generation_chain_stays_exact(self):
+        scenario = deep_scenario(seed=5)
+        source = scenario.source
+        session = session_for(source)
+        try:
+            for generation in range(3):
+                pair = generate_edited_pair(
+                    source, 10 + generation, edits=1, kinds=("insert",)
+                )
+                new_program, new_info = parse_and_normalize(pair.new_source)
+                report = session.reanalyze(new_program, new_info, verify=True)
+                assert report.verified is True, f"generation {generation} diverged"
+                source = pair.new_source
+        finally:
+            session.close()
+
+    def test_adaptive_limits_sessions_verify(self):
+        scenario = deep_scenario(seed=2, depth=5)
+        pair = generate_edited_pair(
+            scenario.source, 0, edits=1, kinds=("insert",), target_procedure="main"
+        )
+        session = IncrementalSession(limits=AdaptiveLimits())
+        try:
+            program, info = parse_and_normalize(pair.old_source)
+            session.analyze(program, info)
+            new_program, new_info = parse_and_normalize(pair.new_source)
+            report = session.reanalyze(new_program, new_info, verify=True)
+        finally:
+            session.close()
+        assert report.verified is True
+
+
+class TestDeltaDrivenBehavior:
+    def test_identical_program_reanalyzes_nothing(self):
+        scenario = deep_scenario()
+        session = IncrementalSession(limits=DEFAULT_LIMITS)
+        try:
+            program, info = parse_and_normalize(scenario.source)
+            base_digest = result_digest(session.analyze(program, info))
+            new_program, new_info = parse_and_normalize(scenario.source)
+            report = session.reanalyze(new_program, new_info)
+        finally:
+            session.close()
+        assert report.delta.is_empty
+        assert report.procedures_reanalyzed == ()
+        assert report.digest == base_digest
+
+    def test_neutral_insert_preserves_result_digest(self):
+        # The "insert" edit kind is a semantic no-op (x := x), so the
+        # re-analysis result digests identically to the base program's.
+        scenario = deep_scenario()
+        pair = generate_edited_pair(
+            scenario.source, 0, edits=1, kinds=("insert",), target_procedure="main"
+        )
+        old_digest, old_widening = cold_solve(*parse_and_normalize(pair.old_source))
+        new_digest, new_widening = cold_solve(*parse_and_normalize(pair.new_source))
+        assert old_widening == new_widening
+
+    def test_targeted_invalidation_reaches_persistent_store(self, tmp_path):
+        scenario = generate_scenario(
+            1, GeneratorConfig(family="list", procedures=2, depth=4)
+        )
+        pair = generate_edited_pair(scenario.source, 3, edits=1, kinds=("delete",))
+        cache = CacheConfig(backend="disk", directory=str(tmp_path))
+        session = IncrementalSession(limits=DEFAULT_LIMITS, cache=cache)
+        try:
+            program, info = parse_and_normalize(pair.old_source)
+            session.analyze(program, info)
+            session.flush()
+            backend = session.batch.cache.backend
+            invalidations_before = backend.stats()["invalidations"]
+            new_program, new_info = parse_and_normalize(pair.new_source)
+            report = session.reanalyze(new_program, new_info, verify=True)
+            assert report.verified is True
+            assert report.delta.stale_statement_labels
+            # The deleted statement's rows were dropped from the store.
+            assert backend.stats()["invalidations"] >= invalidations_before
+        finally:
+            session.close()
+
+
+class TestMemoEpochScoping:
+    def test_two_batches_sharing_a_cache_never_alias_memo_entries(self):
+        # The in-memory transfer memo keys on id(stmt), which CPython can
+        # recycle.  Epoch-scoped keys make entries from different batches
+        # disjoint even when they analyze the very same program object.
+        program, info = parse_and_normalize(deep_scenario().source)
+        first = BatchAnalyzer(limits=DEFAULT_LIMITS)
+        result_a = first.analyze(program, info)
+        shared = first.cache
+
+        second = BatchAnalyzer(limits=DEFAULT_LIMITS, transfer_cache=shared)
+        assert second.memo_epoch != first.memo_epoch
+        result_b = second.analyze(program, info)
+        assert result_digest(result_a) == result_digest(result_b)
+
+    def test_epochs_are_unique_across_batches(self):
+        epochs = {BatchAnalyzer(limits=DEFAULT_LIMITS).memo_epoch for _ in range(5)}
+        assert len(epochs) == 5

@@ -158,3 +158,52 @@ class TestShutdownFlush:
             handle.shutdown()
         assert daemon.join(timeout=10)
         assert not path.exists()
+
+
+class TestReanalyzeOp:
+    def _pair(self):
+        from repro.workloads import generate_edited_pair, generate_scenario
+        from repro.workloads.generators import GeneratorConfig
+
+        scenario = generate_scenario(
+            3, GeneratorConfig(family="deep", procedures=2, depth=6)
+        )
+        return generate_edited_pair(
+            scenario.source, 0, edits=1, kinds=("insert",), target_procedure="main"
+        )
+
+    def test_reanalyze_verifies_and_reuses(self, client):
+        pair = self._pair()
+        response = client.reanalyze(
+            pair.old_source, pair.new_source, name="deep", verify=True
+        )
+        assert response["verified"] is True
+        assert response["digest"] == response["cold_digest"]
+        assert response["summaries_reused"] > 0
+        assert len(response["procedures_reanalyzed"]) < response["procedures_total"]
+        assert response["program"] == "deep"
+        assert response["base_digest"]
+
+    def test_reanalyze_counts_in_lifetime_stats(self, client):
+        pair = self._pair()
+        response = client.reanalyze(pair.old_source, pair.new_source)
+        stats = client.cache_stats()
+        assert stats["server"]["requests_by_op"]["reanalyze"] == 1
+        assert stats["server"]["requests_served"] == 1
+        assert (
+            stats["lifetime_stats"]["summaries_reused"]
+            == response["request_stats"]["summaries_reused"]
+        )
+
+    def test_reanalyze_rejects_missing_sources(self, client):
+        from repro.server.client import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.request("reanalyze", old_source="program p procedure main() begin end")
+        assert excinfo.value.code == "bad_request"
+
+    def test_reanalyze_rejects_invalid_programs(self, client):
+        from repro.server.client import ServerError
+
+        with pytest.raises(ServerError):
+            client.reanalyze("not a program", "also not a program")
