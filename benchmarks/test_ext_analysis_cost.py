@@ -233,10 +233,27 @@ def test_ext_analysis_worklist_and_cache_stats():
     assert timing["intern_tables_peak"].get("matrix_rows_interned", 0) > 0
     assert timing["intern_tables_peak"].get("symbols_interned", 0) > 0
 
+    # Tail-latency accounting over the same population: one suite run whose
+    # per-workload latency histograms yield the p50/p90/p99 rows (plus the
+    # exact bucket-merged ``_overall``) CI surfaces from the artifact.
+    from repro.workloads.suite import ShardedSuiteRunner
+
+    suite_report = ShardedSuiteRunner(items, shards=1).run()
+    assert not suite_report.failures
+    tails = suite_report.tails()
+    print("\nworkload latency tails (from merged histogram buckets):")
+    for name, row in tails.items():
+        print(
+            f"  {name:24s} n={row['count']} p50={row['p50_seconds']:.6f} "
+            f"p90={row['p90_seconds']:.6f} p99={row['p99_seconds']:.6f}"
+        )
+    assert set(tails) >= set(WORKLOADS) | {"_overall"}
+
     artifact = {
         "suite": suite_stats.as_dict(),
         "per_workload": per_workload,
         "timing": timing,
+        "tails": tails,
     }
     STATS_ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {STATS_ARTIFACT}")

@@ -46,6 +46,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Set, Tuple
 
+from ..obs.trace import span
 from ..sil import ast
 from ..sil.typecheck import check_program
 from .context import AnalysisContext, AnalysisRecorder
@@ -158,7 +159,8 @@ def solve_pass(context: AnalysisContext) -> None:
             analyzer = ProcedureAnalyzer(
                 program, context.info, context.summaries, limits, visit, context=context
             )
-            analyzer.analyze_procedure(program.callable(name), entries[name])
+            with span("solve.visit", {"procedure": name}):
+                analyzer.analyze_procedure(program.callable(name), entries[name])
             if memo is not None:
                 widening_delta = {
                     counter: getattr(stats, counter) - widening_before[counter]
@@ -242,8 +244,9 @@ def run_pipeline(context: AnalysisContext) -> AnalysisContext:
     intern_hits_before = PathMatrix.intern_hits
     packed_ops_before = packed_segment_ops()
     with widening_scope(context.stats):
-        for _name, analysis_pass in PIPELINE:
-            analysis_pass(context)
+        for name, analysis_pass in PIPELINE:
+            with span(f"analysis.{name}"):
+                analysis_pass(context)
     context.stats.matrices_allocated += PathMatrix.allocations - allocated_before
     context.stats.matrix_intern_hits += PathMatrix.intern_hits - intern_hits_before
     context.stats.packed_segment_ops += packed_segment_ops() - packed_ops_before

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..obs.trace import span
 from ..sil import ast
 from ..sil.printer import _format_inline as format_statement_inline
 from .limits import DEFAULT_LIMITS, DEFAULT_TRANSFER_CACHE_SIZE, AnalysisLimits
@@ -490,9 +491,12 @@ class TransferCache:
         Returns ``(written, evicted)`` and, when ``stats`` is given, folds
         them into ``persistent_cache_writes`` / ``persistent_cache_evictions``.
         """
-        if self.backend is None:
-            return 0, 0
-        written, evicted = self.backend.write(self._pending, labels=self._pending_labels)
+        with span("cache.flush", {"pending": len(self._pending)}):
+            if self.backend is None:
+                return 0, 0
+            written, evicted = self.backend.write(
+                self._pending, labels=self._pending_labels
+            )
         self._pending.clear()
         self._pending_labels.clear()
         if stats is not None:

@@ -50,6 +50,7 @@ from ..analysis.paths import Direction, Path, PathSegment
 from ..analysis.pathset import PathSet
 from ..analysis.structure import Certainty, DiagnosticKind, StructureDiagnostic
 from ..analysis.telemetry import WideningTally
+from ..obs.trace import span
 from ..sil import ast
 from ..sil.delta import statement_identity
 
@@ -127,17 +128,18 @@ def transfer_key(stmt: ast.BasicStmt, limits: AnalysisLimits, matrix: PathMatrix
 
 def encode_entry(result: "TransferResult", widening: WideningTally) -> str:
     """Serialize a transfer result + its captured widening tally to JSON."""
-    return _canonical_json(
-        {
-            "v": CODEC_VERSION,
-            "matrix": canonical_document(result.matrix),
-            "diagnostics": [
-                [diag.kind.name, diag.certainty.name, diag.statement, diag.detail]
-                for diag in result.diagnostics
-            ],
-            "widening": {name: getattr(widening, name) for name in WideningTally.FIELDS},
-        }
-    )
+    with span("codec.encode"):
+        return _canonical_json(
+            {
+                "v": CODEC_VERSION,
+                "matrix": canonical_document(result.matrix),
+                "diagnostics": [
+                    [diag.kind.name, diag.certainty.name, diag.statement, diag.detail]
+                    for diag in result.diagnostics
+                ],
+                "widening": {name: getattr(widening, name) for name in WideningTally.FIELDS},
+            }
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -193,36 +195,37 @@ def decode_entry(
     """
     from ..analysis.transfer import TransferResult
 
-    try:
-        document = json.loads(payload)
-        if document.get("v") != CODEC_VERSION:
-            raise CacheDecodeError(f"unknown codec version {document.get('v')!r}")
-        encoded = document["matrix"]
-        matrix = PathMatrix.from_entries(
-            encoded["handles"],
-            [
-                (source, target, _decode_path_set(paths))
-                for source, target, paths in encoded["entries"]
-            ],
-            matrix_limits,
-        )
-        diagnostics = [
-            StructureDiagnostic(
-                kind=DiagnosticKind[kind],
-                certainty=Certainty[certainty],
-                statement=statement,
-                detail=detail,
+    with span("codec.decode"):
+        try:
+            document = json.loads(payload)
+            if document.get("v") != CODEC_VERSION:
+                raise CacheDecodeError(f"unknown codec version {document.get('v')!r}")
+            encoded = document["matrix"]
+            matrix = PathMatrix.from_entries(
+                encoded["handles"],
+                [
+                    (source, target, _decode_path_set(paths))
+                    for source, target, paths in encoded["entries"]
+                ],
+                matrix_limits,
             )
-            for kind, certainty, statement, detail in document["diagnostics"]
-        ]
-        widening = WideningTally(**{
-            name: int(document["widening"].get(name, 0)) for name in WideningTally.FIELDS
-        })
-    except CacheDecodeError:
-        raise
-    except (KeyError, TypeError, ValueError, AttributeError) as error:
-        raise CacheDecodeError(f"malformed cache payload: {error}") from error
-    # Entries served from the persistent store are shared exactly like
-    # freshly-computed cached entries; seal against caller mutation.
-    matrix.seal()
-    return TransferResult(matrix=matrix, diagnostics=diagnostics), widening
+            diagnostics = [
+                StructureDiagnostic(
+                    kind=DiagnosticKind[kind],
+                    certainty=Certainty[certainty],
+                    statement=statement,
+                    detail=detail,
+                )
+                for kind, certainty, statement, detail in document["diagnostics"]
+            ]
+            widening = WideningTally(**{
+                name: int(document["widening"].get(name, 0)) for name in WideningTally.FIELDS
+            })
+        except CacheDecodeError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise CacheDecodeError(f"malformed cache payload: {error}") from error
+        # Entries served from the persistent store are shared exactly like
+        # freshly-computed cached entries; seal against caller mutation.
+        matrix.seal()
+        return TransferResult(matrix=matrix, diagnostics=diagnostics), widening

@@ -118,6 +118,17 @@ def _add_limits_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="flight recorder: capture parse/solve/cache/dispatch spans for "
+        "this run and write a Chrome trace-event JSON file (load it in "
+        "Perfetto or chrome://tracing)",
+    )
+
+
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -274,6 +285,17 @@ def _print_report(
         print("interning-table growth (summed across shard workers):")
         for table in sorted(report.intern_tables):
             print(f"  {table:28s} {report.intern_tables[table]}")
+
+    tails = report.tails()
+    if tails:
+        print()
+        print("workload latency tails (from merged histogram buckets):")
+        print(f"  {'workload':24s} {'n':>4s} {'p50':>10s} {'p90':>10s} {'p99':>10s}")
+        for name, row in tails.items():
+            print(
+                f"  {name:24s} {row['count']:4d} {row['p50_seconds']:10.6f} "
+                f"{row['p90_seconds']:10.6f} {row['p99_seconds']:10.6f}"
+            )
 
     widening_counters = AnalysisStats.WIDENING_FIELDS + ("adaptive_escalations",)
     widened = {
@@ -464,6 +486,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             },
         },
         "sharded": report.as_dict(),
+        # Tail-latency accounting: per-workload p50/p90/p99 (plus the exact
+        # bucket-merged "_overall" row) derived from the fixed-boundary
+        # histograms every shard shipped home.
+        "tails": report.tails(),
     }
 
     ratchet_regressed = False
@@ -789,12 +815,18 @@ def _endpoint_error(args: argparse.Namespace) -> Optional[str]:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     from .server import DEFAULT_MAX_FRAME, ServerConfig, run_server
 
     message = _endpoint_error(args)
     if message:
         print(message, file=sys.stderr)
         return 2
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+    )
     try:
         cache = _cache_config(args)
         config = ServerConfig(
@@ -807,6 +839,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             drain_timeout=args.drain_timeout,
             limits=_effective_limits(args),
             cache=cache,
+            slow_request_threshold=(
+                args.slow_threshold if args.slow_threshold > 0 else None
+            ),
         ).validated()
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -1002,6 +1037,39 @@ def client_cache_stats(args: argparse.Namespace, client) -> int:
     return 0
 
 
+def client_metrics(args: argparse.Namespace, client) -> int:
+    if args.prometheus:
+        response = client.metrics(format="prometheus")
+        print(response["text"], end="")
+        return 0
+    response = client.metrics()
+    if args.json:
+        return _print_response(response, True)
+    metrics = response["metrics"]
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    if counters:
+        print("counters:")
+        for key, entry in counters.items():
+            print(f"  {key:44s} {entry['value']}")
+    if gauges:
+        print("gauges:")
+        for key, entry in gauges.items():
+            print(f"  {key:44s} {entry['value']}")
+    for name, tails in sorted(response["tails"].items()):
+        if not tails:
+            continue
+        print()
+        print(f"{name} tails (from histogram buckets):")
+        print(f"  {'label':24s} {'n':>6s} {'p50':>10s} {'p90':>10s} {'p99':>10s}")
+        for label, row in tails.items():
+            print(
+                f"  {label:24s} {row['count']:6d} {row['p50_seconds']:10.6f} "
+                f"{row['p90_seconds']:10.6f} {row['p99_seconds']:10.6f}"
+            )
+    return 0
+
+
 def client_shutdown(args: argparse.Namespace, client) -> int:
     response = client.shutdown()
     print(
@@ -1040,6 +1108,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generator_options(analyze)
     _add_limits_options(analyze)
     _add_cache_options(analyze)
+    _add_trace_option(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     bench = commands.add_parser(
@@ -1114,6 +1183,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generator_options(bench)
     _add_limits_options(bench)
     _add_cache_options(bench)
+    _add_trace_option(bench)
     bench.set_defaults(func=cmd_bench)
 
     def _add_reanalyze_inputs(sub: argparse.ArgumentParser) -> None:
@@ -1262,8 +1332,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="graceful-shutdown wait for in-flight requests (default: 30)",
     )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="stdlib logging threshold for the repro.server.* loggers "
+        "(default: info)",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="log a warning (and count server.slow_requests_total) for any "
+        "request slower than this; 0 disables (default: 5)",
+    )
     _add_limits_options(serve)
     _add_cache_options(serve)
+    _add_trace_option(serve)
     serve.set_defaults(func=cmd_serve)
 
     client = commands.add_parser(
@@ -1338,8 +1424,18 @@ def build_parser() -> argparse.ArgumentParser:
         client_cache_stats,
         "server-lifetime stats, cache occupancy and intern-table sizes",
     )
+    metrics_cmd = client_parser(
+        "metrics",
+        client_metrics,
+        "live server metrics: per-op request counters, latency tails, gauges",
+    )
+    metrics_cmd.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of tables",
+    )
     client_parser("shutdown", client_shutdown, "graceful shutdown: drain, flush, exit")
-    for sub in (version, c_analyze, c_bench, c_reanalyze, stats_cmd):
+    for sub in (version, c_analyze, c_bench, c_reanalyze, stats_cmd, metrics_cmd):
         sub.add_argument("--json", action="store_true", help="machine-readable output")
 
     return parser
@@ -1347,4 +1443,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    # Flight recorder: install the process-global tracer around the whole
+    # command so every instrumented layer (parse, passes, solver visits,
+    # cache flushes, codec, shard dispatch) records into one timeline, then
+    # write the Chrome trace-event document whatever the exit path.
+    from .obs.trace import install_tracer, uninstall_tracer
+
+    tracer = install_tracer()
+    try:
+        return args.func(args)
+    finally:
+        uninstall_tracer()
+        spans = tracer.write_chrome(trace_path)
+        print(
+            f"trace: {spans} span events -> {trace_path} "
+            "(load in Perfetto or chrome://tracing)",
+            file=sys.stderr,
+        )

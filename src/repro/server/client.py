@@ -20,6 +20,7 @@ Error responses raise :class:`ServerError` carrying the structured
 
 from __future__ import annotations
 
+import logging
 import socket
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -30,6 +31,9 @@ from .protocol import (
     recv_frame,
     send_frame,
 )
+
+
+logger = logging.getLogger("repro.server.client")
 
 
 class ServerError(RuntimeError):
@@ -105,6 +109,7 @@ class AnalysisClient:
             )
         self._sock = sock
         self.hello = hello
+        logger.debug("connected to %s (protocol %s)", address, hello.get("protocol"))
         return hello
 
     def close(self) -> None:
@@ -236,6 +241,15 @@ class AnalysisClient:
 
     def cache_stats(self) -> Dict[str, Any]:
         return self.request("cache_stats")
+
+    def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """The server's live metrics registry.
+
+        ``format="json"`` returns the structured snapshot + tail tables;
+        ``format="prometheus"`` returns the text exposition under
+        ``"text"``.
+        """
+        return self.request("metrics", format=format)
 
     def shutdown(self) -> Dict[str, Any]:
         """Request graceful shutdown; the server responds, then stops."""

@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import os
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -73,11 +75,14 @@ KNOWN_OPS = (
     "bench",
     "reanalyze",
     "cache_stats",
+    "metrics",
     "shutdown",
 )
 
 #: Ops dispatched to the worker pool under the request timeout.
 HEAVY_OPS = ("analyze", "bench", "reanalyze")
+
+logger = logging.getLogger("repro.server.daemon")
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,9 @@ class ServerConfig:
     max_frame: int = DEFAULT_MAX_FRAME
     #: How long graceful shutdown waits for in-flight requests, seconds.
     drain_timeout: float = 30.0
+    #: Requests slower than this are logged at WARNING and counted under
+    #: ``server.slow_requests_total``; ``None`` disables the slow log.
+    slow_request_threshold: Optional[float] = 5.0
     limits: LimitsLike = DEFAULT_LIMITS
     #: Persistent-store config; ``None`` → the service's private in-process
     #: memory store (warm across requests, gone with the daemon).
@@ -120,6 +128,8 @@ class ServerConfig:
             raise ValueError("max_frame is too small to carry any payload")
         if self.request_timeout is not None and self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive (or None)")
+        if self.slow_request_threshold is not None and self.slow_request_threshold <= 0:
+            raise ValueError("slow_request_threshold must be positive (or None)")
         return self
 
 
@@ -142,6 +152,16 @@ class AnalysisServer:
         self._inflight = 0
         self._drained: Optional[asyncio.Event] = None
         self._thread: Optional[threading.Thread] = None
+        #: The service's lifetime registry; the daemon records the
+        #: transport-level metrics (per-op counters/latencies, connection
+        #: and in-flight gauges, bytes) into the same place the warm suite
+        #: runs land their workload histograms.
+        self.metrics = self.service.metrics
+        # Pre-register the level gauges so a scrape always reports them,
+        # even before the first heavy request or connection.
+        self.metrics.gauge("server.connections")
+        self.metrics.gauge("server.inflight")
+        self.metrics.gauge("server.queue_depth")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -209,17 +229,24 @@ class AnalysisServer:
             )
             bound = server.sockets[0].getsockname()
             self.endpoint = ("tcp", bound[0], bound[1])
+        logger.info("listening on %s", self.endpoint)
         self._ready.set()
 
         try:
             async with server:
                 await self._stopping.wait()
                 # Graceful drain: stop accepting, let in-flight work finish.
+                logger.info("draining: %d in-flight request(s)", self._inflight)
                 server.close()
                 await server.wait_closed()
                 with contextlib.suppress(asyncio.TimeoutError):
                     await asyncio.wait_for(
                         self._drained.wait(), timeout=self.config.drain_timeout
+                    )
+                if self._inflight:
+                    logger.warning(
+                        "drain timeout: abandoning %d in-flight request(s)",
+                        self._inflight,
                     )
         finally:
             for writer in list(self._connections):
@@ -234,22 +261,34 @@ class AnalysisServer:
                 with contextlib.suppress(OSError):
                     os.unlink(self.endpoint[1])
 
+    async def _send(
+        self, writer: asyncio.StreamWriter, message: Dict[str, Any]
+    ) -> None:
+        """Write one frame and account its bytes under ``server.bytes_sent_total``."""
+        sent = await protocol.write_frame(writer, message, self.config.max_frame)
+        self.metrics.counter("server.bytes_sent_total").inc(sent)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         max_frame = self.config.max_frame
         self._connections.add(writer)
+        connections = self.metrics.gauge("server.connections")
+        connections.inc()
+        self.metrics.counter("server.connections_total").inc()
+        received = self.metrics.counter("server.bytes_received_total")
+        logger.debug("connection opened (%d live)", len(self._connections))
         try:
-            await protocol.write_frame(
-                writer, protocol.hello(self.config.workers, max_frame), max_frame
-            )
+            await self._send(writer, protocol.hello(self.config.workers, max_frame))
             while True:
                 try:
-                    message = await protocol.read_frame(reader, max_frame)
+                    message, nbytes = await protocol.read_frame_sized(reader, max_frame)
+                    received.inc(nbytes)
                 except FrameTooLarge as error:
                     # The declared length alone is disqualifying; the body
                     # was never read, so the stream cannot be re-synced.
-                    await protocol.write_frame(
+                    logger.warning("dropping connection: %s", error)
+                    await self._send(
                         writer,
                         error_response(
                             None,
@@ -258,51 +297,91 @@ class AnalysisServer:
                             declared=error.declared,
                             limit=error.limit,
                         ),
-                        max_frame,
                     )
                     break
-                except TruncatedFrame:
-                    break  # peer vanished mid-frame; nothing to answer
+                except TruncatedFrame as error:
+                    logger.debug("peer vanished mid-frame: %s", error)
+                    break  # nothing left to answer
                 except ProtocolError as error:
                     # Framing is intact — the payload was just not a JSON
                     # object.  Answer structurally and keep the connection.
-                    await protocol.write_frame(
-                        writer,
-                        error_response(None, protocol.ERR_BAD_FRAME, str(error)),
-                        max_frame,
+                    logger.warning("bad frame payload: %s", error)
+                    await self._send(
+                        writer, error_response(None, protocol.ERR_BAD_FRAME, str(error))
                     )
                     continue
                 if message is None:
                     break  # clean EOF
                 response, action = await self._dispatch(message)
                 try:
-                    await protocol.write_frame(writer, response, max_frame)
+                    await self._send(writer, response)
                 except FrameTooLarge as error:
-                    await protocol.write_frame(
+                    logger.error(
+                        "response for id=%r exceeds the frame limit: %s",
+                        message.get("id"),
+                        error,
+                    )
+                    await self._send(
                         writer,
                         error_response(
                             message.get("id"),
                             ERR_INTERNAL,
                             f"response exceeds the frame limit: {error}",
                         ),
-                        max_frame,
                     )
                 if action == "shutdown":
+                    logger.info("shutdown requested by peer")
                     self._stopping.set()
                     break
-        except (ConnectionResetError, BrokenPipeError, TruncatedFrame):
-            pass  # peer went away; the daemon stays healthy
+        except (ConnectionResetError, BrokenPipeError, TruncatedFrame) as error:
+            # Peer went away; the daemon stays healthy.
+            logger.debug("connection lost: %s: %s", type(error).__name__, error)
         finally:
+            connections.dec()
             self._connections.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+            logger.debug("connection closed (%d live)", len(self._connections))
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
 
     async def _dispatch(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Route one request, with per-op accounting around the real dispatch.
+
+        Every request — known or not — lands in ``server.requests_total``
+        and ``server.request_seconds`` under its op label (``unknown`` for
+        an unrecognized or missing op), counted *before* dispatch so a
+        ``metrics`` scrape's own request is visible in its own response.
+        Failures add ``server.errors_total``; anything over the configured
+        slow-request threshold is logged at WARNING and counted.
+        """
+        op = message.get("op")
+        op_label = op if isinstance(op, str) and op in KNOWN_OPS else "unknown"
+        self.metrics.counter("server.requests_total", op=op_label).inc()
+        started = time.perf_counter_ns()
+        response, action = await self._dispatch_inner(message)
+        elapsed = (time.perf_counter_ns() - started) / 1e9
+        self.metrics.histogram("server.request_seconds", op=op_label).observe(elapsed)
+        if response.get("ok") is not True:
+            self.metrics.counter("server.errors_total", op=op_label).inc()
+        threshold = self.config.slow_request_threshold
+        if threshold is not None and elapsed >= threshold:
+            self.metrics.counter("server.slow_requests_total", op=op_label).inc()
+            logger.warning(
+                "slow request: op=%s id=%r took %.3fs (threshold %.3gs)",
+                op_label,
+                message.get("id"),
+                elapsed,
+                threshold,
+            )
+        return response, action
+
+    async def _dispatch_inner(
+        self, message: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
         request_id = message.get("id")
         op = message.get("op")
         if not isinstance(op, str):
@@ -336,6 +415,11 @@ class AnalysisServer:
             )
         if op == "cache_stats":
             return ok_response(request_id, **self.service.cache_stats()), None
+        if op == "metrics":
+            try:
+                return ok_response(request_id, **self.service.metrics_payload(message)), None
+            except RequestError as error:
+                return error_response(request_id, ERR_BAD_REQUEST, str(error)), None
         if op in HEAVY_OPS:
             return await self._dispatch_heavy(request_id, op, message), None
         return (
@@ -371,12 +455,21 @@ class AnalysisServer:
         handler = handlers[op]
         self._inflight += 1
         self._drained.clear()
+        # Admission accounting: requests beyond the worker count sit in the
+        # executor's queue, so queue depth is the in-flight overflow.
+        self.metrics.gauge("server.inflight").set(self._inflight)
+        self.metrics.gauge("server.queue_depth").set(
+            max(0, self._inflight - self.config.workers)
+        )
         try:
             payload = await asyncio.wait_for(
                 self._loop.run_in_executor(self._executor, partial(handler, message)),
                 timeout=timeout,
             )
         except asyncio.TimeoutError:
+            logger.warning(
+                "request timeout: op=%s id=%r exceeded %.3gs", op, request_id, timeout
+            )
             return error_response(
                 request_id,
                 ERR_TIMEOUT,
@@ -384,13 +477,19 @@ class AnalysisServer:
                 timeout=timeout,
             )
         except RequestError as error:
+            logger.info("bad request: op=%s id=%r: %s", op, request_id, error)
             return error_response(request_id, ERR_BAD_REQUEST, str(error))
         except Exception as error:  # noqa: BLE001 - surfaced to the client
+            logger.exception("internal error serving op=%s id=%r", op, request_id)
             return error_response(
                 request_id, ERR_INTERNAL, f"{type(error).__name__}: {error}"
             )
         finally:
             self._inflight -= 1
+            self.metrics.gauge("server.inflight").set(self._inflight)
+            self.metrics.gauge("server.queue_depth").set(
+                max(0, self._inflight - self.config.workers)
+            )
             if self._inflight == 0:
                 self._drained.set()
         return ok_response(request_id, **payload)

@@ -37,7 +37,7 @@ import asyncio
 import json
 import socket
 import struct
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Version of the frame layout + command vocabulary.  Bump on any change a
 #: v(N-1) client could misinterpret; the hello handshake carries it.
@@ -115,15 +115,19 @@ def decode_frame(payload: bytes) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-async def read_frame(
+async def read_frame_sized(
     reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
-) -> Optional[Dict[str, Any]]:
-    """Read one frame from a stream; ``None`` on clean EOF before a header."""
+) -> Tuple[Optional[Dict[str, Any]], int]:
+    """:func:`read_frame` plus the frame's wire size (header + payload).
+
+    The size lets the daemon account bytes-received without re-encoding;
+    ``(None, 0)`` on clean EOF before a header.
+    """
     try:
         header = await reader.readexactly(HEADER.size)
     except asyncio.IncompleteReadError as error:
         if not error.partial:
-            return None  # clean EOF between frames
+            return None, 0  # clean EOF between frames
         raise TruncatedFrame(
             f"connection closed mid-header ({len(error.partial)}/{HEADER.size} bytes)"
         ) from None
@@ -136,17 +140,27 @@ async def read_frame(
         raise TruncatedFrame(
             f"connection closed mid-frame ({len(error.partial)}/{length} bytes)"
         ) from None
-    return decode_frame(payload)
+    return decode_frame(payload), HEADER.size + length
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from a stream; ``None`` on clean EOF before a header."""
+    message, _size = await read_frame_sized(reader, max_frame)
+    return message
 
 
 async def write_frame(
     writer: asyncio.StreamWriter,
     message: Mapping[str, Any],
     max_frame: int = DEFAULT_MAX_FRAME,
-) -> None:
-    """Write one frame to a stream and drain it."""
-    writer.write(encode_frame(message, max_frame))
+) -> int:
+    """Write one frame to a stream and drain it; returns its wire size."""
+    data = encode_frame(message, max_frame)
+    writer.write(data)
     await writer.drain()
+    return len(data)
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ race), while snapshot reads (``cache_stats``) stay lock-free.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import uuid
@@ -46,13 +47,16 @@ from ..analysis.pathset import intern_table_sizes
 from ..analysis.reanalysis import IncrementalSession, result_digest
 from ..analysis.transfer import TransferCache
 from ..cache.backend import CacheConfig, open_backend
+from ..obs.metrics import MetricsRegistry, latency_tails, render_prometheus
 from ..sil.normalize import parse_and_normalize
 from ..workloads.generators import FAMILIES, GeneratorConfig, generate_scenarios
 from ..workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
 
 #: Operations the service implements (the daemon adds ping/protocol_version,
 #: which never reach the service).
-SERVICE_OPS = ("analyze", "bench", "reanalyze", "cache_stats")
+SERVICE_OPS = ("analyze", "bench", "reanalyze", "cache_stats", "metrics")
+
+logger = logging.getLogger("repro.server.service")
 
 
 class RequestError(ValueError):
@@ -99,8 +103,18 @@ class AnalysisService:
         self.requests_served = 0
         self.requests_by_op: Dict[str, int] = {op: 0 for op in SERVICE_OPS}
         self._lifetime = AnalysisStats()
+        #: Server-lifetime observability registry.  The daemon records its
+        #: per-op request counters / latency histograms / transport gauges
+        #: here, and every warm suite run's per-workload histograms are
+        #: absorbed in — one registry, one ``metrics`` op.
+        self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
         self._closed = False
+        logger.info(
+            "analysis service ready (cache backend=%s, policy=%s)",
+            self.cache_config.backend,
+            self.cache_config.policy,
+        )
 
     # ------------------------------------------------------------------
     # request parsing
@@ -277,6 +291,35 @@ class AnalysisService:
         }
         return payload
 
+    def metrics_payload(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """The live observability registry, as JSON or Prometheus text.
+
+        ``format: "json"`` (default) returns the raw registry snapshot plus
+        derived tail tables; ``format: "prometheus"`` returns the text
+        exposition under ``"text"``.  Counted *before* the snapshot, like
+        ``cache_stats``: the scrape shows itself in ``requests_by_op``.
+        """
+        fmt = (params or {}).get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            raise RequestError(
+                f'metrics format must be "json" or "prometheus", got {fmt!r}'
+            )
+        self._count("metrics")
+        if fmt == "prometheus":
+            return {"format": "prometheus", "text": render_prometheus(self.metrics)}
+        return {
+            "format": "json",
+            "metrics": self.metrics.as_dict(),
+            "tails": {
+                "server.request_seconds": latency_tails(
+                    self.metrics, "server.request_seconds", "op"
+                ),
+                "suite.workload_seconds": latency_tails(
+                    self.metrics, "suite.workload_seconds", "workload"
+                ),
+            },
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -300,6 +343,11 @@ class AnalysisService:
             if self.cache.backend is not None:
                 self.cache.backend.close()
                 self.cache.backend = None
+        logger.info(
+            "analysis service closed after %d requests (%.1fs uptime)",
+            self.requests_served,
+            time.time() - self.started_at,
+        )
 
     # ------------------------------------------------------------------
 
@@ -320,9 +368,17 @@ class AnalysisService:
             )
             report = runner.run_warm(batch)
             # run_warm reports are exact deltas, so lifetime totals stay the
-            # sum of the per-request stats the responses carried.
+            # sum of the per-request stats the responses carried — and the
+            # per-workload metric histograms accumulate the same way.
             self._lifetime = self._lifetime.merge(report.stats)
+            self.metrics.absorb(report.metrics)
             self.requests_served += 1
+        logger.debug(
+            "warm run: %d workloads, %d failures, %.3fs",
+            len(report.results),
+            len(report.failures),
+            report.seconds,
+        )
         return report
 
     def _count(self, op: str) -> None:

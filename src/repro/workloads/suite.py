@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, latency_tails
+from ..obs.trace import current_tracer, span, stopwatch
 from ..sil import ast
 from ..sil.normalize import parse_and_normalize
 from ..sil.typecheck import TypeInfo
@@ -632,35 +634,56 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
     """
     from ..analysis.pathset import intern_table_sizes
 
-    started = time.perf_counter()
-    tables_before = intern_table_sizes()
-    counters_before = batch.stats.counters()
-    results: Dict[str, Dict] = {}
-    failures: Dict[str, str] = {}
-    widening: Dict[str, Dict] = {}
-    for name, source_text in pairs:
-        before = batch.stats.widening_counters()
-        escalations_before = batch.stats.adaptive_escalations
-        try:
-            program, info = parse_and_normalize(source_text)
-            result = batch.analyze(program, info)
-            results[name] = result.canonical()
-            row: Dict[str, object] = {
-                counter: batch.stats.widening_counters()[counter] - before[counter]
-                for counter in before
-            }
-            row["adaptive_escalations"] = (
-                batch.stats.adaptive_escalations - escalations_before
-            )
-            row["final_limits"] = result.limits.as_dict()
-            widening[name] = row
-        except Exception as error:  # noqa: BLE001 - surfaced per workload
-            failures[name] = f"{type(error).__name__}: {error}"
-    # Flush computed transfer deltas to the shared store (one write batch
-    # per call) *before* snapshotting the counters, so the write/eviction
-    # totals merge with the rest of the stats.
-    batch.flush()
-    counters_after = batch.stats.counters()
+    clock = stopwatch("suite.shard", {"shard": shard, "workloads": len(pairs)})
+    metrics = MetricsRegistry()
+    with clock:
+        tables_before = intern_table_sizes()
+        counters_before = batch.stats.counters()
+        results: Dict[str, Dict] = {}
+        failures: Dict[str, str] = {}
+        widening: Dict[str, Dict] = {}
+        for name, source_text in pairs:
+            before = batch.stats.widening_counters()
+            escalations_before = batch.stats.adaptive_escalations
+            pops_before = batch.stats.worklist_pops
+            workload_clock = stopwatch("suite.workload", {"workload": name})
+            try:
+                with workload_clock:
+                    with span("sil.parse", {"workload": name}):
+                        program, info = parse_and_normalize(source_text)
+                    result = batch.analyze(program, info)
+                results[name] = result.canonical()
+                row: Dict[str, object] = {
+                    counter: batch.stats.widening_counters()[counter] - before[counter]
+                    for counter in before
+                }
+                row["adaptive_escalations"] = (
+                    batch.stats.adaptive_escalations - escalations_before
+                )
+                row["final_limits"] = result.limits.as_dict()
+                widening[name] = row
+                metrics.counter("suite.workloads_analyzed").inc()
+                metrics.histogram("suite.workload_seconds", workload=name).observe(
+                    workload_clock.seconds
+                )
+                # A deterministic companion to the wall-time histogram: the
+                # solver pops attributable to this workload are a pure
+                # function of the program + limits, so this histogram is
+                # bit-identical between sharded and single-process runs —
+                # the merge-determinism tests pin it.
+                metrics.histogram(
+                    "suite.workload_worklist_pops",
+                    DEFAULT_COUNT_BUCKETS,
+                    workload=name,
+                ).observe(batch.stats.worklist_pops - pops_before)
+            except Exception as error:  # noqa: BLE001 - surfaced per workload
+                failures[name] = f"{type(error).__name__}: {error}"
+                metrics.counter("suite.workloads_failed").inc()
+        # Flush computed transfer deltas to the shared store (one write batch
+        # per call) *before* snapshotting the counters, so the write/eviction
+        # totals merge with the rest of the stats.
+        batch.flush()
+        counters_after = batch.stats.counters()
     return {
         "shard": shard,
         "workloads": [name for name, _ in pairs],
@@ -675,7 +698,8 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
             table: max(0, size - tables_before.get(table, 0))
             for table, size in intern_table_sizes().items()
         },
-        "seconds": time.perf_counter() - started,
+        "metrics": metrics.as_dict(),
+        "seconds": clock.seconds,
     }
 
 
@@ -699,6 +723,26 @@ def _analyze_shard(payload: ShardPayload) -> Dict:
         return analyze_pairs(batch, pairs, shard=shard_index)
     finally:
         batch.close()
+
+
+def _analyze_shard_traced(payload: ShardPayload) -> Dict:
+    """The pool target: ``_analyze_shard`` plus trace shipping.
+
+    A forked worker inherits the parent's installed tracer *and its
+    already-recorded events*; replaying those home would duplicate the
+    parent's timeline, so the worker clears its inherited copy first, then
+    drains whatever the shard recorded into the (picklable) output dict for
+    the parent to :meth:`~repro.obs.trace.Tracer.absorb`.  Only the pool
+    path uses this wrapper — the inline path records straight into the
+    parent's tracer and must *not* reset it.
+    """
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.reset()
+    output = _analyze_shard(payload)
+    if tracer is not None:
+        output["trace_events"] = tracer.drain()
+    return output
 
 
 @dataclass
@@ -745,11 +789,25 @@ class ShardedSuiteReport:
     #: reading the parent's process-global tables would silently reflect
     #: only the parent's own interning.
     intern_tables: Dict[str, int] = field(default_factory=dict)
+    #: The exact merge of every shard's :class:`~repro.obs.metrics.
+    #: MetricsRegistry` — counters, and the per-workload latency / worklist
+    #: histograms the ``tails`` section is derived from.  Merging follows
+    #: the ``stats`` discipline: integer sums only, so sharded == inline.
+    metrics: "MetricsRegistry" = field(default_factory=MetricsRegistry)
     seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def tails(self) -> Dict[str, Dict]:
+        """Per-workload p50/p90/p99 (+ ``_overall``) from the merged histograms.
+
+        Quantiles come from the fixed bucket boundaries, so this report is
+        identical whether the histograms were merged from 1, 2 or N shards
+        observing the same workloads.
+        """
+        return latency_tails(self.metrics, "suite.workload_seconds", "workload")
 
     def matches(self, other: "ShardedSuiteReport") -> bool:
         """Bit-identical outcomes: same encodings and same failure *payloads*.
@@ -797,6 +855,8 @@ class ShardedSuiteReport:
             "shards": [shard.as_dict() for shard in self.shards],
             "widening": {name: dict(row) for name, row in self.widening.items()},
             "intern_tables": dict(self.intern_tables),
+            "tails": self.tails(),
+            "metrics": self.metrics.as_dict(),
             "failures": dict(self.failures),
         }
 
@@ -900,32 +960,43 @@ class ShardedSuiteRunner:
         finishes, not behind a final all-shards barrier.  The merged report
         is identical either way — ``_merge`` orders by shard index.
         """
-        started = time.perf_counter()
-        payloads = self._payloads(self.shards)
-        outputs: List[Dict] = []
-        if self.shards <= 1 or len(payloads) <= 1:
-            for payload in payloads:
-                output = _analyze_shard(payload)
-                outputs.append(output)
-                if progress is not None:
-                    progress(output)
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with context.Pool(processes=len(payloads)) as pool:
-                for output in pool.imap_unordered(_analyze_shard, payloads):
+        clock = stopwatch(
+            "suite.run", {"shards": self.shards, "workloads": len(self.items)}
+        )
+        with clock:
+            payloads = self._payloads(self.shards)
+            outputs: List[Dict] = []
+            if self.shards <= 1 or len(payloads) <= 1:
+                for payload in payloads:
+                    output = _analyze_shard(payload)
                     outputs.append(output)
                     if progress is not None:
                         progress(output)
-        return self._merge(outputs, time.perf_counter() - started)
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn"
+                )
+                with span("suite.dispatch", {"shards": len(payloads)}):
+                    with context.Pool(processes=len(payloads)) as pool:
+                        for output in pool.imap_unordered(
+                            _analyze_shard_traced, payloads
+                        ):
+                            outputs.append(output)
+                            if progress is not None:
+                                progress(output)
+        return self._merge(outputs, clock.seconds)
 
     def run_single_process(self, progress=None) -> ShardedSuiteReport:
         """The same suite, analyzed inline as one shard (the reference run)."""
-        started = time.perf_counter()
-        output = _analyze_shard((0, list(self.items), self.limits, self.cache, self.policy))
-        if progress is not None:
-            progress(output)
-        return self._merge([output], time.perf_counter() - started)
+        clock = stopwatch("suite.run", {"shards": 1, "workloads": len(self.items)})
+        with clock:
+            output = _analyze_shard(
+                (0, list(self.items), self.limits, self.cache, self.policy)
+            )
+            if progress is not None:
+                progress(output)
+        return self._merge([output], clock.seconds)
 
     def run_warm(self, batch, progress=None) -> ShardedSuiteReport:
         """The same suite, analyzed inline through a caller-provided batch.
@@ -941,22 +1012,32 @@ class ShardedSuiteRunner:
         ``cache``/``policy`` are ignored — the batch already owns those
         choices; the batch is flushed but left open.
         """
-        started = time.perf_counter()
-        output = analyze_pairs(batch, list(self.items), shard=0)
-        if progress is not None:
-            progress(output)
-        return self._merge([output], time.perf_counter() - started)
+        clock = stopwatch("suite.run_warm", {"workloads": len(self.items)})
+        with clock:
+            output = analyze_pairs(batch, list(self.items), shard=0)
+            if progress is not None:
+                progress(output)
+        return self._merge([output], clock.seconds)
 
     # ------------------------------------------------------------------
 
     def _merge(self, outputs: List[Dict], seconds: float) -> ShardedSuiteReport:
         from ..analysis.context import AnalysisStats
 
+        # The parent's tracer (when installed) takes custody of the events
+        # each pool worker drained into its output dict; inline runs never
+        # ship events (they recorded straight into this process's tracer).
+        tracer = current_tracer()
         shard_reports = []
         by_name: Dict[str, Dict] = {}
         failures: Dict[str, str] = {}
         widening_by_name: Dict[str, Dict] = {}
+        merged_metrics = MetricsRegistry()
         for output in sorted(outputs, key=lambda o: o["shard"]):
+            events = output.pop("trace_events", None)
+            if tracer is not None and events:
+                tracer.absorb(events)
+            merged_metrics.absorb(MetricsRegistry.from_dict(output.get("metrics") or {}))
             shard_stats = AnalysisStats.from_dict(output["stats"])
             shard_reports.append(
                 ShardReport(
@@ -988,5 +1069,6 @@ class ShardedSuiteRunner:
                 if name in widening_by_name
             },
             intern_tables=summed_tables,
+            metrics=merged_metrics,
             seconds=seconds,
         )

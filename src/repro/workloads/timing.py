@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.limits import DEFAULT_LIMITS, LimitsLike
 from ..analysis.pathset import intern_table_sizes
+from ..obs.trace import span, stopwatch
 from ..sil.normalize import parse_and_normalize
 
 #: Default analyses per workload for the median (odd, so the median is a
@@ -109,45 +110,51 @@ def time_items(
     failures: Dict[str, str] = {}
     peaks: Dict[str, int] = {}
     aggregate_profile: Optional[pstats.Stats] = None
-    started = time.perf_counter()
-    for name, text in items:
-        try:
-            program, info = parse_and_normalize(text)
-        except Exception as error:  # noqa: BLE001 - surfaced per workload
-            failures[name] = f"{type(error).__name__}: {error}"
-            continue
-        samples = []
-        for _ in range(reps):
-            batch = BatchAnalyzer(limits=limits)
-            rep_started = time.perf_counter()
-            batch.analyze(program, info)
-            samples.append(time.perf_counter() - rep_started)
-        warm_batch = BatchAnalyzer(limits=limits)
-        warm_batch.analyze(program, info)  # prime the transfer cache
-        warm_samples = []
-        for _ in range(reps):
-            rep_started = time.perf_counter()
-            warm_batch.analyze(program, info)
-            warm_samples.append(time.perf_counter() - rep_started)
-        for table, size in intern_table_sizes().items():
-            peaks[table] = max(peaks.get(table, 0), size)
-        workloads[name] = {
-            "reps": reps,
-            "median_seconds": round(statistics.median(samples), 6),
-            "min_seconds": round(min(samples), 6),
-            "max_seconds": round(max(samples), 6),
-            "warm_median_seconds": round(statistics.median(warm_samples), 6),
-            "warm_min_seconds": round(min(warm_samples), 6),
-        }
-        if profile_dir is not None:
-            profiled = _profile_workload(name, program, info, limits, profile_dir)
-            if aggregate_profile is None:
-                aggregate_profile = profiled
-            else:
-                aggregate_profile.add(profiled)
+    clock = stopwatch("bench.time_items", {"workloads": len(items), "reps": reps})
+    with clock:
+        for name, text in items:
+            try:
+                program, info = parse_and_normalize(text)
+            except Exception as error:  # noqa: BLE001 - surfaced per workload
+                failures[name] = f"{type(error).__name__}: {error}"
+                continue
+            # The rep loops keep raw ``perf_counter`` brackets: the samples
+            # *are* the measurement, and a span inside the timed region
+            # would tax exactly what the ratchet is holding steady.  The
+            # span wraps the workload from outside instead.
+            with span("bench.workload", {"workload": name}):
+                samples = []
+                for _ in range(reps):
+                    batch = BatchAnalyzer(limits=limits)
+                    rep_started = time.perf_counter()
+                    batch.analyze(program, info)
+                    samples.append(time.perf_counter() - rep_started)
+                warm_batch = BatchAnalyzer(limits=limits)
+                warm_batch.analyze(program, info)  # prime the transfer cache
+                warm_samples = []
+                for _ in range(reps):
+                    rep_started = time.perf_counter()
+                    warm_batch.analyze(program, info)
+                    warm_samples.append(time.perf_counter() - rep_started)
+            for table, size in intern_table_sizes().items():
+                peaks[table] = max(peaks.get(table, 0), size)
+            workloads[name] = {
+                "reps": reps,
+                "median_seconds": round(statistics.median(samples), 6),
+                "min_seconds": round(min(samples), 6),
+                "max_seconds": round(max(samples), 6),
+                "warm_median_seconds": round(statistics.median(warm_samples), 6),
+                "warm_min_seconds": round(min(warm_samples), 6),
+            }
+            if profile_dir is not None:
+                profiled = _profile_workload(name, program, info, limits, profile_dir)
+                if aggregate_profile is None:
+                    aggregate_profile = profiled
+                else:
+                    aggregate_profile.add(profiled)
     report: Dict[str, object] = {
         "reps": reps,
-        "seconds": round(time.perf_counter() - started, 4),
+        "seconds": round(clock.seconds, 4),
         "calibration_seconds": round(measure_calibration(), 6),
         "workloads": workloads,
         "failures": failures,
@@ -267,14 +274,67 @@ def measure_edit_replay(
     (``summaries_reused`` / ``procedures_reanalyzed``) and verifies the
     warm digest against the cold digest of the edited program.
     """
-    from ..analysis.reanalysis import IncrementalSession
-    from .generators import generate_edited_pair, make_edit_bench_scenario
-
     reps = max(1, int(reps))
     sizes = tuple(sorted(set(int(n) for n in sizes)))
     edit_counts = tuple(sorted(set(int(k) for k in edit_counts)))
     cells: Dict[str, Dict[str, object]] = {}
-    started = time.perf_counter()
+    clock = stopwatch(
+        "bench.edit_replay", {"sizes": len(sizes), "edit_counts": len(edit_counts)}
+    )
+    with clock:
+        _measure_edit_replay_cells(
+            cells, sizes, edit_counts, seed, limits, reps, kinds
+        )
+    smallest, largest = sizes[0], sizes[-1]
+    base_k = edit_counts[0]
+    small_cell = cells[f"n{smallest}_k{base_k}"]
+    large_cell = cells[f"n{largest}_k{base_k}"]
+    fixed_size = cells[f"n{largest}_k{edit_counts[-1]}"]
+    cold_ratio = _safe_ratio(
+        large_cell["cold_median_seconds"], small_cell["cold_median_seconds"]
+    )
+    warm_ratio = _safe_ratio(
+        large_cell["warm_median_seconds"], small_cell["warm_median_seconds"]
+    )
+    edit_ratio = _safe_ratio(
+        fixed_size["warm_median_seconds"], large_cell["warm_median_seconds"]
+    )
+    return {
+        "sizes": list(sizes),
+        "edit_counts": list(edit_counts),
+        "reps": reps,
+        "seed": seed,
+        "kinds": list(kinds),
+        "seconds": round(clock.seconds, 4),
+        "cells": cells,
+        "scaling": {
+            # Size axis at the smallest edit count: cold grows, warm should not.
+            "cold_size_ratio": cold_ratio,
+            "warm_size_ratio": warm_ratio,
+            # Edit axis at the largest size: warm grows with the script length.
+            "warm_edit_ratio": edit_ratio,
+            "scales_with_edit_not_program": bool(
+                cold_ratio is not None
+                and warm_ratio is not None
+                and warm_ratio < cold_ratio
+            ),
+        },
+    }
+
+
+def _measure_edit_replay_cells(
+    cells: Dict[str, Dict[str, object]],
+    sizes: Sequence[int],
+    edit_counts: Sequence[int],
+    seed: int,
+    limits: LimitsLike,
+    reps: int,
+    kinds: Sequence[str],
+) -> None:
+    """The measurement grid of :func:`measure_edit_replay` (cells in place)."""
+    from ..analysis.reanalysis import IncrementalSession
+    from .generators import generate_edited_pair, make_edit_bench_scenario
+
     for size in sizes:
         scenario = make_edit_bench_scenario(size, seed=seed)
         old_program, old_info = parse_and_normalize(scenario.source)
@@ -315,41 +375,6 @@ def measure_edit_replay(
                 "verified": verified,
                 "script": pair.script.as_dict(),
             }
-    smallest, largest = sizes[0], sizes[-1]
-    base_k = edit_counts[0]
-    small_cell = cells[f"n{smallest}_k{base_k}"]
-    large_cell = cells[f"n{largest}_k{base_k}"]
-    fixed_size = cells[f"n{largest}_k{edit_counts[-1]}"]
-    cold_ratio = _safe_ratio(
-        large_cell["cold_median_seconds"], small_cell["cold_median_seconds"]
-    )
-    warm_ratio = _safe_ratio(
-        large_cell["warm_median_seconds"], small_cell["warm_median_seconds"]
-    )
-    edit_ratio = _safe_ratio(
-        fixed_size["warm_median_seconds"], large_cell["warm_median_seconds"]
-    )
-    return {
-        "sizes": list(sizes),
-        "edit_counts": list(edit_counts),
-        "reps": reps,
-        "seed": seed,
-        "kinds": list(kinds),
-        "seconds": round(time.perf_counter() - started, 4),
-        "cells": cells,
-        "scaling": {
-            # Size axis at the smallest edit count: cold grows, warm should not.
-            "cold_size_ratio": cold_ratio,
-            "warm_size_ratio": warm_ratio,
-            # Edit axis at the largest size: warm grows with the script length.
-            "warm_edit_ratio": edit_ratio,
-            "scales_with_edit_not_program": bool(
-                cold_ratio is not None
-                and warm_ratio is not None
-                and warm_ratio < cold_ratio
-            ),
-        },
-    }
 
 
 def _safe_ratio(numerator: float, denominator: float) -> Optional[float]:

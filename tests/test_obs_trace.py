@@ -1,0 +1,178 @@
+"""The flight recorder: span tracing over the instrumented analysis layers.
+
+Covers the tracer's three contracts:
+
+* **disabled is free** — with no tracer installed, :func:`repro.obs.span`
+  returns one shared no-op object (identity-equal across calls, so the
+  hot paths allocate nothing) and nothing is recorded;
+* **recording** — spans nest, carry their args, measure on the monotonic
+  clock, and ship across process boundaries as plain dicts
+  (``drain``/``absorb``), with ``reset`` clearing a forked worker's
+  inherited copy;
+* **export** — the Chrome trace-event document is valid JSON with
+  ``"X"`` complete events, per-pid ``process_name`` metadata, and is
+  produced end to end by analyzing a real workload (parse, passes,
+  solver visits, cache flush all appear).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.obs.trace import (
+    Tracer,
+    _NULL_SPAN,
+    current_tracer,
+    install_tracer,
+    instant,
+    span,
+    stopwatch,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    """A fresh installed tracer; uninstalled (and cleared) afterwards."""
+    handle = install_tracer(Tracer())
+    yield handle
+    uninstall_tracer()
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_tracer():
+    yield
+    uninstall_tracer()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert current_tracer() is None
+
+    def test_span_is_the_shared_null_object(self):
+        # Identity, not just equality: the disabled path must not allocate.
+        assert span("anything") is _NULL_SPAN
+        assert span("other", {"k": "v"}) is _NULL_SPAN
+
+    def test_null_span_is_a_context_manager(self):
+        with span("ignored") as handle:
+            assert handle is _NULL_SPAN
+
+    def test_instant_is_a_noop(self):
+        instant("marker")  # must not raise
+
+    def test_stopwatch_still_measures(self):
+        clock = stopwatch("bracket")
+        with clock:
+            pass
+        assert clock.seconds >= 0.0
+
+
+class TestRecording:
+    def test_span_records_complete_event(self, tracer):
+        with span("unit", {"detail": 3}):
+            pass
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["name"] == "unit"
+        assert event["args"] == {"detail": 3}
+        assert event["dur"] >= 0
+        assert event["pid"] > 0
+
+    def test_spans_nest(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+        names = [event["name"] for event in tracer.events()]
+        # Inner exits (and records) first.
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.events()
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_stopwatch_records_and_measures(self, tracer):
+        clock = stopwatch("both")
+        with clock:
+            pass
+        assert clock.seconds >= 0.0
+        assert [event["name"] for event in tracer.events()] == ["both"]
+
+    def test_instant_event(self, tracer):
+        instant("marker", {"shard": 2})
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["args"] == {"shard": 2}
+
+    def test_drain_absorb_reset(self, tracer):
+        with span("a"):
+            pass
+        shipped = tracer.drain()
+        assert len(tracer) == 0
+        assert [event["name"] for event in shipped] == ["a"]
+        tracer.absorb(shipped)
+        assert [event["name"] for event in tracer.events()] == ["a"]
+        tracer.reset()
+        assert len(tracer) == 0
+
+    def test_install_reuses_existing_tracer(self, tracer):
+        with span("kept"):
+            pass
+        again = install_tracer()
+        assert again is tracer
+        assert len(again) == 1
+
+
+class TestChromeExport:
+    def test_document_shape(self, tracer, tmp_path):
+        with span("outer"):
+            with span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        spans = tracer.write_chrome(str(path))
+        assert spans == 2
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert [m["name"] for m in metadata] == ["process_name"]
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {"outer", "inner"}
+        for event in complete:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_jsonl_export(self, tracer, tmp_path):
+        with span("one"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 1
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "one"
+
+    def test_real_workload_produces_the_span_taxonomy(self, tracer, tmp_path):
+        from repro.analysis.engine import BatchAnalyzer
+        from repro.sil.normalize import parse_and_normalize
+        from repro.workloads.suite import source
+
+        batch = BatchAnalyzer()
+        with span("sil.parse"):
+            program, info = parse_and_normalize(source("tree_add", depth=3))
+        batch.analyze(program, info)
+        batch.close()
+
+        names = {event["name"] for event in tracer.events()}
+        assert {"sil.parse", "analysis.typecheck", "analysis.solve",
+                "solve.visit", "cache.flush"} <= names
+        # And the document round-trips through the Chrome export.
+        path = tmp_path / "real.json"
+        assert tracer.write_chrome(str(path)) == len(tracer)
+        json.loads(path.read_text())
