@@ -26,9 +26,11 @@ diagnostics for updates) and never modify their argument.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..faults import fault_fire
 from ..obs.trace import span
 from ..sil import ast
 from ..sil.printer import _format_inline as format_statement_inline
@@ -46,6 +48,12 @@ from ..cache.policy import PolicyCache
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.backend import CacheBackend
 
+
+logger = logging.getLogger("repro.analysis.transfer")
+
+#: Consecutive backend errors tolerated before the circuit breaker trips
+#: and the cache drops to memory-only mode for the rest of the run.
+DEFAULT_BREAKER_THRESHOLD = 3
 
 
 @dataclass
@@ -365,15 +373,36 @@ class TransferCache:
     sealed and promoted into the in-memory layer.  Computed results are
     buffered as encoded deltas and written back in one batch by
     :meth:`flush` — call it when a run or shard completes.
+
+    **Degradation.**  A persistent backend may rot or fail without taking
+    the analysis down: payloads that no longer decode are *quarantined*
+    (discarded from the store, counted, treated as misses and recomputed),
+    backend I/O errors (the :data:`repro.cache.backend.BACKEND_ERRORS`
+    surface) are tolerated per-operation, and once ``breaker_threshold``
+    of them accumulate the circuit breaker closes and drops the backend —
+    ``degraded`` pins true and the cache runs memory-only from then on.
+    Faults cost recomputation, never results.
     """
 
-    __slots__ = ("policy", "backend", "_entries", "_joins", "_pending", "_pending_labels")
+    __slots__ = (
+        "policy",
+        "backend",
+        "_entries",
+        "_joins",
+        "_pending",
+        "_pending_labels",
+        "quarantined",
+        "backend_errors",
+        "degraded",
+        "breaker_threshold",
+    )
 
     def __init__(
         self,
         capacity: int = DEFAULT_TRANSFER_CACHE_SIZE,
         policy: str = "lru",
         backend: Optional["CacheBackend"] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
     ):
         self._entries = PolicyCache(capacity, policy)
         #: Second memo space for the *derived* pure operations over interned
@@ -390,6 +419,14 @@ class TransferCache:
         #: statement_label`) — flushed alongside the payloads so persistent
         #: backends can invalidate by edited statement.
         self._pending_labels: Dict[str, str] = {}
+        #: Corrupt payloads quarantined (discarded + treated as misses).
+        self.quarantined = 0
+        #: Backend I/O errors tolerated so far (get/write/discard).
+        self.backend_errors = 0
+        #: ``True`` once the circuit breaker dropped the backend; the cache
+        #: then runs memory-only for the rest of its life.
+        self.degraded = False
+        self.breaker_threshold = max(1, int(breaker_threshold))
 
     @property
     def capacity(self) -> int:
@@ -432,6 +469,36 @@ class TransferCache:
     # Persistent tier
     # ------------------------------------------------------------------
 
+    def _note_backend_error(self, operation: str, error: BaseException) -> None:
+        """Count a tolerated backend failure; trip the breaker past threshold.
+
+        Tripping closes and drops the backend — every later persistent
+        lookup/flush short-circuits on ``backend is None`` — so one bad
+        store costs at most ``breaker_threshold`` failed calls, after which
+        the run proceeds memory-only.
+        """
+        self.backend_errors += 1
+        logger.warning(
+            "persistent cache %s failed (%s: %s) [error %d/%d before breaker]",
+            operation,
+            type(error).__name__,
+            error,
+            self.backend_errors,
+            self.breaker_threshold,
+        )
+        if self.backend_errors >= self.breaker_threshold and self.backend is not None:
+            logger.warning(
+                "persistent-cache circuit breaker tripped after %d backend errors; "
+                "dropping to memory-only mode for the rest of this run",
+                self.backend_errors,
+            )
+            self.degraded = True
+            try:
+                self.backend.close()
+            except Exception:  # noqa: BLE001 - the backend is already failing
+                logger.debug("backend close failed while degrading", exc_info=True)
+            self.backend = None
+
     def load_persistent(
         self, persistent_key: str, matrix_limits: AnalysisLimits
     ) -> Optional[Tuple[TransferResult, "WideningTally"]]:
@@ -446,14 +513,25 @@ class TransferCache:
         """
         if self.backend is None:
             return None
+        from ..cache.backend import BACKEND_ERRORS
         from ..cache.codec import CacheDecodeError, decode_entry
 
         pending_payload = self._pending.get(persistent_key)
-        payload = pending_payload if pending_payload is not None else self.backend.get(
-            persistent_key
-        )
+        if pending_payload is not None:
+            payload = pending_payload
+        else:
+            try:
+                payload = self.backend.get(persistent_key)
+            except BACKEND_ERRORS as error:
+                self._note_backend_error("get", error)
+                return None
         if payload is None:
             return None
+        rule = fault_fire("cache.payload", persistent_key)
+        if rule is not None and rule.kind == "corrupt" and pending_payload is None:
+            # Chaos harness: mangle the stored payload so the codec rejects
+            # it, driving the same quarantine path a bit-rotted row would.
+            payload = "\x00corrupt\x00" + payload
         try:
             # Shield the decode behind a throwaway tally: reconstructing a
             # result must never advance the caller's widening telemetry —
@@ -461,8 +539,16 @@ class TransferCache:
             with widening_scope(WideningTally()):
                 return decode_entry(payload, matrix_limits)
         except CacheDecodeError:
+            self.quarantined += 1
             if pending_payload is None:
-                self.backend.discard(persistent_key)
+                logger.warning(
+                    "quarantined corrupt cache entry %s (discarded; treated as a miss)",
+                    persistent_key,
+                )
+                try:
+                    self.backend.discard(persistent_key)
+                except BACKEND_ERRORS as error:
+                    self._note_backend_error("discard", error)
             else:  # pragma: no cover - pending entries are self-encoded
                 del self._pending[persistent_key]
             return None
@@ -490,13 +576,30 @@ class TransferCache:
 
         Returns ``(written, evicted)`` and, when ``stats`` is given, folds
         them into ``persistent_cache_writes`` / ``persistent_cache_evictions``.
+
+        A backend error here is tolerated like any other: counted toward
+        the breaker, and the pending deltas are *kept* for the next flush —
+        unless the breaker trips, in which case they are dropped along with
+        the backend (nothing will ever accept them).
         """
         with span("cache.flush", {"pending": len(self._pending)}):
             if self.backend is None:
+                if self.degraded:
+                    self._pending.clear()
+                    self._pending_labels.clear()
                 return 0, 0
-            written, evicted = self.backend.write(
-                self._pending, labels=self._pending_labels
-            )
+            from ..cache.backend import BACKEND_ERRORS
+
+            try:
+                written, evicted = self.backend.write(
+                    self._pending, labels=self._pending_labels
+                )
+            except BACKEND_ERRORS as error:
+                self._note_backend_error("write", error)
+                if self.backend is None:
+                    self._pending.clear()
+                    self._pending_labels.clear()
+                return 0, 0
         self._pending.clear()
         self._pending_labels.clear()
         if stats is not None:

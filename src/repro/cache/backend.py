@@ -21,6 +21,7 @@ payload instead, and each worker opens its own backend from it
 
 from __future__ import annotations
 
+import sqlite3
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -37,6 +38,13 @@ from .policy import POLICIES
 
 #: Backend kinds :func:`open_backend` understands.
 BACKENDS = ("memory", "disk")
+
+#: The exception surface a persistent backend is allowed to fail with.
+#: The transfer layer catches exactly these around every backend call —
+#: counting them toward its circuit breaker instead of raising into the
+#: analysis hot path — so a backend that fails with anything else is a
+#: bug, not an operational fault.
+BACKEND_ERRORS: Tuple[type, ...] = (sqlite3.Error, OSError)
 
 #: Default cap on persistent-store *entries* (not bytes).  Transfer payloads
 #: are small (a few hundred bytes), so the default bounds the store around

@@ -32,16 +32,33 @@ exceeds the configured cap the policy picks victims —
 
 from __future__ import annotations
 
+import logging
 import os
 import sqlite3
 import threading
+import time
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple, TypeVar
 
+from ..faults import fault_fire
 from .backend import DEFAULT_STORE_CAPACITY
+
+logger = logging.getLogger("repro.cache.disk")
 
 #: File name inside the cache directory.
 STORE_FILENAME = "transfer-cache.sqlite"
+
+#: Bounded in-process retry budget for transient ``sqlite3.OperationalError``
+#: failures ("database is locked", "disk I/O error") — total attempts, so 3
+#: means the original try plus two retries before the error surfaces.
+DEFAULT_IO_RETRIES = 3
+
+#: First retry backoff; doubles per retry.  Tiny on purpose: the common
+#: transient cause is a sibling shard holding the write lock for one short
+#: flush transaction.
+_RETRY_BACKOFF_SECONDS = 0.005
+
+_T = TypeVar("_T")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS entries (
@@ -58,7 +75,16 @@ CREATE TABLE IF NOT EXISTS meta (
 );
 """
 
-_COUNTERS = ("hits", "misses", "writes", "evictions", "invalidations", "compactions", "swept")
+_COUNTERS = (
+    "hits",
+    "misses",
+    "writes",
+    "evictions",
+    "invalidations",
+    "compactions",
+    "swept",
+    "retries",
+)
 
 _EVICTION_ORDER = {
     "lru": "last_used ASC, key ASC",
@@ -78,6 +104,7 @@ class DiskBackend:
         policy: str = "lru",
         capacity: int = DEFAULT_STORE_CAPACITY,
         timeout: float = 60.0,
+        io_retries: int = DEFAULT_IO_RETRIES,
     ):
         if policy not in _EVICTION_ORDER:
             raise ValueError(f"unknown cache policy {policy!r}")
@@ -120,9 +147,49 @@ class DiskBackend:
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.commit()
         # Session-local bookkeeping, folded into the store at write() time.
+        self.io_retries = max(1, int(io_retries))
         self._session_hits = 0
         self._session_misses = 0
+        self._session_retries = 0
         self._touched: Dict[str, int] = {}
+
+    def _with_retry(self, site: str, key: str, operation: Callable[[], _T]) -> _T:
+        """Run ``operation`` with a bounded retry on transient SQLite errors.
+
+        ``sqlite3.OperationalError`` covers the two recoverable operational
+        faults a shared store actually sees — "database is locked" (a
+        sibling shard mid-flush) and transient "disk I/O error" — so those
+        get ``io_retries`` total attempts with a small doubling backoff
+        before surfacing to the caller (where the transfer layer's circuit
+        breaker takes over).  Retries are counted session-locally and folded
+        into the lifetime ``retries`` meta counter at flush, like
+        hits/misses.  ``site``/``key`` also form a fault-injection point so
+        the chaos suite can drive exactly this path.
+        """
+        backoff = _RETRY_BACKOFF_SECONDS
+        for attempt in range(self.io_retries):
+            try:
+                rule = fault_fire(site, key)
+                if rule is not None and rule.kind == "io_error":
+                    raise sqlite3.OperationalError(
+                        f"injected disk I/O error ({site}, key={key!r})"
+                    )
+                return operation()
+            except sqlite3.OperationalError as error:
+                if attempt + 1 >= self.io_retries:
+                    raise
+                self._session_retries += 1
+                logger.warning(
+                    "transient sqlite error on %s (%s); retry %d/%d in %.0f ms",
+                    site,
+                    error,
+                    attempt + 1,
+                    self.io_retries - 1,
+                    backoff * 1000,
+                )
+                time.sleep(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable: retry loop returns or raises")
 
     # ------------------------------------------------------------------
     # Hot path
@@ -135,9 +202,13 @@ class DiskBackend:
 
     def get(self, key: str) -> Optional[str]:
         with self._lock:
-            row = self._connection.execute(
-                "SELECT payload FROM entries WHERE key = ?", (key,)
-            ).fetchone()
+            row = self._with_retry(
+                "cache.get",
+                key,
+                lambda: self._connection.execute(
+                    "SELECT payload FROM entries WHERE key = ?", (key,)
+                ).fetchone(),
+            )
             if row is None:
                 self._session_misses += 1
                 return None
@@ -149,7 +220,11 @@ class DiskBackend:
         self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
     ) -> Tuple[int, int]:
         with self._lock:
-            return self._write_locked(pending, labels)
+            # The whole flush transaction is the retry unit: _write_locked
+            # rolls back on any failure, so a retry starts clean.
+            return self._with_retry(
+                "cache.write", "flush", lambda: self._write_locked(pending, labels)
+            )
 
     def _write_locked(
         self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
@@ -184,12 +259,14 @@ class DiskBackend:
             self._bump_meta_locked("misses", self._session_misses)
             self._bump_meta_locked("writes", written)
             self._bump_meta_locked("evictions", evicted)
+            self._bump_meta_locked("retries", self._session_retries)
             connection.commit()
         except BaseException:
             connection.rollback()
             raise
         self._session_hits = 0
         self._session_misses = 0
+        self._session_retries = 0
         self._touched.clear()
         return written, evicted
 
@@ -330,6 +407,7 @@ class DiskBackend:
             raise
         self._session_hits = 0
         self._session_misses = 0
+        self._session_retries = 0
         self._touched.clear()
         return dropped
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..faults import fault_fire
 from .backend import DEFAULT_STORE_CAPACITY
 from .policy import PolicyCache
 
@@ -49,6 +50,12 @@ class MemoryBackend:
         return len(self._store)
 
     def get(self, key: str) -> Optional[str]:
+        # The same fault-injection sites the disk backend compiles in, so
+        # the transfer layer's error tolerance is testable backend-agnostic
+        # (MemoryBackend has no retry tier — nothing here is transient).
+        rule = fault_fire("cache.get", key)
+        if rule is not None and rule.kind == "io_error":
+            raise OSError(f"injected cache I/O error (cache.get, key={key!r})")
         payload = self._store.get(key)
         if payload is None:
             self.misses += 1
@@ -59,6 +66,9 @@ class MemoryBackend:
     def write(
         self, pending: Mapping[str, str], labels: Optional[Mapping[str, str]] = None
     ) -> Tuple[int, int]:
+        rule = fault_fire("cache.write", "flush")
+        if rule is not None and rule.kind == "io_error":
+            raise OSError("injected cache I/O error (cache.write)")
         written = 0
         evictions_before = self._store.evictions
         for key, payload in pending.items():

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .analysis.context import AnalysisStats
 from .analysis.limits import DEFAULT_LIMITS, AnalysisLimits, LimitsLike, base_limits
 from .cache import BACKENDS, POLICIES, STORE_FILENAME, CacheConfig, DiskBackend
+from .faults import FAULT_KINDS, KNOWN_SITES, FaultPlan
 from .workloads.generators import (
     EDIT_KINDS,
     FAMILIES,
@@ -65,7 +66,13 @@ from .workloads.generators import (
     generate_scenario,
     generate_scenarios,
 )
-from .workloads.suite import WORKLOADS, ShardedSuiteReport, ShardedSuiteRunner, source
+from .workloads.suite import (
+    DEFAULT_MAX_ATTEMPTS,
+    WORKLOADS,
+    ShardedSuiteReport,
+    ShardedSuiteRunner,
+    source,
+)
 
 #: Default artifact path of ``bench`` (matches the pytest bench artifact).
 DEFAULT_ARTIFACT = "BENCH_analysis.json"
@@ -127,6 +134,50 @@ def _add_trace_option(parser: argparse.ArgumentParser) -> None:
         "this run and write a Chrome trace-event JSON file (load it in "
         "Perfetto or chrome://tracing)",
     )
+
+
+def _add_chaos_options(
+    parser: argparse.ArgumentParser, max_attempts: bool = True
+) -> None:
+    parser.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SITE=KIND[:PROB[:MATCH[:DELAY]]]",
+        help="inject a deterministic seeded fault at SITE "
+        f"(sites: {', '.join(KNOWN_SITES)}; kinds: {', '.join(FAULT_KINDS)}); "
+        "repeatable. Example: --chaos 'shard.workload=crash:1.0:@0' crashes "
+        "every workload's first attempt",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the fault plan's deterministic probability draws "
+        "(default: 0)",
+    )
+    if max_attempts:
+        parser.add_argument(
+            "--max-attempts",
+            type=int,
+            default=DEFAULT_MAX_ATTEMPTS,
+            metavar="N",
+            help="attempts per workload before a crashed shard's work is "
+            f"reported as failed (default: {DEFAULT_MAX_ATTEMPTS})",
+        )
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The validated fault plan ``--chaos``/``--chaos-seed`` describe.
+
+    Raises ``ValueError`` on a malformed spec (reported as exit 2, like the
+    cache-flag errors).
+    """
+    specs = getattr(args, "chaos", None)
+    if not specs:
+        return None
+    return FaultPlan.parse(specs, seed=getattr(args, "chaos_seed", 0))
 
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
@@ -371,14 +422,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     try:
         cache = _cache_config(args)
+        faults = _fault_plan(args)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     _warn_if_memory_backend_sharded(cache, args.shards, len(items))
     limits = _effective_limits(args)
     runner = ShardedSuiteRunner(
-        items, shards=args.shards, limits=limits, cache=cache, policy=args.cache_policy
+        items,
+        shards=args.shards,
+        limits=limits,
+        cache=cache,
+        policy=args.cache_policy,
+        faults=faults,
+        max_attempts=args.max_attempts,
     )
+    if faults is not None:
+        print(f"chaos: {'; '.join(faults.describe())} (seed {faults.seed}, "
+              f"max attempts {args.max_attempts})")
 
     # Streaming collection: rows appear as each shard finishes, not behind
     # the final barrier.
@@ -427,14 +488,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     try:
         cache = _cache_config(args)
+        faults = _fault_plan(args)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     _warn_if_memory_backend_sharded(cache, args.shards, len(items))
     limits = _effective_limits(args)
     runner = ShardedSuiteRunner(
-        items, shards=args.shards, limits=limits, cache=cache, policy=args.cache_policy
+        items,
+        shards=args.shards,
+        limits=limits,
+        cache=cache,
+        policy=args.cache_policy,
+        faults=faults,
+        max_attempts=args.max_attempts,
     )
+    if faults is not None:
+        print(f"chaos: {'; '.join(faults.describe())} (seed {faults.seed}, "
+              f"max attempts {args.max_attempts})")
 
     def stream(output: Dict) -> None:
         print(
@@ -491,6 +562,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # histograms every shard shipped home.
         "tails": report.tails(),
     }
+
+    if faults is not None:
+        # The chaos ledger: what was injected and what the recovery paths
+        # did about it.  The headline acceptance check is elsewhere in the
+        # artifact — "results_digest" must match a fault-free run's.
+        counters = report.metrics.as_dict().get("counters", {})
+
+        def metric_total(metric: str) -> int:
+            return sum(
+                int(entry["value"])
+                for entry in counters.values()
+                if entry["name"] == metric
+            )
+
+        chaos = {
+            "plan": faults.describe(),
+            "seed": faults.seed,
+            "max_attempts": args.max_attempts,
+            "injected": {
+                key: int(entry["value"])
+                for key, entry in sorted(counters.items())
+                if entry["name"] == "faults.injected_total"
+            },
+            "workload_retries": metric_total("suite.workload_retries"),
+            "shard_crashes": metric_total("suite.shard_crashes_total"),
+            "workloads_abandoned": metric_total("suite.workloads_abandoned_total"),
+            "cache_quarantined": metric_total("cache.quarantined_total"),
+            "cache_backend_errors": metric_total("cache.backend_errors_total"),
+            "attempts": {
+                name: count for name, count in sorted(report.attempts.items()) if count
+            },
+        }
+        artifact["chaos"] = chaos
+        print(
+            f"\nchaos ledger: {sum(chaos['injected'].values())} faults injected, "
+            f"{chaos['workload_retries']} workload retries, "
+            f"{chaos['shard_crashes']} shard crashes, "
+            f"{chaos['workloads_abandoned']} abandoned, "
+            f"{chaos['cache_quarantined']} cache entries quarantined"
+        )
 
     ratchet_regressed = False
     if args.time or args.profile:
@@ -829,6 +940,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     try:
         cache = _cache_config(args)
+        faults = _fault_plan(args)
         config = ServerConfig(
             socket_path=args.socket,
             host=args.host,
@@ -842,6 +954,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             slow_request_threshold=(
                 args.slow_threshold if args.slow_threshold > 0 else None
             ),
+            max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+            faults=faults,
         ).validated()
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -861,7 +975,10 @@ def _client(args: argparse.Namespace):
     from .server.client import endpoint_kwargs
 
     return AnalysisClient(
-        **endpoint_kwargs(args.socket, args.host, args.port), timeout=args.timeout
+        **endpoint_kwargs(args.socket, args.host, args.port),
+        timeout=args.timeout,
+        retries=getattr(args, "retries", 0),
+        deadline=getattr(args, "deadline", None),
     )
 
 
@@ -873,6 +990,7 @@ def _print_response(response: Dict, as_json: bool) -> int:
 
 def cmd_client(args: argparse.Namespace) -> int:
     from .server import ProtocolMismatch, ServerError
+    from .server.protocol import ProtocolError
 
     message = _endpoint_error(args)
     if message:
@@ -886,6 +1004,16 @@ def cmd_client(args: argparse.Namespace) -> int:
         return 1
     except ProtocolMismatch as error:
         print(f"protocol mismatch: {error}", file=sys.stderr)
+        return 1
+    except ProtocolError as error:
+        # Covers ConnectionClosed/TruncatedFrame: the connection died
+        # mid-conversation (daemon restart, injected drop) and the request
+        # was not retried to completion — suggest the knob that would.
+        print(
+            f"connection to the analysis server failed: {error} "
+            "(idempotent requests can ride this out with --retries)",
+            file=sys.stderr,
+        )
         return 1
     except (ConnectionError, FileNotFoundError, TimeoutError, OSError) as error:
         print(f"cannot reach the analysis server: {error}", file=sys.stderr)
@@ -1070,6 +1198,22 @@ def client_metrics(args: argparse.Namespace, client) -> int:
     return 0
 
 
+def client_health(args: argparse.Namespace, client) -> int:
+    response = client.health()
+    if args.json:
+        return _print_response(response, True)
+    print(f"status:          {response['status']}")
+    print(f"ready:           {response['ready']}")
+    print(f"inflight:        {response['inflight']}"
+          + (f" / max {response['max_inflight']}" if response["max_inflight"] else ""))
+    print(f"queue depth:     {response['queue_depth']}")
+    print(f"workers:         {response['workers']}")
+    print(f"cache degraded:  {response['cache_degraded']}")
+    print(f"requests shed:   {response['shed_total']}")
+    print(f"requests served: {response['requests_served']}")
+    return 0 if response["ready"] else 1
+
+
 def client_shutdown(args: argparse.Namespace, client) -> int:
     response = client.shutdown()
     print(
@@ -1108,6 +1252,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generator_options(analyze)
     _add_limits_options(analyze)
     _add_cache_options(analyze)
+    _add_chaos_options(analyze)
     _add_trace_option(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -1183,6 +1328,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generator_options(bench)
     _add_limits_options(bench)
     _add_cache_options(bench)
+    _add_chaos_options(bench)
     _add_trace_option(bench)
     bench.set_defaults(func=cmd_bench)
 
@@ -1347,8 +1493,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="log a warning (and count server.slow_requests_total) for any "
         "request slower than this; 0 disables (default: 5)",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission cap: heavy requests beyond N simultaneously in "
+        "flight are shed with a retryable 'overloaded' error; 0 disables "
+        "(default: 64)",
+    )
     _add_limits_options(serve)
     _add_cache_options(serve)
+    _add_chaos_options(serve, max_attempts=False)
     _add_trace_option(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -1366,8 +1522,29 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="client-side socket timeout (default: 120)",
         )
+        sub.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="re-attempts of idempotent requests after a transport "
+            "failure or an 'overloaded' rejection, with exponential "
+            "backoff + jitter (default: 0, fail fast)",
+        )
+        sub.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock bound on one request including every retry "
+            "and backoff sleep (default: none)",
+        )
         sub.set_defaults(func=cmd_client, client_func=func)
         return sub
+
+    health_cmd = client_parser(
+        "health", client_health, "liveness/load snapshot: status, in-flight, shed count"
+    )
 
     client_parser("ping", client_ping, "liveness round trip")
     version = client_parser(
@@ -1435,7 +1612,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus text exposition instead of tables",
     )
     client_parser("shutdown", client_shutdown, "graceful shutdown: drain, flush, exit")
-    for sub in (version, c_analyze, c_bench, c_reanalyze, stats_cmd, metrics_cmd):
+    for sub in (version, c_analyze, c_bench, c_reanalyze, stats_cmd, metrics_cmd, health_cmd):
         sub.add_argument("--json", action="store_true", help="machine-readable output")
 
     return parser

@@ -21,19 +21,37 @@ Error responses raise :class:`ServerError` carrying the structured
 from __future__ import annotations
 
 import logging
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .protocol import (
     DEFAULT_MAX_FRAME,
+    ERR_OVERLOADED,
     PROTOCOL_VERSION,
+    ConnectionClosed,
     ProtocolError,
+    TruncatedFrame,
     recv_frame,
     send_frame,
 )
 
 
 logger = logging.getLogger("repro.server.client")
+
+#: Ops safe to re-send after a transport failure or an ``overloaded``
+#: rejection: read-only ops plus ``analyze``/``bench``, whose results are
+#: pure functions of the request (re-running one costs compute, never
+#: correctness).  ``reanalyze`` mutates warm invalidation state and
+#: ``shutdown`` is one-shot — neither is retried.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "protocol_version", "health", "analyze", "bench", "cache_stats", "metrics"}
+)
+
+#: Transport failures worth a reconnect-and-retry: the connection died (or
+#: was refused) in a way that cannot have half-applied an idempotent op.
+TRANSPORT_ERRORS = (OSError, TruncatedFrame, ConnectionClosed)
 
 
 class ServerError(RuntimeError):
@@ -61,21 +79,48 @@ class AnalysisClient:
         port: Optional[int] = None,
         timeout: Optional[float] = 60.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        retries: int = 0,
+        backoff: float = 0.05,
+        deadline: Optional[float] = None,
     ):
+        """``retries`` re-attempts of *idempotent* ops (see
+        :data:`IDEMPOTENT_OPS`) after a transport failure or a retryable
+        ``overloaded`` rejection, reconnecting between attempts and sleeping
+        an exponentially growing, jittered ``backoff`` (seconds, doubling
+        per attempt).  ``deadline`` bounds one logical request — including
+        every retry and sleep — in wall-clock seconds; when sleeping again
+        would bust it, the last failure is raised instead.  The default
+        ``retries=0`` keeps the historical fail-fast behavior.
+        """
         if bool(socket_path) == bool(host):
             raise ValueError(
                 "configure exactly one endpoint: socket_path (unix) or host/port (tcp)"
             )
         if host and port is None:
             raise ValueError("a TCP endpoint needs a port")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff <= 0:
+            raise ValueError("backoff must be positive")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
         self.socket_path = socket_path
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_frame = max_frame
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.deadline = deadline
+        #: Lifetime count of re-attempts this client actually performed.
+        self.retries_performed = 0
         self.hello: Optional[Dict[str, Any]] = None
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
+        # Seeded: chaos runs retry on a reproducible schedule; the jitter
+        # exists to de-synchronize *distinct* clients, which construct
+        # distinct generators and interleave differently.
+        self._jitter = random.Random(0xC0FFEE)
 
     # ------------------------------------------------------------------
     # connection
@@ -95,12 +140,18 @@ class AnalysisClient:
         try:
             sock.connect(address)
             hello = recv_frame(sock, self.max_frame)
-        except Exception:
+        except (OSError, ProtocolError) as error:
+            # The two ways a connect can legitimately fail: the transport
+            # (refused, timed out, reset) or a garbled hello.  Anything else
+            # propagates without the close — it is a bug, not a peer fault.
+            logger.debug(
+                "connect to %s failed: %s: %s", address, type(error).__name__, error
+            )
             sock.close()
             raise
         if hello is None:
             sock.close()
-            raise ProtocolError("server closed the connection before saying hello")
+            raise ConnectionClosed("server closed the connection before saying hello")
         if hello.get("protocol") != PROTOCOL_VERSION:
             sock.close()
             raise ProtocolMismatch(
@@ -114,8 +165,14 @@ class AnalysisClient:
 
     def close(self) -> None:
         if self._sock is not None:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError as error:
+                # A socket that fails to close is already dead; note it
+                # rather than masking whatever the caller was handling.
+                logger.debug("error closing socket: %s", error)
             self._sock = None
+            self.hello = None
 
     def __enter__(self) -> "AnalysisClient":
         self.connect()
@@ -147,7 +204,7 @@ class AnalysisClient:
             raise ProtocolError("not connected")
         response = recv_frame(self._sock, self.max_frame)
         if response is None:
-            raise ProtocolError("server closed the connection")
+            raise ConnectionClosed("server closed the connection")
         return response
 
     def call(self, op: str, **params: Any) -> Dict[str, Any]:
@@ -162,7 +219,51 @@ class AnalysisClient:
         return response
 
     def request(self, op: str, **params: Any) -> Dict[str, Any]:
-        """A round trip that raises :class:`ServerError` on ``ok: false``."""
+        """A round trip that raises :class:`ServerError` on ``ok: false``.
+
+        With ``retries`` configured and ``op`` idempotent, a transport
+        failure (connection refused/dropped/truncated) or an ``overloaded``
+        rejection triggers reconnect-and-retry under exponential backoff
+        with jitter, bounded by the client ``deadline``.  Every other error
+        — and every error on a non-idempotent op — raises immediately.
+        """
+        if self.retries <= 0 or op not in IDEMPOTENT_OPS:
+            return self._request_once(op, **params)
+        deadline_at = (
+            None if self.deadline is None else time.monotonic() + self.deadline
+        )
+        delay = self.backoff
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(op, **params)
+            except TRANSPORT_ERRORS as error:
+                failure: Exception = error
+                self.close()  # drop the broken socket; retry reconnects
+            except ServerError as error:
+                if error.code != ERR_OVERLOADED:
+                    raise
+                failure = error
+            attempt += 1
+            if attempt > self.retries:
+                raise failure
+            pause = delay * (0.5 + self._jitter.random())
+            delay *= 2
+            if deadline_at is not None and time.monotonic() + pause >= deadline_at:
+                raise failure  # sleeping again would bust the deadline
+            self.retries_performed += 1
+            logger.warning(
+                "retrying op=%s after %s: %s (attempt %d/%d, backoff %.3fs)",
+                op,
+                type(failure).__name__,
+                failure,
+                attempt,
+                self.retries,
+                pause,
+            )
+            time.sleep(pause)
+
+    def _request_once(self, op: str, **params: Any) -> Dict[str, Any]:
         response = self.call(op, **params)
         if not response.get("ok"):
             error = response.get("error") or {}
@@ -177,6 +278,10 @@ class AnalysisClient:
 
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))
+
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness/load snapshot (status, in-flight, shed count)."""
+        return self.request("health")
 
     def protocol_version(self) -> Dict[str, Any]:
         return self.request("protocol_version")

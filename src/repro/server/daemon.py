@@ -48,12 +48,14 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.limits import DEFAULT_LIMITS, LimitsLike
 from ..cache.backend import CacheConfig
+from ..faults import FaultPlan, current_fault_plan, fault_fire, install_fault_plan
 from . import protocol
 from .protocol import (
     DEFAULT_MAX_FRAME,
     ERR_BAD_REQUEST,
     ERR_FRAME_TOO_LARGE,
     ERR_INTERNAL,
+    ERR_OVERLOADED,
     ERR_SHUTTING_DOWN,
     ERR_TIMEOUT,
     ERR_UNKNOWN_COMMAND,
@@ -71,6 +73,7 @@ from .service import AnalysisService, RequestError
 KNOWN_OPS = (
     "ping",
     "protocol_version",
+    "health",
     "analyze",
     "bench",
     "reanalyze",
@@ -112,6 +115,16 @@ class ServerConfig:
     #: Requests slower than this are logged at WARNING and counted under
     #: ``server.slow_requests_total``; ``None`` disables the slow log.
     slow_request_threshold: Optional[float] = 5.0
+    #: Backpressure: heavy requests beyond this many simultaneously admitted
+    #: are *shed* with a structured, retryable ``overloaded`` error instead
+    #: of being queued without bound.  Fast ops (ping, health, metrics, ...)
+    #: always answer.  ``None`` or ``0`` disables shedding.
+    max_inflight: Optional[int] = 64
+    #: A validated fault plan installed process-wide at startup — the chaos
+    #: hook for exercising ``server.frame`` drops and cache-tier faults in a
+    #: live daemon.  ``None`` (the default) injects nothing and costs one
+    #: pointer check per injection site.
+    faults: Optional[FaultPlan] = None
     limits: LimitsLike = DEFAULT_LIMITS
     #: Persistent-store config; ``None`` → the service's private in-process
     #: memory store (warm across requests, gone with the daemon).
@@ -130,6 +143,10 @@ class ServerConfig:
             raise ValueError("request_timeout must be positive (or None)")
         if self.slow_request_threshold is not None and self.slow_request_threshold <= 0:
             raise ValueError("slow_request_threshold must be positive (or None)")
+        if self.max_inflight is not None and self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0/None disables shedding)")
+        if self.faults is not None:
+            self.faults.validated()
         return self
 
 
@@ -162,6 +179,7 @@ class AnalysisServer:
         self.metrics.gauge("server.connections")
         self.metrics.gauge("server.inflight")
         self.metrics.gauge("server.queue_depth")
+        self.metrics.counter("server.shed_total")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,6 +222,13 @@ class AnalysisServer:
     # ------------------------------------------------------------------
 
     async def _main(self) -> None:
+        if self.config.faults is not None and current_fault_plan() is None:
+            # Chaos mode: the plan is process-global, so it reaches the
+            # cache tier and warm suite runs inside worker threads too.
+            install_fault_plan(self.config.faults)
+            logger.warning(
+                "fault injection active: %s", "; ".join(self.config.faults.describe())
+            )
         self._loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
         self._drained = asyncio.Event()
@@ -312,6 +337,21 @@ class AnalysisServer:
                     continue
                 if message is None:
                     break  # clean EOF
+                rule = fault_fire("server.frame", str(message.get("op")))
+                if rule is not None and rule.kind == "drop":
+                    # Injected connection drop: hang up after reading the
+                    # request, before any response — the client sees a clean
+                    # EOF, exactly what a daemon restart looks like.  Counted
+                    # here directly (suite-side export skips server.* sites).
+                    self.metrics.counter(
+                        "faults.injected_total", site="server.frame", kind="drop"
+                    ).inc()
+                    logger.warning(
+                        "injected connection drop (op=%r id=%r)",
+                        message.get("op"),
+                        message.get("id"),
+                    )
+                    break
                 response, action = await self._dispatch(message)
                 try:
                     await self._send(writer, response)
@@ -393,6 +433,8 @@ class AnalysisServer:
             )
         if op == "ping":
             return ok_response(request_id, pong=True), None
+        if op == "health":
+            return self._health_response(request_id), None
         if op == "protocol_version":
             return (
                 ok_response(
@@ -432,12 +474,57 @@ class AnalysisServer:
             None,
         )
 
+    def _health_response(self, request_id: Any) -> Dict[str, Any]:
+        """Liveness + load in one cheap frame, answered even under overload.
+
+        ``status`` summarizes for probes: ``draining`` once shutdown began,
+        ``degraded`` while the persistent cache tier has tripped its circuit
+        breaker, ``ok`` otherwise.  The rest is the raw admission state a
+        backoff-aware client or load balancer wants.
+        """
+        draining = self._stopping is not None and self._stopping.is_set()
+        cache_degraded = bool(getattr(self.service.cache, "degraded", False))
+        status = "draining" if draining else ("degraded" if cache_degraded else "ok")
+        return ok_response(
+            request_id,
+            status=status,
+            ready=not draining,
+            inflight=self._inflight,
+            queue_depth=max(0, self._inflight - self.config.workers),
+            max_inflight=self.config.max_inflight,
+            workers=self.config.workers,
+            cache_degraded=cache_degraded,
+            shed_total=int(self.metrics.counter("server.shed_total").value),
+            requests_served=self.service.requests_served,
+        )
+
     async def _dispatch_heavy(
         self, request_id: Any, op: str, message: Dict[str, Any]
     ) -> Dict[str, Any]:
         if self._stopping.is_set():
             return error_response(
                 request_id, ERR_SHUTTING_DOWN, "server is draining; not accepting work"
+            )
+        max_inflight = self.config.max_inflight
+        if max_inflight and self._inflight >= max_inflight:
+            # Load shedding: beyond the admission cap, refuse cheaply and
+            # structurally *before* touching the executor — the client's
+            # backoff loop owns the retry, not a server-side queue.
+            self.metrics.counter("server.shed_total").inc()
+            logger.warning(
+                "shedding op=%s id=%r: %d in-flight >= max_inflight=%d",
+                op,
+                request_id,
+                self._inflight,
+                max_inflight,
+            )
+            return error_response(
+                request_id,
+                ERR_OVERLOADED,
+                f"server is at its admission limit ({max_inflight} in-flight); retry",
+                max_inflight=max_inflight,
+                inflight=self._inflight,
+                retryable=True,
             )
         timeout = self.config.request_timeout
         requested = message.get("timeout")

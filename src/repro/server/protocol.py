@@ -62,6 +62,7 @@ ERR_BAD_REQUEST = "bad_request"
 ERR_UNKNOWN_COMMAND = "unknown_command"
 ERR_TIMEOUT = "timeout"
 ERR_SHUTTING_DOWN = "shutting_down"
+ERR_OVERLOADED = "overloaded"
 ERR_INTERNAL = "internal_error"
 
 
@@ -77,6 +78,18 @@ class TruncatedFrame(ProtocolError):
     means the peer is gone and the connection must be dropped, while a bad
     payload gets a structured ``bad_frame`` error response and the
     conversation continues.
+    """
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection cleanly where a frame was expected.
+
+    Raised by the client when the server hangs up *between* frames — a
+    clean EOF, not a truncated one.  Split from :class:`TruncatedFrame`
+    because a clean close is the signature of a dropped-but-healthy server
+    (restart, idle reap, injected drop) and is therefore safe to retry for
+    idempotent requests, while a mid-frame truncation may have left a
+    request half-processed.
     """
 
 

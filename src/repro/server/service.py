@@ -305,6 +305,9 @@ class AnalysisService:
                 f'metrics format must be "json" or "prometheus", got {fmt!r}'
             )
         self._count("metrics")
+        # Warm runs export cache.degraded per run and absorb() sums gauges,
+        # so pin the gauge to the live truth before every scrape.
+        self.metrics.gauge("cache.degraded").set(1 if self.cache.degraded else 0)
         if fmt == "prometheus":
             return {"format": "prometheus", "text": render_prometheus(self.metrics)}
         return {

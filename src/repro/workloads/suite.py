@@ -24,11 +24,20 @@ external input.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import re
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import (
+    InjectedWorkerCrash,
+    current_fault_plan,
+    fault_fire,
+    fault_scope,
+    injected_counts,
+    install_fault_plan,
+)
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, latency_tails
 from ..obs.trace import current_tracer, span, stopwatch
 from ..sil import ast
@@ -40,13 +49,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.engine import AnalysisResult
     from ..analysis.limits import AnalysisLimits, LimitsLike
     from ..cache.backend import CacheConfig
+    from ..faults import FaultPlan
     from .generators import Scenario
 
-#: One shard's work order:
-#: (index, (name, source) pairs, limits, cache config, eviction policy).
+#: One shard's work order: (index, (name, source) pairs, limits, cache
+#: config, eviction policy, fault plan, attempt).  ``attempt`` starts at 0
+#: and counts up on every requeue of the same workloads after a worker
+#: crash, bounding retries and giving the crash-injection site a fresh
+#: deterministic draw per attempt.
 ShardPayload = Tuple[
-    int, List[Tuple[str, str]], "LimitsLike", Optional["CacheConfig"], Optional[str]
+    int,
+    List[Tuple[str, str]],
+    "LimitsLike",
+    Optional["CacheConfig"],
+    Optional[str],
+    Optional["FaultPlan"],
+    int,
 ]
+
+#: How many times the runner attempts a workload before abandoning it into
+#: ``failures`` (the first run plus ``DEFAULT_MAX_ATTEMPTS - 1`` retries).
+DEFAULT_MAX_ATTEMPTS = 3
 
 #: Marker rewritten by :func:`with_depth` (a plain integer literal in the source).
 _DEPTH_PATTERN = re.compile(r"\{DEPTH\}")
@@ -595,7 +618,9 @@ def analyze_suite(
 # ---------------------------------------------------------------------------
 
 
-def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
+def analyze_pairs(
+    batch, pairs: List[Tuple[str, str]], shard: int = 0, attempt: int = 0
+) -> Dict:
     """Analyze ``(name, source)`` pairs through a caller-provided batch.
 
     The single implementation of the per-shard analysis loop, shared by the
@@ -631,6 +656,15 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
     The caller keeps ownership of ``batch``: this flushes computed
     transfer deltas (one write batch per call) but never closes the
     persistent backend.
+
+    Under an installed :class:`~repro.faults.FaultPlan`, each workload is
+    a ``shard.workload`` injection site keyed ``"{name}@{attempt}"``: a
+    ``slow`` rule sleeps before analyzing, a ``crash`` rule *poisons* the
+    shard — the loop stops, computed deltas are still flushed, and the
+    output carries ``crashed`` plus the ``pending`` (not yet analyzed)
+    workload names for the parent runner to requeue.  Because the decision
+    key carries the attempt, requeued work gets a fresh deterministic draw
+    instead of crashing forever.
     """
     from ..analysis.pathset import intern_table_sizes
 
@@ -639,10 +673,28 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
     with clock:
         tables_before = intern_table_sizes()
         counters_before = batch.stats.counters()
+        injected_before = injected_counts()
+        cache_tier = getattr(batch, "cache", None)
+        quarantined_before = getattr(cache_tier, "quarantined", 0)
+        backend_errors_before = getattr(cache_tier, "backend_errors", 0)
         results: Dict[str, Dict] = {}
         failures: Dict[str, str] = {}
         widening: Dict[str, Dict] = {}
-        for name, source_text in pairs:
+        crashed: Optional[Dict[str, object]] = None
+        pending: List[str] = []
+        for position, (name, source_text) in enumerate(pairs):
+            rule = fault_fire("shard.workload", f"{name}@{attempt}")
+            if rule is not None:
+                if rule.kind == "crash":
+                    # Poison the shard: abandon this and every following
+                    # workload.  Already-computed results and flushed cache
+                    # deltas survive (the store is content-addressed), so
+                    # the parent only requeues the pending tail.
+                    crashed = {"workload": name, "kind": rule.kind, "attempt": attempt}
+                    pending = [pair_name for pair_name, _ in pairs[position:]]
+                    break
+                if rule.kind == "slow":
+                    time.sleep(rule.delay)
             before = batch.stats.widening_counters()
             escalations_before = batch.stats.adaptive_escalations
             pops_before = batch.stats.worklist_pops
@@ -684,8 +736,32 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
         # totals merge with the rest of the stats.
         batch.flush()
         counters_after = batch.stats.counters()
-    return {
+        # Recovery observability, reported as deltas over this call like
+        # everything else so the numbers merge exactly across shards and
+        # server requests.  Server-side sites (``server.*``) are excluded:
+        # the daemon records those straight into its own registry.
+        for (site, kind), count in injected_counts().items():
+            if site.startswith("server."):
+                continue
+            delta = count - injected_before.get((site, kind), 0)
+            if delta:
+                metrics.counter("faults.injected_total", site=site, kind=kind).inc(
+                    delta
+                )
+        if cache_tier is not None:
+            quarantined = getattr(cache_tier, "quarantined", 0) - quarantined_before
+            if quarantined:
+                metrics.counter("cache.quarantined_total").inc(quarantined)
+            backend_errors = (
+                getattr(cache_tier, "backend_errors", 0) - backend_errors_before
+            )
+            if backend_errors:
+                metrics.counter("cache.backend_errors_total").inc(backend_errors)
+            if getattr(cache_tier, "degraded", False):
+                metrics.gauge("cache.degraded").set(1)
+    output = {
         "shard": shard,
+        "attempt": attempt,
         "workloads": [name for name, _ in pairs],
         "results": results,
         "failures": failures,
@@ -701,6 +777,10 @@ def analyze_pairs(batch, pairs: List[Tuple[str, str]], shard: int = 0) -> Dict:
         "metrics": metrics.as_dict(),
         "seconds": clock.seconds,
     }
+    if crashed is not None:
+        output["crashed"] = crashed
+        output["pending"] = pending
+    return output
 
 
 def _analyze_shard(payload: ShardPayload) -> Dict:
@@ -714,13 +794,29 @@ def _analyze_shard(payload: ShardPayload) -> Dict:
     boundaries) and reads through to it — a warm store means the shard
     decodes transfers other runs or other shards already computed — then
     flushes its computed deltas in one batch when the shard completes.
+
+    The payload's fault plan (when present) is installed for **spawned**
+    workers, which inherit no parent globals; forked workers (and the
+    inline path) already see the plan :meth:`ShardedSuiteRunner.run`
+    installed via :func:`~repro.faults.fault_scope`.  A ``shard.worker``
+    crash rule fires *before* any analysis — the worker dies with
+    :class:`~repro.faults.InjectedWorkerCrash` and the parent requeues the
+    whole shard (the dead-worker path, vs. the mid-shard poisoning
+    ``shard.workload`` exercises).
     """
     from ..analysis.engine import BatchAnalyzer
 
-    shard_index, pairs, limits, cache, policy = payload
+    shard_index, pairs, limits, cache, policy, faults, attempt = payload
+    if faults is not None and current_fault_plan() is None:
+        install_fault_plan(faults)
+    rule = fault_fire("shard.worker", f"{shard_index}@{attempt}")
+    if rule is not None and rule.kind == "crash":
+        raise InjectedWorkerCrash(
+            f"injected worker crash (shard {shard_index}, attempt {attempt})"
+        )
     batch = BatchAnalyzer(limits=limits, cache=cache, policy=policy)
     try:
-        return analyze_pairs(batch, pairs, shard=shard_index)
+        return analyze_pairs(batch, pairs, shard=shard_index, attempt=attempt)
     finally:
         batch.close()
 
@@ -756,10 +852,14 @@ class ShardReport:
     #: Growth of the worker's process-global interning tables during the
     #: shard (see ``_analyze_shard``); empty for legacy outputs.
     intern_tables: Dict[str, int] = field(default_factory=dict)
+    #: Which attempt this shard ran as (0 for the original dispatch; > 0
+    #: for payloads requeued after a worker crash).
+    attempt: int = 0
 
     def as_dict(self) -> Dict:
         return {
             "shard": self.shard,
+            "attempt": self.attempt,
             "workloads": self.workloads,
             "seconds": round(self.seconds, 4),
             "stats": self.stats.counters(),
@@ -794,6 +894,10 @@ class ShardedSuiteReport:
     #: histograms the ``tails`` section is derived from.  Merging follows
     #: the ``stats`` discipline: integer sums only, so sharded == inline.
     metrics: "MetricsRegistry" = field(default_factory=MetricsRegistry)
+    #: Per-workload attempt counts, for workloads that needed more than
+    #: one: ``{name: attempts}`` where attempts includes the first try.
+    #: Empty in a fault-free run.
+    attempts: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
 
     @property
@@ -857,6 +961,7 @@ class ShardedSuiteReport:
             "intern_tables": dict(self.intern_tables),
             "tails": self.tails(),
             "metrics": self.metrics.as_dict(),
+            "attempts": dict(self.attempts),
             "failures": dict(self.failures),
         }
 
@@ -889,6 +994,8 @@ class ShardedSuiteRunner:
         limits: Optional["LimitsLike"] = None,
         cache: Optional["CacheConfig"] = None,
         policy: Optional[str] = None,
+        faults: Optional["FaultPlan"] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ):
         from collections import Counter
 
@@ -904,6 +1011,10 @@ class ShardedSuiteRunner:
         self.cache = cache.validated() if cache is not None else None
         #: In-memory eviction policy; meaningful with or without a store.
         self.policy = policy
+        #: Optional :class:`~repro.faults.FaultPlan`, installed for the
+        #: duration of each run (and shipped to workers in the payloads).
+        self.faults = faults.validated() if faults is not None else None
+        self.max_attempts = max(1, int(max_attempts))
 
     @classmethod
     def from_names(
@@ -914,6 +1025,8 @@ class ShardedSuiteRunner:
         limits: Optional["LimitsLike"] = None,
         cache: Optional["CacheConfig"] = None,
         policy: Optional[str] = None,
+        faults: Optional["FaultPlan"] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> "ShardedSuiteRunner":
         """A runner over named workloads from :data:`WORKLOADS`."""
         if names is None:
@@ -924,6 +1037,8 @@ class ShardedSuiteRunner:
             limits,
             cache,
             policy,
+            faults=faults,
+            max_attempts=max_attempts,
         )
 
     @classmethod
@@ -934,69 +1049,301 @@ class ShardedSuiteRunner:
         limits: Optional["LimitsLike"] = None,
         cache: Optional["CacheConfig"] = None,
         policy: Optional[str] = None,
+        faults: Optional["FaultPlan"] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> "ShardedSuiteRunner":
         """A runner over generated scenarios (see :mod:`.generators`)."""
-        return cls([(s.name, s.source) for s in scenarios], shards, limits, cache, policy)
+        return cls(
+            [(s.name, s.source) for s in scenarios],
+            shards,
+            limits,
+            cache,
+            policy,
+            faults=faults,
+            max_attempts=max_attempts,
+        )
 
     # ------------------------------------------------------------------
+
+    def _payload(
+        self, index: int, pairs: List[Tuple[str, str]], attempt: int = 0
+    ) -> ShardPayload:
+        return (index, pairs, self.limits, self.cache, self.policy, self.faults, attempt)
 
     def _payloads(self, shards: int) -> List[ShardPayload]:
         buckets: List[List[Tuple[str, str]]] = [[] for _ in range(shards)]
         for index, item in enumerate(self.items):
             buckets[index % shards].append(item)
         return [
-            (index, bucket, self.limits, self.cache, self.policy)
+            self._payload(index, bucket)
             for index, bucket in enumerate(buckets)
             if bucket
         ]
 
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def _recover_poisoned(
+        self,
+        output: Dict,
+        control: "MetricsRegistry",
+        attempts: Dict[str, int],
+        allocate_index: Callable[[], int],
+    ) -> Optional[ShardPayload]:
+        """Requeue a poisoned shard output's pending workloads.
+
+        Returns the follow-up payload, or ``None`` when there is nothing
+        to requeue — either the output is healthy, or retries are
+        exhausted, in which case the pending workloads are recorded as
+        failures *in the output* (so ``_merge`` picks them up like any
+        other failure).
+        """
+        crash = output.get("crashed")
+        pending = output.get("pending") or []
+        if not crash or not pending:
+            return None
+        next_attempt = int(output.get("attempt", 0)) + 1
+        control.counter(
+            "suite.shard_crashes_total", kind=str(crash.get("kind", "crash"))
+        ).inc()
+        for name in pending:
+            attempts[name] = next_attempt + 1
+        if next_attempt >= self.max_attempts:
+            for name in pending:
+                attempts[name] = next_attempt
+                output["failures"][name] = (
+                    f"shard worker crashed ({crash.get('kind', 'crash')}); "
+                    f"retries exhausted after {self.max_attempts} attempts"
+                )
+            control.counter("suite.workloads_abandoned_total").inc(len(pending))
+            return None
+        control.counter("suite.workload_retries").inc(len(pending))
+        sources = dict(self.items)
+        return self._payload(
+            allocate_index(),
+            [(name, sources[name]) for name in pending],
+            attempt=next_attempt,
+        )
+
+    def _recover_failed(
+        self,
+        payload: ShardPayload,
+        error: BaseException,
+        control: "MetricsRegistry",
+        attempts: Dict[str, int],
+        allocate_index: Callable[[], int],
+    ) -> Tuple[Optional[ShardPayload], Optional[Dict]]:
+        """Recover from a worker that died without producing output.
+
+        Returns ``(follow_up_payload, synthetic_output)``: exactly one is
+        non-``None``.  Within the attempt budget the whole shard is
+        requeued; past it, a synthetic output records every workload as
+        failed so the run still completes and reports honestly.
+        """
+        index, pairs = payload[0], payload[1]
+        attempt = payload[6]
+        names = [name for name, _ in pairs]
+        control.counter("suite.shard_crashes_total", kind="worker").inc()
+        next_attempt = attempt + 1
+        for name in names:
+            attempts[name] = next_attempt + 1
+        if next_attempt >= self.max_attempts:
+            for name in names:
+                attempts[name] = next_attempt
+            control.counter("suite.workloads_abandoned_total").inc(len(names))
+            synthetic = {
+                "shard": index,
+                "attempt": attempt,
+                "workloads": names,
+                "results": {},
+                "failures": {
+                    name: (
+                        f"shard worker died ({type(error).__name__}: {error}); "
+                        f"retries exhausted after {self.max_attempts} attempts"
+                    )
+                    for name in names
+                },
+                "widening": {},
+                "stats": {},
+                "intern_tables": {},
+                "metrics": {},
+                "seconds": 0.0,
+            }
+            return None, synthetic
+        control.counter("suite.workload_retries").inc(len(names))
+        sources = dict(self.items)
+        follow = self._payload(
+            allocate_index(),
+            [(name, sources[name]) for name in names],
+            attempt=next_attempt,
+        )
+        return follow, None
+
     def run(self, progress=None) -> ShardedSuiteReport:
         """Run the suite across ``self.shards`` worker processes.
 
-        Collection is **streaming**: shard outputs are consumed through
-        ``imap_unordered`` in completion order, so per-workload results and
-        failures surface (via the optional ``progress`` callback, which
-        receives each raw shard output dict) as soon as each shard
-        finishes, not behind a final all-shards barrier.  The merged report
-        is identical either way — ``_merge`` orders by shard index.
+        Collection is **streaming**: shard outputs are consumed in
+        completion order, so per-workload results and failures surface
+        (via the optional ``progress`` callback, which receives each raw
+        shard output dict) as soon as each shard finishes, not behind a
+        final all-shards barrier.  The merged report is identical either
+        way — ``_merge`` orders by shard index.
+
+        Fault tolerance: a shard that comes back *poisoned* (a crash rule
+        fired mid-shard) or whose worker died with an exception has its
+        pending workloads requeued as a fresh payload — onto a free pool
+        worker, or back onto the inline queue — with the attempt counter
+        bumped, up to ``max_attempts`` total tries per workload.  Requeued
+        workloads recompute from the same sources, so the merged report
+        stays bit-identical to a fault-free run; only retries are bounded,
+        and exhausted workloads are reported as failures, never dropped
+        silently.
         """
         clock = stopwatch(
             "suite.run", {"shards": self.shards, "workloads": len(self.items)}
         )
-        with clock:
-            payloads = self._payloads(self.shards)
-            outputs: List[Dict] = []
-            if self.shards <= 1 or len(payloads) <= 1:
+        control = MetricsRegistry()
+        attempts: Dict[str, int] = {}
+        with fault_scope(self.faults):
+            with clock:
+                payloads = self._payloads(self.shards)
+                next_index = len(payloads)
+
+                def allocate_index() -> int:
+                    nonlocal next_index
+                    next_index += 1
+                    return next_index - 1
+
+                if self.shards <= 1 or len(payloads) <= 1:
+                    outputs = self._run_inline(
+                        payloads, progress, control, attempts, allocate_index
+                    )
+                else:
+                    outputs = self._run_pool(
+                        payloads, progress, control, attempts, allocate_index
+                    )
+        return self._merge(outputs, clock.seconds, control=control, attempts=attempts)
+
+    def _run_inline(
+        self,
+        payloads: List[ShardPayload],
+        progress,
+        control: "MetricsRegistry",
+        attempts: Dict[str, int],
+        allocate_index: Callable[[], int],
+    ) -> List[Dict]:
+        """Drive payloads in this process, requeueing crashed work."""
+        outputs: List[Dict] = []
+        pending = list(payloads)
+        while pending:
+            payload = pending.pop(0)
+            try:
+                output = _analyze_shard(payload)
+            except Exception as error:  # noqa: BLE001 - the recovery boundary
+                follow, synthetic = self._recover_failed(
+                    payload, error, control, attempts, allocate_index
+                )
+                if follow is not None:
+                    pending.append(follow)
+                    continue
+                output = synthetic
+            else:
+                follow = self._recover_poisoned(
+                    output, control, attempts, allocate_index
+                )
+                if follow is not None:
+                    pending.append(follow)
+            outputs.append(output)
+            if progress is not None:
+                progress(output)
+        return outputs
+
+    def _run_pool(
+        self,
+        payloads: List[ShardPayload],
+        progress,
+        control: "MetricsRegistry",
+        attempts: Dict[str, int],
+        allocate_index: Callable[[], int],
+    ) -> List[Dict]:
+        """Drive payloads across a worker pool, requeueing crashed work.
+
+        ``apply_async`` (rather than ``imap_unordered``) so a requeued
+        payload can be resubmitted to the *live* pool and land on any free
+        surviving worker; completions and worker deaths funnel through one
+        thread-safe queue the parent drains in completion order.
+        """
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        completions: "queue_module.Queue" = queue_module.Queue()
+        outputs: List[Dict] = []
+        with span("suite.dispatch", {"shards": len(payloads)}):
+            with context.Pool(processes=len(payloads)) as pool:
+                outstanding = 0
+
+                def submit(payload: ShardPayload) -> None:
+                    nonlocal outstanding
+                    outstanding += 1
+                    pool.apply_async(
+                        _analyze_shard_traced,
+                        (payload,),
+                        callback=completions.put,
+                        error_callback=lambda error, payload=payload: completions.put(
+                            (payload, error)
+                        ),
+                    )
+
                 for payload in payloads:
-                    output = _analyze_shard(payload)
+                    submit(payload)
+                while outstanding:
+                    item = completions.get()
+                    outstanding -= 1
+                    if isinstance(item, tuple):  # (payload, error): worker died
+                        payload, error = item
+                        follow, synthetic = self._recover_failed(
+                            payload, error, control, attempts, allocate_index
+                        )
+                        if follow is not None:
+                            submit(follow)
+                            continue
+                        output = synthetic
+                    else:
+                        output = item
+                        follow = self._recover_poisoned(
+                            output, control, attempts, allocate_index
+                        )
+                        if follow is not None:
+                            submit(follow)
                     outputs.append(output)
                     if progress is not None:
                         progress(output)
-            else:
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else "spawn"
-                )
-                with span("suite.dispatch", {"shards": len(payloads)}):
-                    with context.Pool(processes=len(payloads)) as pool:
-                        for output in pool.imap_unordered(
-                            _analyze_shard_traced, payloads
-                        ):
-                            outputs.append(output)
-                            if progress is not None:
-                                progress(output)
-        return self._merge(outputs, clock.seconds)
+        return outputs
 
     def run_single_process(self, progress=None) -> ShardedSuiteReport:
-        """The same suite, analyzed inline as one shard (the reference run)."""
+        """The same suite, analyzed inline as one shard (the reference run).
+
+        Shares the inline recovery loop with :meth:`run`, so even the
+        reference run completes — and matches — under an installed fault
+        plan; the bit-identity claim is symmetric.
+        """
         clock = stopwatch("suite.run", {"shards": 1, "workloads": len(self.items)})
-        with clock:
-            output = _analyze_shard(
-                (0, list(self.items), self.limits, self.cache, self.policy)
-            )
-            if progress is not None:
-                progress(output)
-        return self._merge([output], clock.seconds)
+        control = MetricsRegistry()
+        attempts: Dict[str, int] = {}
+        with fault_scope(self.faults):
+            with clock:
+                payloads = [self._payload(0, list(self.items))]
+                next_index = 1
+
+                def allocate_index() -> int:
+                    nonlocal next_index
+                    next_index += 1
+                    return next_index - 1
+
+                outputs = self._run_inline(
+                    payloads, progress, control, attempts, allocate_index
+                )
+        return self._merge(outputs, clock.seconds, control=control, attempts=attempts)
 
     def run_warm(self, batch, progress=None) -> ShardedSuiteReport:
         """The same suite, analyzed inline through a caller-provided batch.
@@ -1013,15 +1360,43 @@ class ShardedSuiteRunner:
         choices; the batch is flushed but left open.
         """
         clock = stopwatch("suite.run_warm", {"workloads": len(self.items)})
+        control = MetricsRegistry()
+        attempts: Dict[str, int] = {}
+        outputs: List[Dict] = []
         with clock:
-            output = analyze_pairs(batch, list(self.items), shard=0)
-            if progress is not None:
-                progress(output)
-        return self._merge([output], clock.seconds)
+            payload: Optional[ShardPayload] = self._payload(0, list(self.items))
+            next_index = 1
+
+            def allocate_index() -> int:
+                nonlocal next_index
+                next_index += 1
+                return next_index - 1
+
+            # The warm path shares the poisoned-shard recovery discipline:
+            # under an ambient (daemon-installed) fault plan, a crashed
+            # request loop re-runs its pending workloads through the same
+            # warm batch, bounded by ``max_attempts``.
+            while payload is not None:
+                output = analyze_pairs(
+                    batch, payload[1], shard=payload[0], attempt=payload[6]
+                )
+                payload = self._recover_poisoned(
+                    output, control, attempts, allocate_index
+                )
+                outputs.append(output)
+                if progress is not None:
+                    progress(output)
+        return self._merge(outputs, clock.seconds, control=control, attempts=attempts)
 
     # ------------------------------------------------------------------
 
-    def _merge(self, outputs: List[Dict], seconds: float) -> ShardedSuiteReport:
+    def _merge(
+        self,
+        outputs: List[Dict],
+        seconds: float,
+        control: Optional["MetricsRegistry"] = None,
+        attempts: Optional[Dict[str, int]] = None,
+    ) -> ShardedSuiteReport:
         from ..analysis.context import AnalysisStats
 
         # The parent's tracer (when installed) takes custody of the events
@@ -1046,11 +1421,14 @@ class ShardedSuiteRunner:
                     stats=shard_stats,
                     seconds=output["seconds"],
                     intern_tables=dict(output.get("intern_tables", {})),
+                    attempt=int(output.get("attempt", 0)),
                 )
             )
             by_name.update(output["results"])
             failures.update(output["failures"])
             widening_by_name.update(output.get("widening", {}))
+        if control is not None:
+            merged_metrics.absorb(control)
         merged = AnalysisStats().merge(*(report.stats for report in shard_reports))
         summed_tables: Dict[str, int] = {}
         for report in shard_reports:
@@ -1070,5 +1448,6 @@ class ShardedSuiteRunner:
             },
             intern_tables=summed_tables,
             metrics=merged_metrics,
+            attempts=dict(attempts or {}),
             seconds=seconds,
         )
